@@ -1,0 +1,50 @@
+//! Criterion benchmark: functional tile decompression throughput of the
+//! reference decompressor, per compression scheme.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use deca_compress::{
+    generator::WeightGenerator, CompressionScheme, Compressor, Decompressor, TILE_BYTES_BF16,
+};
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_decompression");
+    let generator = WeightGenerator::new(42);
+    let tile = generator.dense_matrix(16, 32).tile(0, 0);
+    let decompressor = Decompressor::new();
+    for scheme in [
+        CompressionScheme::bf16_sparse(0.5),
+        CompressionScheme::bf8_dense(),
+        CompressionScheme::bf8_sparse(0.2),
+        CompressionScheme::bf8_sparse(0.05),
+        CompressionScheme::mxfp4(),
+    ] {
+        let compressed = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+        group.throughput(Throughput::Bytes(TILE_BYTES_BF16 as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &compressed,
+            |b, compressed| {
+                b.iter(|| decompressor.decompress_tile(std::hint::black_box(compressed)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_compression");
+    let generator = WeightGenerator::new(43);
+    let tile = generator.dense_matrix(16, 32).tile(0, 0);
+    for scheme in [CompressionScheme::bf8_sparse(0.2), CompressionScheme::mxfp4()] {
+        let compressor = Compressor::new(scheme);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &tile,
+            |b, tile| b.iter(|| compressor.compress_tile(std::hint::black_box(tile)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompress, bench_compress);
+criterion_main!(benches);

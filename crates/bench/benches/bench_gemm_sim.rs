@@ -1,0 +1,47 @@
+//! Criterion benchmark: the simulated compressed GeMM (software and DECA
+//! engines) — the hot path behind Figures 12–17.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deca_compress::CompressionScheme;
+use deca_kernels::{CompressedGemmExecutor, Engine};
+use deca_roofsurface::MachineConfig;
+
+fn bench_gemm_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_simulation");
+    let executor =
+        CompressedGemmExecutor::new(MachineConfig::spr_hbm()).with_steady_state_tiles(2000);
+    for (name, engine) in [("software", Engine::software()), ("deca", Engine::deca_default())] {
+        for scheme in [CompressionScheme::bf8_sparse(0.2), CompressionScheme::mxfp4()] {
+            group.bench_with_input(
+                BenchmarkId::new(name, scheme.label()),
+                &scheme,
+                |b, scheme| {
+                    b.iter(|| executor.run(std::hint::black_box(scheme), engine.clone(), 1))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_integration_ladder(c: &mut Criterion) {
+    use deca::{DecaConfig, IntegrationConfig};
+    let executor =
+        CompressedGemmExecutor::new(MachineConfig::spr_hbm()).with_steady_state_tiles(2000);
+    let scheme = CompressionScheme::bf8_sparse(0.2);
+    c.bench_function("fig17_ladder_one_density", |b| {
+        b.iter(|| {
+            IntegrationConfig::ablation_ladder()
+                .into_iter()
+                .map(|(_, integration)| {
+                    executor
+                        .run(&scheme, Engine::deca(DecaConfig::baseline(), integration), 4)
+                        .tflops
+                })
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_gemm_simulation, bench_integration_ladder);
+criterion_main!(benches);

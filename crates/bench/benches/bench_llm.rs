@@ -1,0 +1,53 @@
+//! Criterion benchmark: next-token latency estimation for the two LLMs —
+//! the path behind Table 1 and Table 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deca_compress::CompressionScheme;
+use deca_kernels::Engine;
+use deca_llm::{InferenceEstimator, LlmModel};
+use deca_roofsurface::MachineConfig;
+
+fn bench_next_token(c: &mut Criterion) {
+    let mut group = c.benchmark_group("next_token_estimation");
+    let estimator = InferenceEstimator::new(MachineConfig::spr_hbm());
+    for model in [LlmModel::llama2_70b(), LlmModel::opt_66b()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name().to_string()),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    estimator.next_token(
+                        std::hint::black_box(model),
+                        &CompressionScheme::mxfp4(),
+                        Engine::deca_default(),
+                        1,
+                        128,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_functional_gemm(c: &mut Criterion) {
+    use deca_compress::{generator::WeightGenerator, Compressor};
+    use deca_kernels::functional;
+    let weights = WeightGenerator::new(11).dense_matrix(128, 128);
+    let activations = WeightGenerator::new(12).with_std_dev(0.5).dense_matrix(4, 128);
+    let compressed = Compressor::new(CompressionScheme::bf8_sparse(0.3))
+        .compress_matrix(&weights)
+        .expect("compress");
+    c.bench_function("functional_compressed_gemm_4x128x128", |b| {
+        b.iter(|| {
+            functional::gemm_compressed(
+                std::hint::black_box(&activations),
+                std::hint::black_box(&compressed),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_next_token, bench_functional_gemm);
+criterion_main!(benches);

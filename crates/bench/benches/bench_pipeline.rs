@@ -1,0 +1,51 @@
+//! Criterion benchmark: the DECA PE functional pipeline (dequantization,
+//! expansion, scaling) per tile, for representative schemes and sizings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use deca::{DecaConfig, DecaPe};
+use deca_compress::{generator::WeightGenerator, CompressionScheme, Compressor};
+
+fn bench_pe_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deca_pe_pipeline");
+    let generator = WeightGenerator::new(7);
+    let tile = generator.dense_matrix(16, 32).tile(0, 0);
+    for scheme in [
+        CompressionScheme::bf8_dense(),
+        CompressionScheme::bf8_sparse(0.2),
+        CompressionScheme::mxfp4(),
+    ] {
+        let compressed = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(scheme.label()),
+            &compressed,
+            |b, compressed| {
+                let mut pe = DecaPe::new(DecaConfig::baseline());
+                b.iter(|| pe.process_tile(std::hint::black_box(compressed)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_pe_sizings(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deca_pe_sizings");
+    let generator = WeightGenerator::new(8);
+    let tile = generator.dense_matrix(16, 32).tile(0, 0);
+    let compressed = Compressor::new(CompressionScheme::bf8_sparse(0.2))
+        .compress_tile(&tile)
+        .expect("compress");
+    for (name, config) in [
+        ("W8_L4", DecaConfig::underprovisioned()),
+        ("W32_L8", DecaConfig::baseline()),
+        ("W64_L64", DecaConfig::overprovisioned()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, compressed| {
+            let mut pe = DecaPe::new(config);
+            b.iter(|| pe.process_tile(std::hint::black_box(compressed)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pe_pipeline, bench_pe_sizings);
+criterion_main!(benches);

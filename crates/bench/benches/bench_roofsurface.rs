@@ -1,0 +1,58 @@
+//! Criterion benchmark: Roof-Surface model evaluation, surface sampling and
+//! the analytic {W, L} design-space exploration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deca_compress::SchemeSet;
+use deca_roofsurface::{
+    DecaVopModel, DesignSpaceExploration, KernelSignature, MachineConfig, RoofSurface,
+};
+
+fn bench_surface_eval(c: &mut Criterion) {
+    let machine = MachineConfig::spr_hbm();
+    let surface = RoofSurface::for_cpu(&machine);
+    let sig = KernelSignature::new("Q8_20%", 1.0 / 166.4, 1.0 / 144.0);
+    c.bench_function("roofsurface_flops_eval", |b| {
+        b.iter(|| surface.flops(std::hint::black_box(&sig), 4))
+    });
+}
+
+fn bench_surface_grid(c: &mut Criterion) {
+    let machine = MachineConfig::spr_hbm();
+    let surface = RoofSurface::for_cpu(&machine);
+    c.bench_function("roofsurface_sample_grid_64x64", |b| {
+        b.iter(|| surface.sample_grid((0.001, 0.02), (0.001, 0.05), 64, 4))
+    });
+}
+
+fn bench_bubble_model(c: &mut Criterion) {
+    let schemes = SchemeSet::paper_evaluation();
+    c.bench_function("deca_bubble_model_all_schemes", |b| {
+        b.iter(|| {
+            schemes
+                .iter()
+                .map(|s| DecaVopModel::BASELINE.aix_v(std::hint::black_box(s)))
+                .sum::<f64>()
+        })
+    });
+}
+
+fn bench_dse(c: &mut Criterion) {
+    let dse = DesignSpaceExploration::new(
+        MachineConfig::spr_hbm(),
+        SchemeSet::paper_evaluation(),
+        4,
+    );
+    let grid = DesignSpaceExploration::default_grid();
+    c.bench_function("dse_full_grid", |b| {
+        b.iter(|| dse.recommend(std::hint::black_box(&grid)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_surface_eval,
+    bench_surface_grid,
+    bench_bubble_model,
+    bench_dse
+);
+criterion_main!(benches);

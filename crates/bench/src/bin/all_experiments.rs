@@ -1,0 +1,5 @@
+//! Regenerates every table and figure of the paper's evaluation in one run.
+
+fn main() {
+    print!("{}", deca_bench::experiments::all());
+}

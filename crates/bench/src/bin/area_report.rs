@@ -1,0 +1,5 @@
+//! Regenerates Section 8 area estimate of the paper on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::area_report());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the batch-size sweep mentioned in §9.1 (speedups for batch
+//! sizes up to N=16) on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::batch_sweep());
+}

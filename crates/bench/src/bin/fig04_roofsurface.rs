@@ -1,0 +1,5 @@
+//! Regenerates Figure 4 of the paper on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::fig04_roofsurface());
+}

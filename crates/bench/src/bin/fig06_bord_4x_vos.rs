@@ -1,0 +1,5 @@
+//! Regenerates Figure 6 of the paper on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::fig06_bord_4x_vos());
+}

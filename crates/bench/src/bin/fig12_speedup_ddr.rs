@@ -1,0 +1,5 @@
+//! Regenerates Figure 12 of the paper on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::fig12_speedup_ddr());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 14 of the paper on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::fig14_core_scaling());
+}

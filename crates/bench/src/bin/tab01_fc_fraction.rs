@@ -1,0 +1,5 @@
+//! Regenerates Table 1 of the paper on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::tab01_fc_fraction());
+}

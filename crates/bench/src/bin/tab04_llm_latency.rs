@@ -1,0 +1,5 @@
+//! Regenerates Table 4 of the paper on the simulated machine.
+
+fn main() {
+    print!("{}", deca_bench::experiments::tab04_llm_latency());
+}

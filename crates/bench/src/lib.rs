@@ -1,0 +1,21 @@
+//! Experiment harness for the DECA reproduction.
+//!
+//! Each table and figure of the paper's evaluation has a function in
+//! [`experiments`] (and a matching binary under `src/bin/`) that regenerates
+//! the same rows/series on the simulated machine. `DESIGN.md` maps paper
+//! artifacts to these functions; `EXPERIMENTS.md` records paper-vs-measured
+//! values.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p deca-bench --release --bin all_experiments
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::TextTable;

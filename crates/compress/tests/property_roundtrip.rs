@@ -1,0 +1,179 @@
+//! Property-based tests for the compression substrate.
+//!
+//! These exercise the core invariants the rest of the system relies on:
+//! bit-exact container round-trips, preservation of the sparsity pattern,
+//! and bounded quantization error.
+
+use deca_compress::{
+    generator::WeightGenerator, Bitmask, CompressionScheme, Compressor, Decompressor, DenseTile,
+    TILE_COLS, TILE_ELEMS, TILE_ROWS,
+};
+use proptest::prelude::*;
+
+fn tile_from_sparse_values(values: &[f32]) -> DenseTile {
+    assert_eq!(values.len(), TILE_ELEMS);
+    DenseTile::from_f32(values)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bitmask byte serialization round-trips for arbitrary patterns and
+    /// lengths.
+    #[test]
+    fn bitmask_bytes_roundtrip(bits in proptest::collection::vec(any::<bool>(), 1..600)) {
+        let mut mask = Bitmask::new(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            mask.set(i, *b);
+        }
+        let bytes = mask.to_bytes();
+        let back = Bitmask::from_bytes(&bytes, bits.len());
+        prop_assert_eq!(&back, &mask);
+        prop_assert_eq!(back.popcount(), bits.iter().filter(|b| **b).count());
+    }
+
+    /// The exclusive prefix sums and expansion indices of any bitmask agree.
+    #[test]
+    fn bitmask_prefix_sums_are_consistent(bits in proptest::collection::vec(any::<bool>(), 1..600)) {
+        let mut mask = Bitmask::new(bits.len());
+        for (i, b) in bits.iter().enumerate() {
+            mask.set(i, *b);
+        }
+        let sums = mask.prefix_sums();
+        let idx = mask.expansion_indices();
+        prop_assert_eq!(sums.len(), bits.len() + 1);
+        for (i, entry) in idx.iter().enumerate() {
+            match entry {
+                Some(k) => prop_assert_eq!(*k, sums[i]),
+                None => prop_assert_eq!(sums[i + 1], sums[i]),
+            }
+        }
+        // Windows of any size partition the popcount.
+        let total: usize = mask.window_popcounts(7).iter().sum();
+        prop_assert_eq!(total, mask.popcount());
+    }
+
+    /// The zero/nonzero pattern of a tile survives any sparse compression
+    /// scheme (no nonzero is dropped, no zero is invented), provided pruning
+    /// is disabled so the input pattern is authoritative.
+    #[test]
+    fn sparsity_pattern_is_preserved(
+        seed in 0u64..1000,
+        density in 0.02f64..0.9,
+        quantized in any::<bool>(),
+    ) {
+        let gen = WeightGenerator::new(seed);
+        let matrix = gen.sparse_matrix(TILE_ROWS, TILE_COLS, density);
+        let tile = matrix.tile(0, 0);
+        let scheme = if quantized {
+            CompressionScheme::bf8_sparse(density.min(0.95))
+        } else {
+            CompressionScheme::bf16_sparse(density.min(0.95))
+        };
+        let compressed = Compressor::new(scheme).without_pruning().compress_tile(&tile).unwrap();
+        let restored = Decompressor::new().decompress_tile(&compressed).unwrap();
+        // Half of E5M2's smallest subnormal: only weights below this may
+        // legitimately flush to zero under BF8 quantization.
+        let flush_threshold = 2f32.powi(-17) * 1.01;
+        for r in 0..TILE_ROWS {
+            for c in 0..TILE_COLS {
+                let orig = tile.get(r, c);
+                let back = restored.get(r, c);
+                if orig.is_zero() {
+                    prop_assert!(back.is_zero(), "zero became nonzero at ({}, {})", r, c);
+                } else if back.is_zero() {
+                    prop_assert!(
+                        quantized && orig.to_f32().abs() <= flush_threshold,
+                        "nonzero {} flushed to zero at ({}, {})", orig.to_f32(), r, c
+                    );
+                }
+            }
+        }
+    }
+
+    /// BF16-sparse compression is bit-exact for the surviving weights.
+    #[test]
+    fn bf16_sparse_is_lossless(seed in 0u64..1000, density in 0.05f64..1.0) {
+        let gen = WeightGenerator::new(seed);
+        let matrix = gen.sparse_matrix(TILE_ROWS, TILE_COLS, density);
+        let tile = matrix.tile(0, 0);
+        let scheme = CompressionScheme::bf16_sparse(0.99);
+        let compressed = Compressor::new(scheme).without_pruning().compress_tile(&tile).unwrap();
+        let restored = Decompressor::new().decompress_tile(&compressed).unwrap();
+        for (a, b) in tile.elements().iter().zip(restored.elements()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// BF8 quantization error is bounded by E5M2's half-ULP relative error
+    /// (12.5 %) for every element of every tile.
+    #[test]
+    fn bf8_error_is_bounded(seed in 0u64..1000) {
+        let gen = WeightGenerator::new(seed);
+        let tile = gen.dense_matrix(TILE_ROWS, TILE_COLS).tile(0, 0);
+        let compressed = Compressor::new(CompressionScheme::bf8_dense()).compress_tile(&tile).unwrap();
+        let restored = Decompressor::new().decompress_tile(&compressed).unwrap();
+        // E5M2's subnormal step is 2^-16; below the normal range the error
+        // bound is absolute (half a step) rather than relative.
+        let half_subnormal_step = 2f32.powi(-17) * 1.01;
+        for (a, b) in tile.elements().iter().zip(restored.elements()) {
+            let orig = a.to_f32();
+            let back = b.to_f32();
+            if orig != 0.0 {
+                let rel_ok = ((back - orig) / orig).abs() <= 0.13;
+                let abs_ok = (back - orig).abs() <= half_subnormal_step;
+                prop_assert!(rel_ok || abs_ok, "{} -> {}", orig, back);
+            }
+        }
+    }
+
+    /// The compressed byte size of any tile matches the scheme's analytic
+    /// expectation when the tile's density equals the scheme density.
+    #[test]
+    fn byte_size_matches_scheme_accounting(density_pct in 1u32..=100) {
+        let density = f64::from(density_pct) / 100.0;
+        let gen = WeightGenerator::new(u64::from(density_pct));
+        let tile = gen.dense_matrix(TILE_ROWS, TILE_COLS).tile(0, 0);
+        let scheme = if density < 1.0 {
+            CompressionScheme::bf8_sparse(density)
+        } else {
+            CompressionScheme::bf8_dense()
+        };
+        let compressed = Compressor::new(scheme).compress_tile(&tile).unwrap();
+        // Magnitude pruning keeps round(512·d) values, so sizes match the
+        // analytic model to within one element.
+        let expected = scheme.expected_tile_bytes();
+        let actual = compressed.byte_size() as f64;
+        prop_assert!((actual - expected).abs() <= 2.0,
+            "scheme {} expected {} got {}", scheme, expected, actual);
+    }
+
+    /// Compressing an already-decompressed tile again is lossless
+    /// (idempotence of quantization).
+    #[test]
+    fn recompression_is_idempotent(seed in 0u64..500) {
+        let gen = WeightGenerator::new(seed);
+        let tile = gen.dense_matrix(TILE_ROWS, TILE_COLS).tile(0, 0);
+        let scheme = CompressionScheme::bf8_sparse(0.4);
+        let comp = Compressor::new(scheme);
+        let dec = Decompressor::new();
+        let once = dec.decompress_tile(&comp.compress_tile(&tile).unwrap()).unwrap();
+        let twice = dec.decompress_tile(&comp.without_pruning().compress_tile(&once).unwrap()).unwrap();
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Pack/unpack of arbitrary tiles built from explicit values keeps every
+    /// element addressable at its original (row, col).
+    #[test]
+    fn element_addressing_is_row_major(row in 0usize..TILE_ROWS, col in 0usize..TILE_COLS) {
+        let mut values = vec![0.0f32; TILE_ELEMS];
+        values[row * TILE_COLS + col] = 1.5;
+        let tile = tile_from_sparse_values(&values);
+        prop_assert_eq!(tile.get(row, col).to_f32(), 1.5);
+        prop_assert_eq!(tile.nonzero_count(), 1);
+        let scheme = CompressionScheme::bf16_sparse(0.5);
+        let compressed = Compressor::new(scheme).without_pruning().compress_tile(&tile).unwrap();
+        let restored = Decompressor::new().decompress_tile(&compressed).unwrap();
+        prop_assert_eq!(restored.get(row, col).to_f32(), 1.5);
+    }
+}

@@ -1,0 +1,164 @@
+//! The dequantization LUT array (§6.1).
+//!
+//! The dequantization stage holds `L` "big" LUTs of 256 BF16 entries, each
+//! split into four 64-entry sub-LUTs with one read port apiece. Programming
+//! the array with a format's [`DequantTable`] configures DECA for that
+//! format; the number of parallel lookups per cycle follows from the code
+//! bit-width (`L` for 8-bit, `2L` for 7-bit, `4L` for ≤6-bit codes).
+
+use deca_numerics::{Bf16, DequantTable, QuantFormat};
+
+/// The programmable LUT array of one DECA PE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LutArray {
+    l: usize,
+    table: Option<DequantTable>,
+}
+
+impl LutArray {
+    /// Creates an array of `l` big LUTs, initially unprogrammed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero.
+    #[must_use]
+    pub fn new(l: usize) -> Self {
+        assert!(l > 0, "the LUT array needs at least one LUT");
+        LutArray { l, table: None }
+    }
+
+    /// Number of big LUTs.
+    #[must_use]
+    pub fn lut_count(&self) -> usize {
+        self.l
+    }
+
+    /// Programs every LUT with the dequantization table of `format`
+    /// (a privileged-store sequence from the core in real hardware).
+    pub fn program(&mut self, format: QuantFormat) {
+        if format == QuantFormat::Bf16 {
+            // BF16 payloads bypass the LUTs entirely.
+            self.table = None;
+        } else {
+            self.table = Some(DequantTable::for_format(format));
+        }
+    }
+
+    /// The format the array is currently programmed for, if any.
+    #[must_use]
+    pub fn programmed_format(&self) -> Option<QuantFormat> {
+        self.table.as_ref().map(DequantTable::format)
+    }
+
+    /// Maximum dequantizations per cycle for the programmed format
+    /// (`Lq` in §6.2). Returns `None` when unprogrammed (BF16 passthrough).
+    #[must_use]
+    pub fn lookups_per_cycle(&self) -> Option<usize> {
+        self.table
+            .as_ref()
+            .map(|t| self.l * t.lookups_per_lut_per_cycle())
+    }
+
+    /// Dequantizes a batch of codes, returning the BF16 values and the
+    /// number of cycles the dequantization stage is occupied
+    /// (`ceil(len / Lq)`, minimum 1).
+    ///
+    /// For an unprogrammed array (BF16 passthrough) the codes are
+    /// reinterpreted as raw BF16 bit patterns and take a single cycle.
+    #[must_use]
+    pub fn dequantize(&self, codes: &[u16]) -> (Vec<Bf16>, u32) {
+        match &self.table {
+            None => (
+                codes.iter().map(|&c| Bf16::from_bits(c)).collect(),
+                1,
+            ),
+            Some(table) => {
+                let lq = self.l * table.lookups_per_lut_per_cycle();
+                let cycles = codes.len().div_ceil(lq).max(1) as u32;
+                let values = codes.iter().map(|&c| table.lookup(c as u8)).collect();
+                (values, cycles)
+            }
+        }
+    }
+
+    /// Storage footprint of the array in bytes (for the area model):
+    /// `L × 256 entries × 2 B`.
+    #[must_use]
+    pub fn storage_bytes(&self) -> usize {
+        self.l * DequantTable::ENTRIES * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_numerics::Minifloat;
+
+    #[test]
+    fn programming_selects_format() {
+        let mut arr = LutArray::new(8);
+        assert_eq!(arr.programmed_format(), None);
+        arr.program(QuantFormat::Bf8);
+        assert_eq!(arr.programmed_format(), Some(QuantFormat::Bf8));
+        arr.program(QuantFormat::Bf16);
+        assert_eq!(arr.programmed_format(), None);
+    }
+
+    #[test]
+    fn lookups_per_cycle_follow_bit_width() {
+        let mut arr = LutArray::new(8);
+        arr.program(QuantFormat::Bf8);
+        assert_eq!(arr.lookups_per_cycle(), Some(8));
+        arr.program(QuantFormat::Fp4);
+        assert_eq!(arr.lookups_per_cycle(), Some(32));
+        arr.program(QuantFormat::Custom { exp_bits: 4, man_bits: 2 }); // 7-bit
+        assert_eq!(arr.lookups_per_cycle(), Some(16));
+    }
+
+    #[test]
+    fn dequantize_counts_occupancy_cycles() {
+        let mut arr = LutArray::new(8);
+        arr.program(QuantFormat::Bf8);
+        let codes: Vec<u16> = (0..32).collect();
+        let (values, cycles) = arr.dequantize(&codes);
+        assert_eq!(values.len(), 32);
+        assert_eq!(cycles, 4); // 32 codes / 8 lookups per cycle
+        let (_, cycles) = arr.dequantize(&codes[..8]);
+        assert_eq!(cycles, 1);
+        let (_, cycles) = arr.dequantize(&[]);
+        assert_eq!(cycles, 1, "an empty window still occupies one cycle");
+    }
+
+    #[test]
+    fn dequantize_values_match_codec() {
+        let mut arr = LutArray::new(4);
+        arr.program(QuantFormat::Bf8);
+        let mf = Minifloat::bf8();
+        let codes: Vec<u16> = vec![0x3C, 0x40, 0x00, 0xBC];
+        let (values, _) = arr.dequantize(&codes);
+        for (code, value) in codes.iter().zip(&values) {
+            assert_eq!(value.to_f32(), mf.decode(*code as u8));
+        }
+    }
+
+    #[test]
+    fn bf16_passthrough_reinterprets_bits() {
+        let arr = LutArray::new(8);
+        let one = Bf16::from_f32(1.0).to_bits();
+        let (values, cycles) = arr.dequantize(&[one]);
+        assert_eq!(values[0].to_f32(), 1.0);
+        assert_eq!(cycles, 1);
+    }
+
+    #[test]
+    fn storage_footprint() {
+        assert_eq!(LutArray::new(8).storage_bytes(), 8 * 512);
+        assert_eq!(LutArray::new(64).storage_bytes(), 64 * 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_luts_rejected() {
+        let _ = LutArray::new(0);
+    }
+}

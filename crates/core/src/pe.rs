@@ -1,0 +1,213 @@
+//! The DECA processing element: Loaders + vector pipeline + TOut registers.
+
+use deca_compress::{CompressedTile, DenseTile};
+use deca_numerics::QuantFormat;
+
+use crate::{
+    pipeline::{PipelineTiming, VopPipeline},
+    DecaConfig, DecaError, Loader, TileMetadata,
+};
+
+/// A decompressed tile together with the timing the PE reported for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessedTile {
+    /// The dense BF16 output tile (the content of a TOut register).
+    pub tile: DenseTile,
+    /// Pipeline timing for this tile.
+    pub timing: PipelineTiming,
+    /// Which TOut register the result was written to.
+    pub tout_register: usize,
+    /// Bytes the Loader fetched from memory for this tile.
+    pub bytes_fetched: usize,
+}
+
+/// One DECA PE, as attached next to a CPU core (Fig. 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecaPe {
+    config: DecaConfig,
+    pipeline: VopPipeline,
+    loaders: Vec<Loader>,
+    tout: Vec<Option<DenseTile>>,
+    next_loader: usize,
+    tiles_processed: u64,
+    total_cycles: u64,
+    total_bubbles: u64,
+}
+
+impl DecaPe {
+    /// Creates a PE with the given configuration. The LUT array starts
+    /// unprogrammed; it is (re)programmed automatically on the first tile of
+    /// each quantized format, mirroring the OS-trap reconfiguration path of
+    /// §5.1.
+    #[must_use]
+    pub fn new(config: DecaConfig) -> Self {
+        let loaders = (0..config.loaders)
+            .map(|id| Loader::new(id, config.ldq_entries))
+            .collect();
+        DecaPe {
+            pipeline: VopPipeline::new(&config),
+            loaders,
+            tout: vec![None; config.loaders],
+            next_loader: 0,
+            config,
+            tiles_processed: 0,
+            total_cycles: 0,
+            total_bubbles: 0,
+        }
+    }
+
+    /// The PE's configuration.
+    #[must_use]
+    pub fn config(&self) -> &DecaConfig {
+        &self.config
+    }
+
+    /// Explicitly programs the dequantization LUTs for a format (privileged
+    /// configuration stores).
+    pub fn configure(&mut self, format: QuantFormat) {
+        self.pipeline.configure(format);
+    }
+
+    /// The format the PE is currently configured for, if any.
+    #[must_use]
+    pub fn configured_format(&self) -> Option<QuantFormat> {
+        self.pipeline.lut_array().programmed_format()
+    }
+
+    /// Processes one compressed tile end to end: Loader fetch bookkeeping,
+    /// pipeline decompression, and TOut register write. Reconfigures the LUT
+    /// array if the tile's format differs from the current configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile-consistency errors from the pipeline.
+    pub fn process_tile(&mut self, tile: &CompressedTile) -> Result<ProcessedTile, DecaError> {
+        let format = tile.scheme().format();
+        if format != QuantFormat::Bf16 && self.configured_format() != Some(format) {
+            self.configure(format);
+        }
+
+        // Round-robin across the Loaders / TOut registers, as the double
+        // buffering of Fig. 8 does.
+        let loader_idx = self.next_loader;
+        self.next_loader = (self.next_loader + 1) % self.config.loaders;
+        let metadata = TileMetadata::for_tile(0, tile);
+        let loader = &mut self.loaders[loader_idx];
+        loader.release();
+        loader.start_fetch(metadata);
+        loader.fetch_complete();
+
+        let (dense, timing) = self.pipeline.process(tile)?;
+        self.tout[loader_idx] = Some(dense.clone());
+        self.loaders[loader_idx].release();
+
+        self.tiles_processed += 1;
+        self.total_cycles += u64::from(timing.pipeline_cycles);
+        self.total_bubbles += u64::from(timing.bubbles);
+
+        Ok(ProcessedTile {
+            tile: dense,
+            timing,
+            tout_register: loader_idx,
+            bytes_fetched: tile.byte_size(),
+        })
+    }
+
+    /// The tile currently held in a TOut register, if any (what a core
+    /// `TLoad` from the register would observe).
+    #[must_use]
+    pub fn tout(&self, register: usize) -> Option<&DenseTile> {
+        self.tout.get(register).and_then(Option::as_ref)
+    }
+
+    /// Tiles processed since construction.
+    #[must_use]
+    pub fn tiles_processed(&self) -> u64 {
+        self.tiles_processed
+    }
+
+    /// Average pipeline cycles per processed tile.
+    #[must_use]
+    pub fn average_cycles_per_tile(&self) -> f64 {
+        if self.tiles_processed == 0 {
+            0.0
+        } else {
+            self.total_cycles as f64 / self.tiles_processed as f64
+        }
+    }
+
+    /// Average bubbles per processed tile (measured, not modelled).
+    #[must_use]
+    pub fn average_bubbles_per_tile(&self) -> f64 {
+        if self.tiles_processed == 0 {
+            0.0
+        } else {
+            self.total_bubbles as f64 / self.tiles_processed as f64
+        }
+    }
+
+    /// Resets the accumulated statistics (keeps configuration and LUTs).
+    pub fn reset_stats(&mut self) {
+        self.tiles_processed = 0;
+        self.total_cycles = 0;
+        self.total_bubbles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_compress::{generator::WeightGenerator, CompressionScheme, Compressor};
+
+    fn compressed(scheme: CompressionScheme, seed: u64) -> CompressedTile {
+        let tile = WeightGenerator::new(seed).dense_matrix(16, 32).tile(0, 0);
+        Compressor::new(scheme).compress_tile(&tile).expect("compress")
+    }
+
+    #[test]
+    fn processes_tiles_and_tracks_stats() {
+        let mut pe = DecaPe::new(DecaConfig::baseline());
+        let tile = compressed(CompressionScheme::bf8_sparse(0.3), 31);
+        let out = pe.process_tile(&tile).expect("process");
+        assert_eq!(out.bytes_fetched, tile.byte_size());
+        assert_eq!(out.tout_register, 0);
+        assert_eq!(pe.tiles_processed(), 1);
+        assert!(pe.average_cycles_per_tile() >= 18.0);
+        let out2 = pe.process_tile(&tile).expect("process");
+        assert_eq!(out2.tout_register, 1, "loaders round-robin");
+        assert!(pe.tout(0).is_some() && pe.tout(1).is_some());
+        pe.reset_stats();
+        assert_eq!(pe.tiles_processed(), 0);
+    }
+
+    #[test]
+    fn auto_reconfigures_between_formats() {
+        let mut pe = DecaPe::new(DecaConfig::baseline());
+        let q8 = compressed(CompressionScheme::bf8_dense(), 32);
+        let q4 = compressed(CompressionScheme::mxfp4(), 32);
+        pe.process_tile(&q8).expect("q8");
+        assert_eq!(pe.configured_format(), Some(QuantFormat::Bf8));
+        pe.process_tile(&q4).expect("q4");
+        assert_eq!(pe.configured_format(), Some(QuantFormat::Fp4));
+        pe.process_tile(&q8).expect("q8 again");
+        assert_eq!(pe.configured_format(), Some(QuantFormat::Bf8));
+    }
+
+    #[test]
+    fn measured_bubbles_match_pipeline_expectation_for_dense_q8() {
+        let mut pe = DecaPe::new(DecaConfig::baseline());
+        let q8 = compressed(CompressionScheme::bf8_dense(), 33);
+        pe.process_tile(&q8).expect("q8");
+        assert_eq!(pe.average_bubbles_per_tile(), 48.0);
+    }
+
+    #[test]
+    fn tout_register_holds_latest_result() {
+        let mut pe = DecaPe::new(DecaConfig::baseline());
+        let tile = compressed(CompressionScheme::bf16_sparse(0.2), 34);
+        let out = pe.process_tile(&tile).expect("process");
+        let held = pe.tout(out.tout_register).expect("TOut holds the tile");
+        assert_eq!(held, &out.tile);
+        assert!(pe.tout(5).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! Functional GeMM used for correctness checking.
+//!
+//! The timing models elsewhere in this crate never touch actual numbers;
+//! this module does. It multiplies activations by (optionally compressed)
+//! weight matrices so tests can confirm that a compressed GeMM produces the
+//! same result as the dense reference up to the quantization error of the
+//! chosen scheme — i.e. that the decompression path feeding the TMUL is
+//! numerically sound.
+
+use deca_compress::{CompressError, CompressedMatrix, Decompressor, WeightMatrix};
+use deca_numerics::Bf16;
+
+/// Multiplies `activations` (`N×K`, row-major) by `weights` (`K×M`),
+/// returning the `N×M` output row-major. Accumulation is in f32, matching
+/// the TMUL's BF16-in / f32-accumulate behaviour.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions disagree.
+#[must_use]
+pub fn gemm_dense(activations: &WeightMatrix, weights: &WeightMatrix) -> WeightMatrix {
+    assert_eq!(
+        activations.cols(),
+        weights.rows(),
+        "inner dimensions must agree"
+    );
+    let n = activations.rows();
+    let k = activations.cols();
+    let m = weights.cols();
+    let mut out = WeightMatrix::zeros(n, m);
+    for i in 0..n {
+        for kk in 0..k {
+            let a = bf16_round(activations.get(i, kk));
+            if a == 0.0 {
+                continue;
+            }
+            for j in 0..m {
+                let w = bf16_round(weights.get(kk, j));
+                let acc = out.get(i, j) + a * w;
+                out.set(i, j, acc);
+            }
+        }
+    }
+    out
+}
+
+/// Multiplies activations by a *compressed* weight matrix by first running
+/// the reference decompressor — exactly what the TMUL consumes after DECA
+/// or the software sequence has produced dense BF16 tiles.
+///
+/// # Errors
+///
+/// Propagates decompression errors.
+pub fn gemm_compressed(
+    activations: &WeightMatrix,
+    weights: &CompressedMatrix,
+) -> Result<WeightMatrix, CompressError> {
+    let dense = Decompressor::new().decompress_matrix(weights)?;
+    Ok(gemm_dense(activations, &dense))
+}
+
+/// Root-mean-square relative error between two equally shaped matrices,
+/// normalized by the RMS magnitude of the reference.
+///
+/// # Panics
+///
+/// Panics if the shapes differ.
+#[must_use]
+pub fn relative_rms_error(reference: &WeightMatrix, other: &WeightMatrix) -> f64 {
+    assert_eq!(reference.rows(), other.rows());
+    assert_eq!(reference.cols(), other.cols());
+    let mut err = 0.0f64;
+    let mut norm = 0.0f64;
+    for (a, b) in reference.data().iter().zip(other.data()) {
+        err += f64::from(a - b).powi(2);
+        norm += f64::from(*a).powi(2);
+    }
+    if norm == 0.0 {
+        return if err == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    (err / norm).sqrt()
+}
+
+fn bf16_round(v: f32) -> f32 {
+    Bf16::from_f32(v).to_f32()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_compress::{generator::WeightGenerator, CompressionScheme, Compressor};
+
+    fn activations(n: usize, k: usize) -> WeightMatrix {
+        WeightGenerator::new(123).with_std_dev(0.5).dense_matrix(n, k)
+    }
+
+    #[test]
+    fn dense_gemm_matches_hand_computed_example() {
+        let a = WeightMatrix::from_data(1, 2, vec![1.0, 2.0]).unwrap();
+        let w = WeightMatrix::from_data(2, 3, vec![1.0, 0.5, -1.0, 2.0, 0.0, 4.0]).unwrap();
+        let out = gemm_dense(&a, &w);
+        assert_eq!(out.rows(), 1);
+        assert_eq!(out.cols(), 3);
+        assert_eq!(out.get(0, 0), 5.0);
+        assert_eq!(out.get(0, 1), 0.5);
+        assert_eq!(out.get(0, 2), 7.0);
+    }
+
+    #[test]
+    fn bf16_sparse_compression_changes_nothing() {
+        let weights = WeightGenerator::new(5).sparse_matrix(64, 48, 0.3);
+        let a = activations(4, 64);
+        let compressed = Compressor::new(CompressionScheme::bf16_sparse(0.9))
+            .without_pruning()
+            .compress_matrix(&weights)
+            .unwrap();
+        let reference = gemm_dense(&a, &weights);
+        let result = gemm_compressed(&a, &compressed).unwrap();
+        assert!(relative_rms_error(&reference, &result) < 1e-6);
+    }
+
+    #[test]
+    fn bf8_quantization_error_is_small_at_gemm_level() {
+        let weights = WeightGenerator::new(6).dense_matrix(64, 48);
+        let a = activations(4, 64);
+        let compressed = Compressor::new(CompressionScheme::bf8_dense())
+            .compress_matrix(&weights)
+            .unwrap();
+        let reference = gemm_dense(&a, &weights);
+        let result = gemm_compressed(&a, &compressed).unwrap();
+        let err = relative_rms_error(&reference, &result);
+        // Individual weights err by up to 12.5 %; averaging over K=64 terms
+        // brings the output error well below that.
+        assert!(err < 0.05, "relative RMS error {err}");
+    }
+
+    #[test]
+    fn mxfp4_error_is_larger_but_bounded() {
+        let weights = WeightGenerator::new(7).dense_matrix(64, 48);
+        let a = activations(2, 64);
+        let compressed = Compressor::new(CompressionScheme::mxfp4())
+            .compress_matrix(&weights)
+            .unwrap();
+        let reference = gemm_dense(&a, &weights);
+        let result = gemm_compressed(&a, &compressed).unwrap();
+        let err = relative_rms_error(&reference, &result);
+        assert!(err < 0.15, "relative RMS error {err}");
+        assert!(err > 1e-6, "FP4 cannot be lossless on random weights");
+    }
+
+    #[test]
+    fn pruning_plus_quantization_composes() {
+        let weights = WeightGenerator::new(8).dense_matrix(64, 48);
+        let a = activations(1, 64);
+        let compressed = Compressor::new(CompressionScheme::bf8_sparse(0.5))
+            .compress_matrix(&weights)
+            .unwrap();
+        let result = gemm_compressed(&a, &compressed).unwrap();
+        // Pruning half the (random) weights changes the result materially but
+        // the output must stay finite and nonzero.
+        assert!(result.data().iter().all(|v| v.is_finite()));
+        assert!(result.data().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn rms_error_handles_degenerate_cases() {
+        let z = WeightMatrix::zeros(2, 2);
+        assert_eq!(relative_rms_error(&z, &z), 0.0);
+        let mut other = WeightMatrix::zeros(2, 2);
+        other.set(0, 0, 1.0);
+        assert!(relative_rms_error(&z, &other).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_shapes_panic() {
+        let a = WeightMatrix::zeros(2, 3);
+        let w = WeightMatrix::zeros(4, 5);
+        let _ = gemm_dense(&a, &w);
+    }
+}

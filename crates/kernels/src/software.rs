@@ -1,0 +1,95 @@
+//! Execution model of the libxsmm-style software kernel.
+//!
+//! The software kernel decompresses with AVX into a double software buffer
+//! kept in the L1 and consumes the buffer with AMX (§2.4, Fig. 2). The
+//! double buffer plus out-of-order execution overlap the AVX sequence of
+//! tile *i+1* with the AMX work on tile *i*; hardware and software
+//! prefetching cover the streaming weight reads.
+
+use deca_compress::CompressionScheme;
+use deca_sim::{InvocationModel, PrefetchConfig, TileExecModel};
+
+use crate::avx_model::{AvxOpBudget, VectorResources};
+
+/// Prefetch run-ahead (in tiles) available to the software kernel: the L2
+/// stream prefetcher plus explicit software prefetches emitted by libxsmm.
+pub const SOFTWARE_PREFETCH_DISTANCE: usize = 8;
+
+/// Builds the [`TileExecModel`] of the software compressed-GeMM kernel for
+/// a scheme, given the core's vector resources.
+#[must_use]
+pub fn software_exec_model(
+    scheme: &CompressionScheme,
+    resources: &VectorResources,
+) -> TileExecModel {
+    let budget = AvxOpBudget::for_scheme(scheme);
+    TileExecModel {
+        bytes_per_tile: scheme.expected_tile_bytes(),
+        decompress_cycles_per_tile: resources.decompress_cycles_per_tile(&budget),
+        core_cycles_per_tile: resources.core_cycles_per_tile(&budget),
+        tmul_cycles_per_tile: 16.0,
+        exposed_pre_latency: 0.0,
+        // The double buffer lives in the L1; the AMX TLoad from it costs a
+        // handful of cycles.
+        exposed_post_latency: 5.0,
+        invocation: InvocationModel::Overlapped,
+        buffering_depth: 2,
+        prefetch: PrefetchConfig::stream(SOFTWARE_PREFETCH_DISTANCE),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_roofsurface::{KernelSignature, MachineConfig, RoofSurface};
+    use deca_sim::{CacheConfig, GemmSimulation};
+
+    #[test]
+    fn model_fields_follow_the_op_budget() {
+        let scheme = CompressionScheme::bf8_sparse(0.3);
+        let model = software_exec_model(&scheme, &VectorResources::spr());
+        assert_eq!(model.decompress_cycles_per_tile, 72.0);
+        assert!((model.bytes_per_tile - 217.6).abs() < 1e-9);
+        assert!(matches!(model.invocation, InvocationModel::Overlapped));
+    }
+
+    #[test]
+    fn simulated_software_kernel_stays_below_roof_surface() {
+        // The simulator adds latency and overlap imperfections on top of the
+        // analytic Roof-Surface bound, so simulated performance must stay at
+        // or slightly below the R-S prediction, never above it — and within
+        // ~25 % of it for the VEC-bound kernels (Fig. 4b "Real" column).
+        let machine = MachineConfig::spr_hbm();
+        let surface = RoofSurface::for_cpu(&machine);
+        let sim = GemmSimulation::new(machine.clone(), CacheConfig::spr());
+        for scheme in deca_compress::SchemeSet::paper_evaluation() {
+            let model = software_exec_model(&scheme, &VectorResources::spr());
+            let simulated = sim.run(&model, 4000).tflops(&machine, 4);
+            let sig = KernelSignature::from_scheme_and_vops(
+                &scheme,
+                crate::avx_model::software_vops_per_tile(&scheme).max(1.0),
+            );
+            let analytic = surface.flops(&sig, 4) / 1e12;
+            assert!(
+                simulated <= analytic * 1.02,
+                "{scheme}: simulated {simulated:.2} exceeds Roof-Surface {analytic:.2}"
+            );
+            assert!(
+                simulated >= analytic * 0.72,
+                "{scheme}: simulated {simulated:.2} too far below Roof-Surface {analytic:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn wider_and_more_avx_variants_change_the_model() {
+        let scheme = CompressionScheme::bf8_sparse(0.1);
+        let base = software_exec_model(&scheme, &VectorResources::spr());
+        let more = software_exec_model(&scheme, &VectorResources::more_avx_units());
+        let wider = software_exec_model(&scheme, &VectorResources::wider_avx_units());
+        assert!(more.decompress_cycles_per_tile < base.decompress_cycles_per_tile);
+        assert!(wider.decompress_cycles_per_tile < base.decompress_cycles_per_tile);
+        assert_eq!(more.core_cycles_per_tile, base.core_cycles_per_tile);
+        assert!(wider.core_cycles_per_tile < base.core_cycles_per_tile);
+    }
+}

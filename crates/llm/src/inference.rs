@@ -1,0 +1,255 @@
+//! Next-token (generation-phase) latency estimation.
+//!
+//! One generated token runs, per transformer layer, a set of FC-layer GeMMs
+//! (timed through the compressed-GeMM executor on the simulated machine)
+//! plus attention over the KV cache and a collection of small stages
+//! (normalization, rotary embeddings, softmax, residuals and framework
+//! overhead). The FC GeMMs dominate (Table 1); the non-GeMM stages are
+//! modelled as KV-cache bandwidth time plus a per-layer overhead calibrated
+//! once against Table 1's FC-time fractions and then left untouched for
+//! every other experiment.
+
+use deca_compress::CompressionScheme;
+use deca_kernels::{CompressedGemmExecutor, Engine, GemmShape, Parlooper};
+use deca_roofsurface::MachineConfig;
+
+use crate::LlmModel;
+
+/// Fixed per-layer, per-token overhead (µs) for normalization, softmax,
+/// residuals, KV-cache bookkeeping and framework dispatch. Calibrated so the
+/// uncompressed Llama2-70B FC-time fraction matches Table 1 on both DDR and
+/// HBM.
+const LAYER_OVERHEAD_US: f64 = 190.0;
+/// Additional per-layer overhead per sequence in the batch (µs): the
+/// per-token elementwise work scales with the batch size.
+const LAYER_OVERHEAD_PER_SEQUENCE_US: f64 = 7.0;
+/// Launch/barrier overhead per FC GeMM (µs): Parlooper synchronizes the 56
+/// cores at the end of every GeMM, and each GeMM pays a short ramp-up before
+/// the tile pipeline reaches steady state.
+const GEMM_LAUNCH_BARRIER_US: f64 = 15.0;
+
+/// Latency breakdown of generating one token.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct NextTokenReport {
+    /// Model name.
+    pub model: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Engine label.
+    pub engine: String,
+    /// Batch size.
+    pub batch: usize,
+    /// Context length (tokens already in the KV cache).
+    pub context_tokens: usize,
+    /// Seconds spent in FC-layer GeMMs.
+    pub fc_seconds: f64,
+    /// Seconds spent reading/writing the KV cache during attention.
+    pub attention_seconds: f64,
+    /// Seconds of per-layer overhead (norms, softmax, residuals, framework).
+    pub other_seconds: f64,
+}
+
+impl NextTokenReport {
+    /// Total next-token latency in seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.fc_seconds + self.attention_seconds + self.other_seconds
+    }
+
+    /// Total next-token latency in milliseconds (the unit of Table 4).
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.total_seconds() * 1e3
+    }
+
+    /// Fraction of the next-token time spent in FC-layer GeMMs (Table 1).
+    #[must_use]
+    pub fn fc_fraction(&self) -> f64 {
+        if self.total_seconds() == 0.0 {
+            0.0
+        } else {
+            self.fc_seconds / self.total_seconds()
+        }
+    }
+
+    /// Tokens per second for the whole batch.
+    #[must_use]
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.total_seconds() == 0.0 {
+            0.0
+        } else {
+            self.batch as f64 / self.total_seconds()
+        }
+    }
+}
+
+/// Estimates next-token latency for a model/scheme/engine combination on a
+/// simulated machine.
+#[derive(Debug, Clone)]
+pub struct InferenceEstimator {
+    machine: MachineConfig,
+    executor: CompressedGemmExecutor,
+}
+
+impl InferenceEstimator {
+    /// Creates an estimator for a machine.
+    #[must_use]
+    pub fn new(machine: MachineConfig) -> Self {
+        InferenceEstimator {
+            executor: CompressedGemmExecutor::new(machine.clone()),
+            machine,
+        }
+    }
+
+    /// The underlying compressed-GeMM executor.
+    #[must_use]
+    pub fn executor(&self) -> &CompressedGemmExecutor {
+        &self.executor
+    }
+
+    /// Estimates the latency of generating one token.
+    #[must_use]
+    pub fn next_token(
+        &self,
+        model: &LlmModel,
+        scheme: &CompressionScheme,
+        engine: Engine,
+        batch: usize,
+        context_tokens: usize,
+    ) -> NextTokenReport {
+        // One steady-state simulation gives the per-tile rate for this
+        // (scheme, engine, batch); every FC GeMM then contributes its own
+        // worst-loaded-core tile count at that rate.
+        let run = self.executor.run(scheme, engine.clone(), batch);
+        let cycles_per_tile = run.stats.cycles_per_tile();
+        let seconds_per_tile = cycles_per_tile / self.machine.frequency_hz();
+
+        let fc_gemms = model.fc_gemms_per_token(batch);
+        let fc_seconds: f64 = fc_gemms
+            .iter()
+            .map(|shape| self.gemm_seconds(shape, seconds_per_tile))
+            .sum::<f64>()
+            + fc_gemms.len() as f64 * GEMM_LAUNCH_BARRIER_US * 1e-6;
+
+        let attention_seconds = self.attention_seconds(model, batch, context_tokens);
+        let layers = model.layers() as f64;
+        let other_seconds = layers
+            * (LAYER_OVERHEAD_US + LAYER_OVERHEAD_PER_SEQUENCE_US * batch as f64)
+            * 1e-6;
+
+        NextTokenReport {
+            model: model.name().to_string(),
+            scheme: scheme.label(),
+            engine: engine.label(),
+            batch,
+            context_tokens,
+            fc_seconds,
+            attention_seconds,
+            other_seconds,
+        }
+    }
+
+    fn gemm_seconds(&self, shape: &GemmShape, seconds_per_tile: f64) -> f64 {
+        let partition = Parlooper::partition(shape, self.machine.cores);
+        partition.max_tiles_per_core() as f64 * seconds_per_tile
+    }
+
+    /// KV-cache traffic time: every layer reads the keys and values of the
+    /// whole context for every sequence in the batch, and appends the new
+    /// token's keys/values.
+    fn attention_seconds(&self, model: &LlmModel, batch: usize, context_tokens: usize) -> f64 {
+        let per_layer_read =
+            model.layer().kv_bytes_per_token() as f64 * context_tokens as f64 * batch as f64;
+        let per_layer_write = model.layer().kv_bytes_per_token() as f64 * batch as f64;
+        let total_bytes = (per_layer_read + per_layer_write) * model.layers() as f64;
+        total_bytes / self.machine.memory_bandwidth_bytes_per_sec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_compress::CompressionScheme;
+
+    fn hbm() -> InferenceEstimator {
+        InferenceEstimator::new(MachineConfig::spr_hbm())
+    }
+
+    #[test]
+    fn uncompressed_llama_latency_is_in_the_table4_ballpark() {
+        // Table 4: 192.3 ms for BF16 Llama2-70B at batch 1 on HBM.
+        let report = hbm().next_token(
+            &LlmModel::llama2_70b(),
+            &CompressionScheme::bf16_dense(),
+            Engine::software(),
+            1,
+            128,
+        );
+        let ms = report.total_ms();
+        assert!(
+            (160.0..230.0).contains(&ms),
+            "BF16 batch-1 next-token latency {ms:.1} ms"
+        );
+        assert!(report.fc_fraction() > 0.85);
+    }
+
+    #[test]
+    fn deca_latency_decreases_monotonically_with_compression() {
+        let estimator = hbm();
+        let model = LlmModel::llama2_70b();
+        let mut last = f64::INFINITY;
+        for scheme in [
+            CompressionScheme::mxfp4(),
+            CompressionScheme::bf8_sparse(0.2),
+            CompressionScheme::bf8_sparse(0.05),
+        ] {
+            let ms = estimator
+                .next_token(&model, &scheme, Engine::deca_default(), 1, 128)
+                .total_ms();
+            assert!(ms < last, "{scheme}: {ms:.1} ms not below {last:.1} ms");
+            last = ms;
+        }
+    }
+
+    #[test]
+    fn larger_batches_take_longer_but_give_more_tokens_per_second() {
+        let estimator = hbm();
+        let model = LlmModel::opt_66b();
+        let scheme = CompressionScheme::mxfp4();
+        let b1 = estimator.next_token(&model, &scheme, Engine::deca_default(), 1, 128);
+        let b16 = estimator.next_token(&model, &scheme, Engine::deca_default(), 16, 128);
+        assert!(b16.total_ms() > b1.total_ms());
+        assert!(b16.tokens_per_second() > b1.tokens_per_second());
+    }
+
+    #[test]
+    fn attention_time_grows_with_context_length() {
+        let estimator = hbm();
+        let model = LlmModel::opt_66b();
+        let scheme = CompressionScheme::bf8_sparse(0.2);
+        let short = estimator.next_token(&model, &scheme, Engine::deca_default(), 16, 128);
+        let long = estimator.next_token(&model, &scheme, Engine::deca_default(), 16, 4096);
+        assert!(long.attention_seconds > 10.0 * short.attention_seconds);
+        assert!(long.total_ms() > short.total_ms());
+        // FC time itself is unchanged by the context length.
+        assert!((long.fc_seconds - short.fc_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let report = hbm().next_token(
+            &LlmModel::llama2_70b(),
+            &CompressionScheme::mxfp4(),
+            Engine::deca_default(),
+            4,
+            128,
+        );
+        let total = report.fc_seconds + report.attention_seconds + report.other_seconds;
+        assert!((report.total_seconds() - total).abs() < 1e-15);
+        assert!((report.total_ms() - total * 1e3).abs() < 1e-9);
+        assert!(report.fc_fraction() > 0.0 && report.fc_fraction() < 1.0);
+        assert!((report.tokens_per_second() - 4.0 / total).abs() < 1e-6);
+        assert_eq!(report.batch, 4);
+        assert_eq!(report.scheme, "Q4");
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for format construction and codec misuse.
+
+/// Errors produced when constructing or using a numeric format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FormatError {
+    /// The requested minifloat geometry does not fit in 8 bits or has no
+    /// exponent bits.
+    InvalidGeometry {
+        /// Requested exponent bits.
+        exp_bits: u8,
+        /// Requested mantissa bits.
+        man_bits: u8,
+    },
+    /// A code word was outside the representable range of the format.
+    CodeOutOfRange {
+        /// The offending code.
+        code: u16,
+        /// Total bits of the format.
+        bits: u8,
+    },
+    /// A group size of zero (or otherwise unusable) was requested.
+    InvalidGroupSize(usize),
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FormatError::InvalidGeometry { exp_bits, man_bits } => write!(
+                f,
+                "invalid minifloat geometry: 1 sign + {exp_bits} exponent + {man_bits} mantissa bits must total 2..=8 with at least one exponent bit"
+            ),
+            FormatError::CodeOutOfRange { code, bits } => {
+                write!(f, "code {code:#x} does not fit in {bits} bits")
+            }
+            FormatError::InvalidGroupSize(size) => {
+                write!(f, "invalid quantization group size {size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = FormatError::InvalidGeometry {
+            exp_bits: 7,
+            man_bits: 5,
+        };
+        assert!(e.to_string().contains("exponent"));
+        let e = FormatError::CodeOutOfRange { code: 300, bits: 8 };
+        assert!(e.to_string().contains("8 bits"));
+        let e = FormatError::InvalidGroupSize(0);
+        assert!(e.to_string().contains('0'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<FormatError>();
+    }
+}

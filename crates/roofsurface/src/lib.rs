@@ -1,0 +1,135 @@
+//! The Roof-Surface analytical performance model (paper §4 and §6.2).
+//!
+//! Compressed GeMMs on a CPU with an in-core matrix engine involve three
+//! interacting resources: memory (streams compressed tiles), vector hardware
+//! (decompresses tiles) and matrix hardware (multiplies tiles). The slowest
+//! of the three bounds performance:
+//!
+//! ```text
+//! TPS   = min( MBW · AIX_M ,  VOS · AIX_V ,  MOS )
+//! FLOPS = 512 · N · TPS
+//! ```
+//!
+//! where `AIX_M` (matrix ops per byte) and `AIX_V` (matrix ops per vector
+//! op) are the kernel's signature, and `MBW`, `VOS`, `MOS` are machine
+//! parameters. This crate provides:
+//!
+//! * [`MachineConfig`] — SPR-like machine descriptions (DDR5 / HBM variants),
+//! * [`KernelSignature`] — the `(AIX_M, AIX_V)` pair of a kernel,
+//! * [`RoofSurface`] — the 3D model, bound classification and surface
+//!   sampling for Fig. 4a,
+//! * [`Bord`] — the 2D Bounding Region Diagram projection of Fig. 5/6/16,
+//! * [`Roofline`] — the traditional 2D roofline of Fig. 3 for comparison,
+//! * [`bubbles`] — the binomial bubble model that turns a DECA `{W, L}`
+//!   configuration into an `AIX_V` (§6.2),
+//! * [`dse`] — the analytical design-space exploration over `{W, L}` (§9.2).
+//!
+//! # Example
+//!
+//! ```
+//! use deca_roofsurface::{MachineConfig, RoofSurface, KernelSignature};
+//! use deca_compress::CompressionScheme;
+//!
+//! let machine = MachineConfig::spr_hbm();
+//! let surface = RoofSurface::for_cpu(&machine);
+//! // The libxsmm BF8 5%-density kernel needs ~144 AVX ops per tile.
+//! let sig = KernelSignature::from_scheme_and_vops(
+//!     &CompressionScheme::bf8_sparse(0.05), 144.0);
+//! let tflops = surface.flops(&sig, 4) / 1e12;
+//! assert!(tflops > 3.0 && tflops < 5.0); // VEC-bound around 4 TFLOPS
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bord;
+pub mod bubbles;
+pub mod dse;
+mod kernel;
+mod machine;
+mod roofline;
+mod surface;
+
+pub use bord::{Bord, BordPoint, Region};
+pub use bubbles::DecaVopModel;
+pub use dse::{DesignPoint, DesignSpaceExploration, DseOutcome};
+pub use kernel::KernelSignature;
+pub use machine::MachineConfig;
+pub use roofline::{Roofline, RooflinePoint};
+pub use surface::{BoundingFactor, RoofSurface, SurfaceSample};
+
+/// FMAs performed by one TMUL tile operation per unit of batch size N
+/// (§2.3: `512·N` FMAs per tile op).
+pub const FLOPS_PER_TILE_OP_PER_N: f64 = 512.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use deca_compress::CompressionScheme;
+
+    /// Reproduces the Roof-Surface column (R-S) of Fig. 4b for the HBM SPR
+    /// machine at N=4 using the documented software AVX op budgets
+    /// (96 ops/tile for sparse Q16, 144 for sparse Q8, 80 for dense Q8,
+    /// 192 for MXFP4). Values must land within 10 % of the paper's table.
+    #[test]
+    fn figure_4b_roof_surface_predictions() {
+        let machine = MachineConfig::spr_hbm();
+        let surface = RoofSurface::for_cpu(&machine);
+        let n = 4;
+        let cases: Vec<(CompressionScheme, f64, f64)> = vec![
+            // (scheme, vops/tile, paper R-S TFLOPS)
+            (CompressionScheme::mxfp4(), 192.0, 2.9),
+            (CompressionScheme::bf8_dense(), 80.0, 3.3),
+            (CompressionScheme::bf8_sparse(0.5), 144.0, 4.0),
+            (CompressionScheme::bf8_sparse(0.3), 144.0, 4.0),
+            (CompressionScheme::bf8_sparse(0.2), 144.0, 4.0),
+            (CompressionScheme::bf8_sparse(0.1), 144.0, 4.0),
+            (CompressionScheme::bf8_sparse(0.05), 144.0, 4.0),
+            (CompressionScheme::bf16_sparse(0.5), 96.0, 3.0),
+            (CompressionScheme::bf16_sparse(0.3), 96.0, 4.6),
+            (CompressionScheme::bf16_sparse(0.2), 96.0, 5.7),
+            (CompressionScheme::bf16_sparse(0.1), 96.0, 5.8),
+            (CompressionScheme::bf16_sparse(0.05), 96.0, 5.8),
+        ];
+        for (scheme, vops, paper_tflops) in cases {
+            let sig = KernelSignature::from_scheme_and_vops(&scheme, vops);
+            let tflops = surface.flops(&sig, n) / 1e12;
+            let rel = (tflops - paper_tflops).abs() / paper_tflops;
+            assert!(
+                rel < 0.10,
+                "{scheme}: predicted {tflops:.2} TFLOPS, paper reports {paper_tflops}"
+            );
+        }
+    }
+
+    /// The roofline (R-L) column of Fig. 4b: the traditional model ignores
+    /// the vector bound and therefore over-predicts VEC-bound kernels.
+    #[test]
+    fn figure_4b_roofline_predictions() {
+        let machine = MachineConfig::spr_hbm();
+        let roofline = Roofline::new(&machine);
+        let n = 4;
+        let cases: Vec<(CompressionScheme, f64)> = vec![
+            (CompressionScheme::mxfp4(), 6.3),
+            (CompressionScheme::bf8_dense(), 3.3),
+            (CompressionScheme::bf8_sparse(0.5), 5.3),
+            (CompressionScheme::bf8_sparse(0.3), 7.8),
+            (CompressionScheme::bf8_sparse(0.2), 10.2),
+            (CompressionScheme::bf8_sparse(0.1), 14.8),
+            (CompressionScheme::bf8_sparse(0.05), 17.5),
+            (CompressionScheme::bf16_sparse(0.5), 3.0),
+            (CompressionScheme::bf16_sparse(0.3), 4.6),
+            (CompressionScheme::bf16_sparse(0.2), 6.3),
+            (CompressionScheme::bf16_sparse(0.1), 10.2),
+            (CompressionScheme::bf16_sparse(0.05), 14.8),
+        ];
+        for (scheme, paper_tflops) in cases {
+            let tflops = roofline.attainable_flops(scheme.flops_per_byte(n), n) / 1e12;
+            let rel = (tflops - paper_tflops).abs() / paper_tflops;
+            assert!(
+                rel < 0.10,
+                "{scheme}: roofline predicts {tflops:.2} TFLOPS, paper reports {paper_tflops}"
+            );
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the Roof-Surface model and the bubble model.
+
+use deca_compress::CompressionScheme;
+use deca_roofsurface::{
+    bubbles::binomial_cdf, Bord, DecaVopModel, KernelSignature, MachineConfig, RoofSurface,
+};
+use proptest::prelude::*;
+
+fn arbitrary_signature() -> impl Strategy<Value = KernelSignature> {
+    (1e-5f64..0.1, 1e-5f64..0.5)
+        .prop_map(|(aix_m, aix_v)| KernelSignature::new("prop", aix_m, aix_v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The Roof-Surface throughput is exactly the minimum of the three
+    /// component rates, and the bounding factor always names a rate equal to
+    /// that minimum.
+    #[test]
+    fn tps_is_the_minimum_rate(sig in arbitrary_signature()) {
+        let surface = RoofSurface::for_cpu(&MachineConfig::spr_hbm());
+        let tps = surface.tiles_per_second(&sig);
+        let mem = surface.memory_rate(&sig);
+        let vec = surface.vector_rate(&sig);
+        let mtx = surface.matrix_rate();
+        prop_assert!((tps - mem.min(vec).min(mtx)).abs() < 1e-6);
+        let named = match surface.bounding_factor(&sig) {
+            deca_roofsurface::BoundingFactor::Memory => mem,
+            deca_roofsurface::BoundingFactor::Vector => vec,
+            deca_roofsurface::BoundingFactor::Matrix => mtx,
+        };
+        prop_assert!((named - tps).abs() < 1e-6);
+    }
+
+    /// Performance is monotone: improving either arithmetic intensity never
+    /// reduces the attainable FLOPS, and never exceeds the compute roof.
+    #[test]
+    fn flops_monotone_in_intensities(
+        aix_m in 1e-5f64..0.05,
+        aix_v in 1e-5f64..0.2,
+        scale in 1.0f64..8.0,
+        n in 1usize..=32,
+    ) {
+        let surface = RoofSurface::for_cpu(&MachineConfig::spr_hbm());
+        let base = surface.flops(&KernelSignature::new("a", aix_m, aix_v), n);
+        let better_m = surface.flops(&KernelSignature::new("b", aix_m * scale, aix_v), n);
+        let better_v = surface.flops(&KernelSignature::new("c", aix_m, aix_v * scale), n);
+        prop_assert!(better_m >= base - 1e-6);
+        prop_assert!(better_v >= base - 1e-6);
+        let peak = MachineConfig::spr_hbm().peak_flops(n);
+        prop_assert!(base <= peak + 1e-6);
+    }
+
+    /// The Roof-Surface prediction never exceeds the traditional roofline for
+    /// the same kernel (the surface only adds a constraint).
+    #[test]
+    fn roof_surface_below_roofline(density_pct in 5u32..=100, vops in 16.0f64..512.0, n in 1usize..=16) {
+        let scheme = if density_pct == 100 {
+            CompressionScheme::bf8_dense()
+        } else {
+            CompressionScheme::bf8_sparse(f64::from(density_pct) / 100.0)
+        };
+        let machine = MachineConfig::spr_hbm();
+        let surface = RoofSurface::for_cpu(&machine);
+        let roofline = deca_roofsurface::Roofline::new(&machine);
+        let sig = KernelSignature::from_scheme_and_vops(&scheme, vops);
+        let rs = surface.flops(&sig, n);
+        let rl = roofline.attainable_flops(scheme.flops_per_byte(n), n);
+        // Allow for floating-point association differences between the two
+        // formulas (they multiply the same factors in a different order).
+        prop_assert!(rs <= rl * (1.0 + 1e-9));
+    }
+
+    /// The binomial CDF is a proper CDF: within [0, 1] and monotone in k.
+    #[test]
+    fn binomial_cdf_is_a_cdf(n in 1usize..=64, p in 0.0f64..=1.0) {
+        let mut previous = 0.0;
+        for k in 0..=n {
+            let value = binomial_cdf(k, n, p);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&value));
+            prop_assert!(value + 1e-12 >= previous);
+            previous = value;
+        }
+        prop_assert!((binomial_cdf(n, n, p) - 1.0).abs() < 1e-9);
+    }
+
+    /// Expected bubbles per vOp are bounded by the deterministic worst case
+    /// and decrease (weakly) as density decreases.
+    #[test]
+    fn bubbles_bounded_and_monotone(w_exp in 0u32..=3, l_exp in 0u32..=3, density_pct in 1u32..=100) {
+        let w = 8usize << w_exp; // 8, 16, 32, 64
+        let l = 4usize << l_exp; // 4, 8, 16, 32
+        let model = DecaVopModel::new(w, l);
+        let density = f64::from(density_pct) / 100.0;
+        let scheme = if density_pct == 100 {
+            CompressionScheme::bf8_dense()
+        } else {
+            CompressionScheme::bf8_sparse(density)
+        };
+        let bpv = model.bubbles_per_vop(&scheme);
+        let worst = (w.div_ceil(model.lq(8)) - 1) as f64;
+        prop_assert!(bpv >= -1e-12 && bpv <= worst + 1e-12);
+        // Lower density never increases bubbles.
+        if density_pct > 1 {
+            let sparser = CompressionScheme::bf8_sparse((f64::from(density_pct) - 1.0) / 100.0);
+            prop_assert!(model.bubbles_per_vop(&sparser) <= bpv + 1e-9);
+        }
+        // More LUTs never increase bubbles.
+        let bigger = DecaVopModel::new(w, l * 2);
+        prop_assert!(bigger.bubbles_per_vop(&scheme) <= bpv + 1e-12);
+    }
+
+    /// BORD classification is consistent with the Roof-Surface bounding
+    /// factor and with the analytic boundary lines.
+    #[test]
+    fn bord_classification_matches_boundaries(sig in arbitrary_signature()) {
+        let surface = RoofSurface::for_cpu(&MachineConfig::spr_hbm());
+        let bord = Bord::new(surface.clone());
+        let region = bord.classify(&sig);
+        prop_assert_eq!(region, surface.bounding_factor(&sig));
+        match region {
+            deca_roofsurface::BoundingFactor::Memory => {
+                // Below (or on) the MEM/VEC line and left of the MEM/MTX line.
+                prop_assert!(sig.aix_v >= bord.mem_vec_slope() * sig.aix_m - 1e-12
+                    || sig.aix_m <= bord.mem_mtx_boundary() + 1e-12);
+            }
+            deca_roofsurface::BoundingFactor::Vector => {
+                prop_assert!(sig.aix_v <= bord.vec_mtx_boundary() + 1e-12);
+            }
+            deca_roofsurface::BoundingFactor::Matrix => {
+                prop_assert!(sig.aix_m >= bord.mem_mtx_boundary() - 1e-12);
+                prop_assert!(sig.aix_v >= bord.vec_mtx_boundary() - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Shared memory-bandwidth model.
+//!
+//! The memory controller is the one resource all cores contend for. It is
+//! modelled as a serial channel of `bytes_per_cycle` capacity plus an access
+//! latency: a request issued at time `t` starts transferring when the
+//! channel frees up, occupies it for `bytes / bytes_per_cycle` cycles and
+//! completes `latency` cycles after its transfer finishes. Under symmetric
+//! load the channel can equivalently be partitioned into fair per-core
+//! shares; [`MemoryController::fair_share`] builds that per-core view, with
+//! a queueing-delay inflation applied when the socket-level utilization is
+//! high.
+
+/// A bandwidth-limited, latency-bearing memory channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryController {
+    bytes_per_cycle: f64,
+    latency_cycles: f64,
+    busy_until: f64,
+    bytes_transferred: f64,
+    busy_cycles: f64,
+}
+
+impl MemoryController {
+    /// Creates a channel with the given capacity and unloaded latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not strictly positive or the latency is
+    /// negative.
+    #[must_use]
+    pub fn new(bytes_per_cycle: f64, latency_cycles: f64) -> Self {
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        assert!(latency_cycles >= 0.0, "latency cannot be negative");
+        MemoryController {
+            bytes_per_cycle,
+            latency_cycles,
+            busy_until: 0.0,
+            bytes_transferred: 0.0,
+            busy_cycles: 0.0,
+        }
+    }
+
+    /// Builds the per-core fair-share view of a socket-level channel:
+    /// `total_bytes_per_cycle / cores` of bandwidth, with the unloaded
+    /// latency inflated by an M/M/1-style queueing factor at the given
+    /// expected socket utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or `expected_utilization` is not in
+    /// `[0, 1)`… utilizations ≥ 0.98 are clamped.
+    #[must_use]
+    pub fn fair_share(
+        total_bytes_per_cycle: f64,
+        cores: usize,
+        latency_cycles: f64,
+        expected_utilization: f64,
+    ) -> Self {
+        assert!(cores > 0, "at least one core required");
+        assert!(
+            (0.0..=1.0).contains(&expected_utilization),
+            "utilization must be in [0, 1]"
+        );
+        let u = expected_utilization.min(0.98);
+        // Queueing delay grows as u/(1-u); scale by half the transfer time
+        // of a cache line so the inflation stays modest until saturation.
+        let queue_factor = 1.0 + 0.3 * u / (1.0 - u);
+        MemoryController::new(
+            total_bytes_per_cycle / cores as f64,
+            latency_cycles * queue_factor.min(4.0),
+        )
+    }
+
+    /// Channel capacity in bytes per cycle.
+    #[must_use]
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+
+    /// Unloaded access latency in cycles.
+    #[must_use]
+    pub fn latency_cycles(&self) -> f64 {
+        self.latency_cycles
+    }
+
+    /// Issues a transfer of `bytes` at time `now`; returns the cycle at
+    /// which the data is available `extra_latency` cycles downstream of the
+    /// controller (e.g. in the L2 or in a DECA load queue).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is negative or `now` is not finite.
+    pub fn request(&mut self, now: f64, bytes: f64, extra_latency: f64) -> f64 {
+        assert!(bytes >= 0.0 && now.is_finite(), "invalid memory request");
+        let start = now.max(self.busy_until);
+        let transfer = bytes / self.bytes_per_cycle;
+        self.busy_until = start + transfer;
+        self.bytes_transferred += bytes;
+        self.busy_cycles += transfer;
+        self.busy_until + self.latency_cycles + extra_latency
+    }
+
+    /// The first cycle at which a new transfer could start.
+    #[must_use]
+    pub fn next_free(&self) -> f64 {
+        self.busy_until
+    }
+
+    /// Total bytes transferred so far.
+    #[must_use]
+    pub fn bytes_transferred(&self) -> f64 {
+        self.bytes_transferred
+    }
+
+    /// Cycles during which the channel was actively transferring.
+    #[must_use]
+    pub fn busy_cycles(&self) -> f64 {
+        self.busy_cycles
+    }
+
+    /// Channel utilization over an observation window of `total_cycles`.
+    #[must_use]
+    pub fn utilization(&self, total_cycles: f64) -> f64 {
+        if total_cycles <= 0.0 {
+            0.0
+        } else {
+            (self.busy_cycles / total_cycles).min(1.0)
+        }
+    }
+
+    /// Resets the accounting (keeps the configuration).
+    pub fn reset(&mut self) {
+        self.busy_until = 0.0;
+        self.bytes_transferred = 0.0;
+        self.busy_cycles = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn back_to_back_requests_serialize_on_bandwidth() {
+        let mut mem = MemoryController::new(8.0, 100.0);
+        // 800 bytes = 100 cycles of transfer.
+        let t1 = mem.request(0.0, 800.0, 0.0);
+        assert_eq!(t1, 200.0); // 100 transfer + 100 latency
+        // Issued immediately after, but the channel is busy until cycle 100.
+        let t2 = mem.request(1.0, 800.0, 0.0);
+        assert_eq!(t2, 300.0);
+        assert_eq!(mem.bytes_transferred(), 1600.0);
+        assert_eq!(mem.busy_cycles(), 200.0);
+    }
+
+    #[test]
+    fn latency_is_added_after_transfer() {
+        let mut mem = MemoryController::new(64.0, 50.0);
+        let done = mem.request(10.0, 64.0, 16.0);
+        assert_eq!(done, 10.0 + 1.0 + 50.0 + 16.0);
+    }
+
+    #[test]
+    fn idle_channel_starts_at_request_time() {
+        let mut mem = MemoryController::new(4.0, 0.0);
+        let t = mem.request(1000.0, 40.0, 0.0);
+        assert_eq!(t, 1010.0);
+        assert_eq!(mem.next_free(), 1010.0);
+    }
+
+    #[test]
+    fn utilization_is_busy_over_total() {
+        let mut mem = MemoryController::new(8.0, 0.0);
+        mem.request(0.0, 400.0, 0.0); // 50 cycles
+        assert!((mem.utilization(100.0) - 0.5).abs() < 1e-12);
+        assert_eq!(mem.utilization(0.0), 0.0);
+        mem.reset();
+        assert_eq!(mem.bytes_transferred(), 0.0);
+    }
+
+    #[test]
+    fn fair_share_divides_bandwidth_and_inflates_latency() {
+        let per_core = MemoryController::fair_share(340.0, 56, 280.0, 0.0);
+        assert!((per_core.bytes_per_cycle() - 340.0 / 56.0).abs() < 1e-12);
+        assert_eq!(per_core.latency_cycles(), 280.0);
+        let loaded = MemoryController::fair_share(340.0, 56, 280.0, 0.9);
+        assert!(loaded.latency_cycles() > 280.0);
+        // The inflation is capped at 4x.
+        let saturated = MemoryController::fair_share(340.0, 56, 280.0, 1.0);
+        assert!(saturated.latency_cycles() <= 4.0 * 280.0 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_is_rejected() {
+        let _ = MemoryController::new(0.0, 10.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Compressed-GeMM speedup sweep: simulate the paper's twelve compression
+//! schemes on the HBM SPR machine and compare the libxsmm-style software
+//! kernel, DECA, and the roofline-optimal bound (the experiment behind
+//! Fig. 13).
+//!
+//! Run with: `cargo run --release --example compressed_gemm_speedup`
+
+use deca_compress::SchemeSet;
+use deca_kernels::{CompressedGemmExecutor, Engine};
+use deca_roofsurface::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::spr_hbm();
+    let executor = CompressedGemmExecutor::new(machine.clone());
+    let baseline = executor.uncompressed_baseline(1);
+    println!(
+        "uncompressed BF16 baseline on {}: {:.2} TFLOPS at N=1\n",
+        machine.name, baseline.tflops
+    );
+    println!(
+        "{:<10} {:>14} {:>10} {:>10} {:>12}",
+        "kernel", "software-only", "DECA", "optimal", "DECA vs SW"
+    );
+    for scheme in SchemeSet::paper_evaluation() {
+        let sw = executor.run(&scheme, Engine::software(), 1);
+        let deca = executor.run(&scheme, Engine::deca_default(), 1);
+        let optimal = executor.optimal_tflops(&scheme, 1);
+        println!(
+            "{:<10} {:>13.2}x {:>9.2}x {:>9.2}x {:>11.2}x",
+            scheme.label(),
+            sw.speedup_over(&baseline),
+            deca.speedup_over(&baseline),
+            optimal / baseline.tflops,
+            deca.speedup_over(&sw),
+        );
+    }
+    println!("\nUtilization of the most compressed kernel (Q8_5%) with DECA:");
+    let q8_5 = deca_compress::CompressionScheme::bf8_sparse(0.05);
+    let stats = executor.run(&q8_5, Engine::deca_default(), 1).stats;
+    println!("  {}", stats.utilization_report());
+}

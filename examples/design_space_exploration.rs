@@ -1,0 +1,67 @@
+//! Sizing a DECA PE for a new machine with the Roof-Surface model: sweep
+//! `{W, L}` candidates, find the cheapest sizing for which no kernel stays
+//! vector-bound, and visualize the resulting BORD (the §9.2 methodology
+//! applied to a hypothetical next-generation part with more bandwidth).
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use deca_compress::SchemeSet;
+use deca_roofsurface::{
+    Bord, DecaVopModel, DesignSpaceExploration, MachineConfig, RoofSurface,
+};
+
+fn main() {
+    // A hypothetical future part: 64 cores and 1.5 TB/s of memory bandwidth.
+    let machine = MachineConfig {
+        name: "NextGen-HBM".to_string(),
+        cores: 64,
+        memory_bandwidth_gbps: 1500.0,
+        ..MachineConfig::spr_hbm()
+    };
+    println!(
+        "machine: {} — {} cores, {} GB/s, MOS {:.2e} tile-ops/s, DECA VOS {:.2e} vOps/s",
+        machine.name,
+        machine.cores,
+        machine.memory_bandwidth_gbps,
+        machine.mos(),
+        machine.deca_vos()
+    );
+
+    let schemes = SchemeSet::paper_evaluation();
+    let dse = DesignSpaceExploration::new(machine.clone(), schemes.clone(), 4);
+
+    println!("\n{:<14} {:>10} {:>12} {:>16}", "sizing", "cost (B)", "min TFLOPS", "VEC-bound kernels");
+    for candidate in DesignSpaceExploration::default_grid() {
+        let outcome = dse.evaluate(candidate);
+        println!(
+            "{:<14} {:>10} {:>12.2} {:>16}",
+            candidate.to_string(),
+            outcome.point.cost,
+            outcome.min_tflops,
+            outcome.vec_bound_kernels.len()
+        );
+    }
+
+    match dse.recommend(&DesignSpaceExploration::default_grid()) {
+        Some(pick) => {
+            println!(
+                "\nrecommended sizing for {}: {} (cost proxy {} B, geomean {:.2} TFLOPS)",
+                machine.name, pick.point.model, pick.point.cost, pick.geomean_tflops
+            );
+            // Show where the kernels land on the BORD with that sizing.
+            let bord = Bord::new(RoofSurface::for_deca(&machine));
+            let sigs: Vec<_> = schemes.iter().map(|s| pick.point.model.signature(s)).collect();
+            let points = bord.place_all(&sigs);
+            println!("{}", bord.render_ascii(&points, 64, 20));
+        }
+        None => println!("no candidate in the grid eliminates the vector bottleneck"),
+    }
+
+    // For comparison: the paper's SPR-HBM machine recommends {W=32, L=8}.
+    let spr_dse = DesignSpaceExploration::new(MachineConfig::spr_hbm(), schemes, 4);
+    let spr_pick = spr_dse
+        .recommend(&DesignSpaceExploration::default_grid())
+        .expect("SPR has a qualifying design");
+    assert_eq!(spr_pick.point.model, DecaVopModel::BASELINE);
+    println!("(for reference, SPR-HBM recommends {})", spr_pick.point.model);
+}

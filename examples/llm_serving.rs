@@ -1,0 +1,57 @@
+//! LLM serving scenario: estimate the next-token latency and throughput of
+//! Llama2-70B and OPT-66B on an HBM SPR server, with software decompression
+//! and with DECA, for the compression schemes of Table 4 — plus the memory
+//! footprint check of §8.
+//!
+//! Run with: `cargo run --release --example llm_serving`
+
+use deca_compress::{CompressionScheme, SchemeSet};
+use deca_kernels::Engine;
+use deca_llm::{footprint, InferenceEstimator, LlmModel};
+use deca_roofsurface::MachineConfig;
+
+fn main() {
+    let machine = MachineConfig::spr_hbm();
+    let estimator = InferenceEstimator::new(machine);
+    for model in [LlmModel::llama2_70b(), LlmModel::opt_66b()] {
+        println!("== {} ({:.1} B parameters) ==", model.name(), model.total_params() as f64 / 1e9);
+        println!(
+            "{:<10} {:>10} {:>14} {:>14} {:>12} {:>10}",
+            "scheme", "fits HBM?", "SW next-token", "DECA next-token", "DECA tok/s", "speedup"
+        );
+        for scheme in SchemeSet::llm_evaluation() {
+            let fits = footprint::fits_in_hbm(&model, &scheme);
+            let sw = estimator.next_token(&model, &scheme, Engine::software(), 1, 128);
+            let uncompressed_dense =
+                !scheme.is_quantized() && !scheme.is_sparse();
+            let (deca_ms, tok_s, speedup) = if uncompressed_dense {
+                (f64::NAN, f64::NAN, f64::NAN)
+            } else {
+                let deca = estimator.next_token(&model, &scheme, Engine::deca_default(), 1, 128);
+                (
+                    deca.total_ms(),
+                    deca.tokens_per_second(),
+                    sw.total_ms() / deca.total_ms(),
+                )
+            };
+            println!(
+                "{:<10} {:>10} {:>12.1}ms {:>12.1}ms {:>12.1} {:>9.2}x",
+                scheme.label(),
+                if fits { "yes" } else { "no" },
+                sw.total_ms(),
+                deca_ms,
+                tok_s,
+                speedup,
+            );
+        }
+        // Batch-16 serving point for the most aggressive scheme.
+        let scheme = CompressionScheme::bf8_sparse(0.05);
+        let batch16 = estimator.next_token(&model, &scheme, Engine::deca_default(), 16, 128);
+        println!(
+            "batch 16, {}: {:.1} ms/token, {:.1} tokens/s aggregate\n",
+            scheme.label(),
+            batch16.total_ms(),
+            batch16.tokens_per_second()
+        );
+    }
+}

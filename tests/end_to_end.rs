@@ -1,0 +1,103 @@
+//! Workspace-level integration tests: the full path from weight generation
+//! through compression, DECA decompression and the functional GeMM, across
+//! crates and through the public APIs only.
+
+use deca::{DecaConfig, DecaPe};
+use deca_compress::{
+    generator::WeightGenerator, CompressionScheme, Compressor, Decompressor, SchemeSet,
+    WeightMatrix, TILE_COLS, TILE_ROWS,
+};
+use deca_kernels::functional;
+use deca_numerics::Bf16;
+
+/// Compress → DECA-decompress → GeMM gives (almost) the same result as the
+/// dense GeMM, for every scheme the paper evaluates.
+#[test]
+fn compressed_gemm_matches_dense_reference_within_quantization_error() {
+    let weights = WeightGenerator::new(1001).dense_matrix(96, 64);
+    let activations = WeightGenerator::new(1002).with_std_dev(0.5).dense_matrix(4, 96);
+    let dense_out = functional::gemm_dense(&activations, &weights);
+
+    for scheme in [
+        CompressionScheme::bf8_dense(),
+        CompressionScheme::mxfp4(),
+        CompressionScheme::bf16_sparse(0.9),
+    ] {
+        let compressed = Compressor::new(scheme)
+            .without_pruning()
+            .compress_matrix(&weights)
+            .expect("compress");
+        let out = functional::gemm_compressed(&activations, &compressed).expect("gemm");
+        let err = functional::relative_rms_error(&dense_out, &out);
+        // E5M2 carries ~5 % RMS relative error per weight, and the error of a
+        // dot product of independently quantized weights stays at roughly the
+        // per-weight level (it does not average down), so the 8-bit bound is
+        // ~8 %.
+        let tolerance = match scheme.format().bits() {
+            16 => 1e-6,
+            8 => 0.08,
+            _ => 0.18,
+        };
+        assert!(err <= tolerance, "{scheme}: relative RMS error {err}");
+    }
+}
+
+/// A DECA PE and the reference decompressor reconstruct byte-identical
+/// matrices, tile by tile, for a whole compressed matrix.
+#[test]
+fn deca_pe_reconstruction_is_bit_exact_across_a_matrix() {
+    let weights = WeightGenerator::new(2002).dense_matrix(48, 96);
+    for scheme in SchemeSet::paper_evaluation() {
+        let compressed = Compressor::new(scheme).compress_matrix(&weights).expect("compress");
+        let reference = Decompressor::new();
+        let mut pe = DecaPe::new(DecaConfig::baseline());
+        for tr in 0..compressed.tile_rows() {
+            for tc in 0..compressed.tile_cols() {
+                let tile = compressed.tile(tr, tc);
+                let expected = reference.decompress_tile(tile).expect("reference");
+                let produced = pe.process_tile(tile).expect("pe").tile;
+                assert_eq!(produced, expected, "{scheme} tile ({tr},{tc})");
+            }
+        }
+    }
+}
+
+/// Pruning keeps exactly the number of nonzeros the scheme's density asks
+/// for, and the decompressed matrix reports that density.
+#[test]
+fn pruned_density_is_respected_end_to_end() {
+    let weights = WeightGenerator::new(3003).dense_matrix(64, 64);
+    for density in [0.5, 0.2, 0.05] {
+        let scheme = CompressionScheme::bf8_sparse(density);
+        let compressed = Compressor::new(scheme).compress_matrix(&weights).expect("compress");
+        assert!((compressed.density() - density).abs() < 0.01);
+        let restored = Decompressor::new().decompress_matrix(&compressed).expect("decompress");
+        assert!((restored.density() - density).abs() < 0.01);
+    }
+}
+
+/// The DECA PE handles a hand-constructed worst-case tile (every element in
+/// one row, empty elsewhere) identically to the reference.
+#[test]
+fn pathological_tiles_are_handled() {
+    let mut values = vec![0.0f32; TILE_ROWS * TILE_COLS];
+    for c in 0..TILE_COLS {
+        values[5 * TILE_COLS + c] = (c as f32 + 1.0) * 0.125;
+    }
+    let matrix = WeightMatrix::from_data(TILE_ROWS, TILE_COLS, values).expect("matrix");
+    let scheme = CompressionScheme::bf8_sparse(0.0625); // exactly one dense row
+    let compressed = Compressor::new(scheme)
+        .without_pruning()
+        .compress_tile(&matrix.tile(0, 0))
+        .expect("compress");
+    let mut pe = DecaPe::new(DecaConfig::baseline());
+    let produced = pe.process_tile(&compressed).expect("pe").tile;
+    for c in 0..TILE_COLS {
+        let expected = Bf16::from_f32((c as f32 + 1.0) * 0.125);
+        // BF8 quantization error applies, but position and sign must hold.
+        let got = produced.get(5, c);
+        assert!(!got.is_zero());
+        assert!((got.to_f32() - expected.to_f32()).abs() / expected.to_f32() < 0.13);
+    }
+    assert_eq!(produced.nonzero_count(), TILE_COLS);
+}

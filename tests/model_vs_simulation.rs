@@ -1,0 +1,106 @@
+//! Integration tests checking that the analytical Roof-Surface model and the
+//! discrete-event simulator agree where they should — the central
+//! methodological claim of the paper (§4, §9.2: "the Roof-Surface model
+//! accurately captures the dynamics of the matrix-vector-memory
+//! interaction").
+
+use deca_compress::SchemeSet;
+use deca_kernels::{avx_model::software_signature, CompressedGemmExecutor, Engine};
+use deca_roofsurface::{BoundingFactor, DecaVopModel, MachineConfig, RoofSurface};
+
+/// For every evaluated scheme, on both machines, the simulated software
+/// kernel lands at or below the Roof-Surface bound and within 30 % of it.
+#[test]
+fn software_simulation_respects_and_approaches_the_roof_surface() {
+    for machine in [MachineConfig::spr_hbm(), MachineConfig::spr_ddr()] {
+        let surface = RoofSurface::for_cpu(&machine);
+        let executor = CompressedGemmExecutor::new(machine.clone());
+        for scheme in SchemeSet::paper_evaluation() {
+            let sig = software_signature(&scheme);
+            let bound = surface.flops(&sig, 1) / 1e12;
+            let simulated = executor.run(&scheme, Engine::software(), 1).tflops;
+            assert!(
+                simulated <= bound * 1.02,
+                "{} {scheme}: simulated {simulated:.2} above bound {bound:.2}",
+                machine.name
+            );
+            assert!(
+                simulated >= bound * 0.70,
+                "{} {scheme}: simulated {simulated:.2} far below bound {bound:.2}",
+                machine.name
+            );
+        }
+    }
+}
+
+/// The DECA simulation agrees with the DECA Roof-Surface: kernels the model
+/// classifies as memory-bound show high memory utilization in simulation,
+/// and simulated throughput stays within the model's bound.
+#[test]
+fn deca_simulation_matches_model_classification() {
+    let machine = MachineConfig::spr_hbm();
+    let surface = RoofSurface::for_deca(&machine);
+    let executor = CompressedGemmExecutor::new(machine);
+    for scheme in SchemeSet::paper_evaluation() {
+        let sig = DecaVopModel::BASELINE.signature(&scheme);
+        let bound = surface.flops(&sig, 1) / 1e12;
+        let run = executor.run(&scheme, Engine::deca_default(), 1);
+        assert!(
+            run.tflops <= bound * 1.02,
+            "{scheme}: simulated {:.2} above DECA Roof-Surface {bound:.2}",
+            run.tflops
+        );
+        if surface.bounding_factor(&sig) == BoundingFactor::Memory {
+            assert!(
+                run.stats.memory_utilization() > 0.80,
+                "{scheme}: classified MEM-bound but memory utilization is {:.2}",
+                run.stats.memory_utilization()
+            );
+        }
+    }
+}
+
+/// The binomial bubble model and the per-vOp counting of bubbles agree on
+/// the resulting AIX_V ordering across densities, so the DSE conclusions do
+/// not depend on which one is used.
+#[test]
+fn bubble_model_orderings_are_consistent() {
+    use deca::{pipeline::VopPipeline, DecaConfig};
+    use deca_compress::{generator::WeightGenerator, Compressor};
+
+    let generator = WeightGenerator::new(777);
+    let matrix = generator.dense_matrix(32, 64);
+    let mut analytic = Vec::new();
+    let mut measured = Vec::new();
+    for density in [1.0, 0.5, 0.3, 0.1] {
+        let scheme = if density < 1.0 {
+            deca_compress::CompressionScheme::bf8_sparse(density)
+        } else {
+            deca_compress::CompressionScheme::bf8_dense()
+        };
+        analytic.push(DecaVopModel::BASELINE.cycles_per_tile(&scheme));
+        let compressor = Compressor::new(scheme);
+        let mut pipeline = VopPipeline::new(&DecaConfig::baseline());
+        pipeline.configure(scheme.format());
+        let mut cycles = 0.0;
+        let mut tiles = 0.0;
+        for tr in 0..matrix.tile_rows() {
+            for tc in 0..matrix.tile_cols() {
+                let tile = compressor.compress_tile(&matrix.tile(tr, tc)).expect("compress");
+                let (_, timing) = pipeline.process(&tile).expect("pipeline");
+                cycles += f64::from(timing.vops + timing.bubbles);
+                tiles += 1.0;
+            }
+        }
+        measured.push(cycles / tiles);
+    }
+    for window in analytic.windows(2) {
+        assert!(window[0] >= window[1], "analytic cycles must fall with sparsity");
+    }
+    for window in measured.windows(2) {
+        assert!(window[0] >= window[1], "measured cycles must fall with sparsity");
+    }
+    for (a, m) in analytic.iter().zip(&measured) {
+        assert!((a - m).abs() / a < 0.10, "analytic {a:.2} vs measured {m:.2}");
+    }
+}
