@@ -18,13 +18,19 @@ fn bench_decompress(c: &mut Criterion) {
         CompressionScheme::bf8_sparse(0.05),
         CompressionScheme::mxfp4(),
     ] {
-        let compressed = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+        let compressed = Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress");
         group.throughput(Throughput::Bytes(TILE_BYTES_BF16 as u64));
         group.bench_with_input(
             BenchmarkId::from_parameter(scheme.label()),
             &compressed,
             |b, compressed| {
-                b.iter(|| decompressor.decompress_tile(std::hint::black_box(compressed)).unwrap())
+                b.iter(|| {
+                    decompressor
+                        .decompress_tile(std::hint::black_box(compressed))
+                        .unwrap()
+                });
             },
         );
     }
@@ -35,12 +41,21 @@ fn bench_compress(c: &mut Criterion) {
     let mut group = c.benchmark_group("tile_compression");
     let generator = WeightGenerator::new(43);
     let tile = generator.dense_matrix(16, 32).tile(0, 0);
-    for scheme in [CompressionScheme::bf8_sparse(0.2), CompressionScheme::mxfp4()] {
+    for scheme in [
+        CompressionScheme::bf8_sparse(0.2),
+        CompressionScheme::mxfp4(),
+    ] {
         let compressor = Compressor::new(scheme);
         group.bench_with_input(
             BenchmarkId::from_parameter(scheme.label()),
             &tile,
-            |b, tile| b.iter(|| compressor.compress_tile(std::hint::black_box(tile)).unwrap()),
+            |b, tile| {
+                b.iter(|| {
+                    compressor
+                        .compress_tile(std::hint::black_box(tile))
+                        .unwrap()
+                });
+            },
         );
     }
     group.finish();

@@ -10,13 +10,19 @@ fn bench_gemm_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm_simulation");
     let executor =
         CompressedGemmExecutor::new(MachineConfig::spr_hbm()).with_steady_state_tiles(2000);
-    for (name, engine) in [("software", Engine::software()), ("deca", Engine::deca_default())] {
-        for scheme in [CompressionScheme::bf8_sparse(0.2), CompressionScheme::mxfp4()] {
+    for (name, engine) in [
+        ("software", Engine::software()),
+        ("deca", Engine::deca_default()),
+    ] {
+        for scheme in [
+            CompressionScheme::bf8_sparse(0.2),
+            CompressionScheme::mxfp4(),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(name, scheme.label()),
                 &scheme,
                 |b, scheme| {
-                    b.iter(|| executor.run(std::hint::black_box(scheme), engine.clone(), 1))
+                    b.iter(|| executor.run(std::hint::black_box(scheme), engine, 1));
                 },
             );
         }
@@ -35,11 +41,15 @@ fn bench_integration_ladder(c: &mut Criterion) {
                 .into_iter()
                 .map(|(_, integration)| {
                     executor
-                        .run(&scheme, Engine::deca(DecaConfig::baseline(), integration), 4)
+                        .run(
+                            &scheme,
+                            Engine::deca(DecaConfig::baseline(), integration),
+                            4,
+                        )
                         .tflops
                 })
                 .sum::<f64>()
-        })
+        });
     });
 }
 

@@ -23,7 +23,7 @@ fn bench_next_token(c: &mut Criterion) {
                         1,
                         128,
                     )
-                })
+                });
             },
         );
     }
@@ -34,7 +34,9 @@ fn bench_functional_gemm(c: &mut Criterion) {
     use deca_compress::{generator::WeightGenerator, Compressor};
     use deca_kernels::functional;
     let weights = WeightGenerator::new(11).dense_matrix(128, 128);
-    let activations = WeightGenerator::new(12).with_std_dev(0.5).dense_matrix(4, 128);
+    let activations = WeightGenerator::new(12)
+        .with_std_dev(0.5)
+        .dense_matrix(4, 128);
     let compressed = Compressor::new(CompressionScheme::bf8_sparse(0.3))
         .compress_matrix(&weights)
         .expect("compress");
@@ -45,7 +47,7 @@ fn bench_functional_gemm(c: &mut Criterion) {
                 std::hint::black_box(&compressed),
             )
             .unwrap()
-        })
+        });
     });
 }
 

@@ -14,13 +14,15 @@ fn bench_pe_pipeline(c: &mut Criterion) {
         CompressionScheme::bf8_sparse(0.2),
         CompressionScheme::mxfp4(),
     ] {
-        let compressed = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+        let compressed = Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress");
         group.bench_with_input(
             BenchmarkId::from_parameter(scheme.label()),
             &compressed,
             |b, compressed| {
                 let mut pe = DecaPe::new(DecaConfig::baseline());
-                b.iter(|| pe.process_tile(std::hint::black_box(compressed)).unwrap())
+                b.iter(|| pe.process_tile(std::hint::black_box(compressed)).unwrap());
             },
         );
     }
@@ -39,10 +41,14 @@ fn bench_pe_sizings(c: &mut Criterion) {
         ("W32_L8", DecaConfig::baseline()),
         ("W64_L64", DecaConfig::overprovisioned()),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &compressed, |b, compressed| {
-            let mut pe = DecaPe::new(config);
-            b.iter(|| pe.process_tile(std::hint::black_box(compressed)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &compressed,
+            |b, compressed| {
+                let mut pe = DecaPe::new(config);
+                b.iter(|| pe.process_tile(std::hint::black_box(compressed)).unwrap());
+            },
+        );
     }
     group.finish();
 }

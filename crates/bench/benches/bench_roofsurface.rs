@@ -12,7 +12,7 @@ fn bench_surface_eval(c: &mut Criterion) {
     let surface = RoofSurface::for_cpu(&machine);
     let sig = KernelSignature::new("Q8_20%", 1.0 / 166.4, 1.0 / 144.0);
     c.bench_function("roofsurface_flops_eval", |b| {
-        b.iter(|| surface.flops(std::hint::black_box(&sig), 4))
+        b.iter(|| surface.flops(std::hint::black_box(&sig), 4));
     });
 }
 
@@ -20,7 +20,7 @@ fn bench_surface_grid(c: &mut Criterion) {
     let machine = MachineConfig::spr_hbm();
     let surface = RoofSurface::for_cpu(&machine);
     c.bench_function("roofsurface_sample_grid_64x64", |b| {
-        b.iter(|| surface.sample_grid((0.001, 0.02), (0.001, 0.05), 64, 4))
+        b.iter(|| surface.sample_grid((0.001, 0.02), (0.001, 0.05), 64, 4));
     });
 }
 
@@ -32,19 +32,16 @@ fn bench_bubble_model(c: &mut Criterion) {
                 .iter()
                 .map(|s| DecaVopModel::BASELINE.aix_v(std::hint::black_box(s)))
                 .sum::<f64>()
-        })
+        });
     });
 }
 
 fn bench_dse(c: &mut Criterion) {
-    let dse = DesignSpaceExploration::new(
-        MachineConfig::spr_hbm(),
-        SchemeSet::paper_evaluation(),
-        4,
-    );
+    let dse =
+        DesignSpaceExploration::new(MachineConfig::spr_hbm(), SchemeSet::paper_evaluation(), 4);
     let grid = DesignSpaceExploration::default_grid();
     c.bench_function("dse_full_grid", |b| {
-        b.iter(|| dse.recommend(std::hint::black_box(&grid)))
+        b.iter(|| dse.recommend(std::hint::black_box(&grid)));
     });
 }
 

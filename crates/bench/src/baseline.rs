@@ -1,0 +1,229 @@
+//! The machine-readable benchmark baseline.
+//!
+//! `cargo run -p deca-bench --release --bin bench_baseline` regenerates
+//! `BENCH_baseline.json`: per-experiment wall time plus the modeled numbers
+//! (Roof-Surface TFLOPS, simulated pipeline cycles/speedups, LLM next-token
+//! latencies) that future optimization PRs are measured against. Everything
+//! except the wall times is deterministic, so a diff of the committed
+//! artifact shows exactly which modeled quantities a change moved.
+
+use std::time::Instant;
+
+use deca_compress::SchemeSet;
+use deca_kernels::{avx_model::software_signature, CompressedGemmExecutor, Engine};
+use deca_llm::{InferenceEstimator, LlmModel};
+use deca_roofsurface::{MachineConfig, RoofSurface};
+
+use crate::json::Json;
+
+/// Schema version of the emitted document; bump on breaking layout changes.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The command that regenerates the artifact.
+pub const REGENERATE_COMMAND: &str = "cargo run -p deca-bench --release --bin bench_baseline";
+
+fn num(n: f64) -> Json {
+    Json::Num(n)
+}
+
+/// Roof-Surface model results: per machine and scheme, the software kernel's
+/// signature, the model's attainable TFLOPS at N=1 and N=4, and the bounding
+/// resource.
+#[must_use]
+pub fn roofsurface_results() -> Json {
+    let mut machines = Vec::new();
+    for machine in [MachineConfig::spr_ddr(), MachineConfig::spr_hbm()] {
+        let surface = RoofSurface::for_cpu(&machine);
+        let mut kernels = Vec::new();
+        for scheme in SchemeSet::paper_evaluation() {
+            let sig = software_signature(&scheme);
+            kernels.push(Json::obj(vec![
+                ("kernel", Json::str(scheme.label())),
+                ("aix_m", num(sig.aix_m)),
+                ("aix_v", num(sig.aix_v)),
+                ("tflops_n1", num(surface.flops(&sig, 1) / 1e12)),
+                ("tflops_n4", num(surface.flops(&sig, 4) / 1e12)),
+                (
+                    "bound",
+                    Json::str(surface.bounding_factor(&sig).to_string()),
+                ),
+            ]));
+        }
+        machines.push(Json::obj(vec![
+            ("machine", Json::str(machine.name.clone())),
+            ("kernels", Json::Arr(kernels)),
+        ]));
+    }
+    Json::Arr(machines)
+}
+
+/// Simulated compressed-GeMM pipeline results on SPR-HBM at N=1: software
+/// versus DECA TFLOPS, modeled cycles per tile, and the DECA speedup.
+#[must_use]
+pub fn pipeline_results() -> Json {
+    let executor = CompressedGemmExecutor::new(MachineConfig::spr_hbm());
+    let baseline = executor.uncompressed_baseline(1);
+    let mut kernels = Vec::new();
+    for scheme in SchemeSet::paper_evaluation() {
+        let software = executor.run(&scheme, Engine::software(), 1);
+        let deca = executor.run(&scheme, Engine::deca_default(), 1);
+        kernels.push(Json::obj(vec![
+            ("kernel", Json::str(scheme.label())),
+            ("software_tflops", num(software.tflops)),
+            ("deca_tflops", num(deca.tflops)),
+            (
+                "software_cycles_per_tile",
+                num(software.stats.cycles_per_tile()),
+            ),
+            ("deca_cycles_per_tile", num(deca.stats.cycles_per_tile())),
+            (
+                "software_speedup_vs_bf16",
+                num(software.speedup_over(&baseline)),
+            ),
+            ("deca_speedup_vs_bf16", num(deca.speedup_over(&baseline))),
+            (
+                "deca_speedup_vs_software",
+                num(deca.speedup_over(&software)),
+            ),
+        ]));
+    }
+    Json::obj(vec![
+        ("machine", Json::str(executor.machine().name.clone())),
+        ("batch", num(1.0)),
+        ("uncompressed_bf16_tflops", num(baseline.tflops)),
+        ("kernels", Json::Arr(kernels)),
+    ])
+}
+
+/// LLM next-token latency results on SPR-HBM (128 input tokens, batch 1):
+/// per model and scheme, software versus DECA milliseconds and the speedup.
+#[must_use]
+pub fn llm_latency_results() -> Json {
+    let estimator = InferenceEstimator::new(MachineConfig::spr_hbm());
+    let mut models = Vec::new();
+    for model in [LlmModel::llama2_70b(), LlmModel::opt_66b()] {
+        let mut schemes = Vec::new();
+        for scheme in SchemeSet::llm_evaluation() {
+            let software = estimator.next_token(&model, &scheme, Engine::software(), 1, 128);
+            let mut entries = vec![
+                ("scheme", Json::str(scheme.label())),
+                ("software_ms", num(software.total_ms())),
+            ];
+            // DECA does not apply to the uncompressed model (no
+            // decompression work to offload) — mirror Table 4's empty cell.
+            if !scheme.is_uncompressed() {
+                let deca = estimator.next_token(&model, &scheme, Engine::deca_default(), 1, 128);
+                entries.push(("deca_ms", num(deca.total_ms())));
+                entries.push(("deca_speedup", num(software.total_ms() / deca.total_ms())));
+            }
+            schemes.push(Json::obj(entries));
+        }
+        models.push(Json::obj(vec![
+            ("model", Json::str(model.name().to_string())),
+            ("batch", num(1.0)),
+            ("context_tokens", num(128.0)),
+            ("schemes", Json::Arr(schemes)),
+        ]));
+    }
+    Json::Arr(models)
+}
+
+/// Runs every baseline experiment, recording wall time per experiment, and
+/// assembles the full document.
+#[must_use]
+pub fn collect() -> Json {
+    type ExperimentFn = fn() -> Json;
+    let experiments: Vec<(&str, ExperimentFn)> = vec![
+        ("roofsurface", roofsurface_results),
+        ("pipeline", pipeline_results),
+        ("llm_latency", llm_latency_results),
+    ];
+    let mut records = Vec::new();
+    for (name, run) in experiments {
+        let start = Instant::now();
+        let results = run();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        records.push(Json::obj(vec![
+            ("name", Json::str(name)),
+            ("wall_ms", num(wall_ms)),
+            ("results", results),
+        ]));
+    }
+    Json::obj(vec![
+        ("schema_version", num(f64::from(SCHEMA_VERSION))),
+        ("command", Json::str(REGENERATE_COMMAND)),
+        ("experiments", Json::Arr(records)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn find<'a>(obj: &'a Json, key: &str) -> &'a Json {
+        match obj {
+            Json::Obj(entries) => {
+                &entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .unwrap_or_else(|| panic!("missing key {key}"))
+                    .1
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn document_has_all_three_experiments() {
+        let doc = collect();
+        let Json::Arr(experiments) = find(&doc, "experiments") else {
+            panic!("experiments must be an array");
+        };
+        let names: Vec<String> = experiments
+            .iter()
+            .map(|e| match find(e, "name") {
+                Json::Str(s) => s.clone(),
+                other => panic!("name must be a string, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(names, ["roofsurface", "pipeline", "llm_latency"]);
+        for experiment in experiments {
+            match find(experiment, "wall_ms") {
+                Json::Num(ms) => assert!(*ms >= 0.0),
+                other => panic!("wall_ms must be a number, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_results_report_deca_speedups() {
+        let pipeline = pipeline_results();
+        let Json::Arr(kernels) = find(&pipeline, "kernels") else {
+            panic!("kernels must be an array");
+        };
+        assert!(!kernels.is_empty());
+        for kernel in kernels {
+            for key in [
+                "software_tflops",
+                "deca_tflops",
+                "software_cycles_per_tile",
+                "deca_cycles_per_tile",
+                "deca_speedup_vs_software",
+            ] {
+                match find(kernel, key) {
+                    Json::Num(v) => assert!(v.is_finite() && *v > 0.0, "{key} = {v}"),
+                    other => panic!("{key} must be a number, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn llm_results_cover_both_models_and_render() {
+        let llm = llm_latency_results();
+        let rendered = llm.render();
+        assert!(rendered.contains("Llama2-70B"));
+        assert!(rendered.contains("OPT-66B"));
+        assert!(rendered.contains("deca_speedup"));
+    }
+}

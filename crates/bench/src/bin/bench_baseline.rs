@@ -1,0 +1,32 @@
+//! Regenerates the committed benchmark baseline.
+//!
+//! ```text
+//! cargo run -p deca-bench --release --bin bench_baseline [output-path]
+//! ```
+//!
+//! Writes `BENCH_baseline.json` (or the given path) containing per-experiment
+//! wall times and the modeled Roof-Surface, pipeline and LLM-latency numbers.
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".to_string());
+    let document = deca_bench::baseline::collect();
+    let mut rendered = document.render();
+    rendered.push('\n');
+    std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!(
+        "wrote {path} ({} bytes, {} experiments)",
+        rendered.len(),
+        match &document {
+            deca_bench::json::Json::Obj(entries) => entries
+                .iter()
+                .find(|(k, _)| k == "experiments")
+                .map_or(0, |(_, v)| match v {
+                    deca_bench::json::Json::Arr(a) => a.len(),
+                    _ => 0,
+                }),
+            _ => 0,
+        }
+    );
+}

@@ -1,6 +1,8 @@
 //! One function per paper table/figure. Each returns the formatted text the
 //! corresponding binary prints, so the harness is also unit-testable.
 
+use std::fmt::Write as _;
+
 use deca::{area::AreaEstimate, DecaConfig, IntegrationConfig};
 use deca_compress::{CompressionScheme, SchemeSet};
 use deca_kernels::{
@@ -9,8 +11,8 @@ use deca_kernels::{
 };
 use deca_llm::{InferenceEstimator, LlmModel};
 use deca_roofsurface::{
-    Bord, DecaVopModel, DesignSpaceExploration, KernelSignature, MachineConfig, Roofline,
-    RoofSurface,
+    Bord, DecaVopModel, DesignSpaceExploration, KernelSignature, MachineConfig, RoofSurface,
+    Roofline,
 };
 
 use crate::report::{fmt_f, fmt_pct, TextTable};
@@ -132,10 +134,7 @@ fn bord_report(title: &str, machine: &MachineConfig) -> String {
     let bord = Bord::new(RoofSurface::for_cpu(machine));
     let sigs = software_signatures(&SchemeSet::paper_evaluation());
     let points = bord.place_all(&sigs);
-    let mut table = TextTable::new(
-        title,
-        &["kernel", "AIX_M", "AIX_V", "region"],
-    );
+    let mut table = TextTable::new(title, &["kernel", "AIX_M", "AIX_V", "region"]);
     for p in &points {
         table.add_row(vec![
             p.label.clone(),
@@ -160,7 +159,10 @@ fn bord_report(title: &str, machine: &MachineConfig) -> String {
 /// on it.
 #[must_use]
 pub fn fig05_bord() -> String {
-    let mut out = bord_report("Figure 5a — BORD, SPR-HBM (software kernels)", &MachineConfig::spr_hbm());
+    let mut out = bord_report(
+        "Figure 5a — BORD, SPR-HBM (software kernels)",
+        &MachineConfig::spr_hbm(),
+    );
     out.push('\n');
     out.push_str(&bord_report(
         "Figure 5b — BORD, SPR-DDR (software kernels)",
@@ -181,10 +183,7 @@ pub fn fig06_bord_4x_vos() -> String {
 fn speedup_figure(title: &str, machine: MachineConfig) -> String {
     let executor = CompressedGemmExecutor::new(machine);
     let baseline = executor.uncompressed_baseline(1);
-    let mut table = TextTable::new(
-        title,
-        &["kernel", "Software-only", "DECA", "Optimal"],
-    );
+    let mut table = TextTable::new(title, &["kernel", "Software-only", "DECA", "Optimal"]);
     for scheme in SchemeSet::paper_evaluation() {
         let sw = executor.run(&scheme, Engine::software(), 1);
         let deca = executor.run(&scheme, Engine::deca_default(), 1);
@@ -253,7 +252,13 @@ pub fn tab03_utilization() -> String {
     let mut table = TextTable::new(
         "Table 3 — component utilization, Q8, N=1, HBM",
         &[
-            "density", "SW:MEM", "SW:TMUL", "SW:AVX", "DECA:MEM", "DECA:TMUL", "DECA:DECA",
+            "density",
+            "SW:MEM",
+            "SW:TMUL",
+            "SW:AVX",
+            "DECA:MEM",
+            "DECA:TMUL",
+            "DECA:DECA",
         ],
     );
     for density in [1.0, 0.5, 0.2, 0.05] {
@@ -323,18 +328,25 @@ pub fn fig16_dse() -> String {
     // (a) the CPU (no DECA) BORD: how many kernels are VEC-bound.
     let cpu_bord = Bord::new(RoofSurface::for_cpu(&machine));
     let cpu_sigs = software_signatures(&schemes);
-    out.push_str(&format!(
+    let _ = write!(
+        out,
         "=== Figure 16a — no DECA (CPU AVX): {} of {} kernels VEC-bound ===\n\n",
         cpu_sigs
             .iter()
             .filter(|s| cpu_bord.classify(s) == deca_roofsurface::BoundingFactor::Vector)
             .count(),
         cpu_sigs.len()
-    ));
+    );
 
     let mut table = TextTable::new(
         "Figure 16b — kernels still VEC-bound for different DECA sizings",
-        &["sizing", "cost proxy (B)", "VEC-bound kernels", "min TFLOPS", "geomean TFLOPS"],
+        &[
+            "sizing",
+            "cost proxy (B)",
+            "VEC-bound kernels",
+            "min TFLOPS",
+            "geomean TFLOPS",
+        ],
     );
     for model in [
         DecaVopModel::UNDERPROVISIONED,
@@ -359,10 +371,11 @@ pub fn fig16_dse() -> String {
     let recommended = dse
         .recommend(&DesignSpaceExploration::default_grid())
         .expect("a qualifying design exists");
-    out.push_str(&format!(
+    let _ = write!(
+        out,
         "\nanalytic recommendation: {} (cheapest sizing with no VEC-bound kernel)\n",
         recommended.point.model
-    ));
+    );
 
     // Simulated validation of the three sizings (geometric mean across the
     // Q8 density sweep, the schemes most sensitive to {W, L}).
@@ -383,7 +396,8 @@ pub fn fig16_dse() -> String {
     let under = simulated(DecaConfig::underprovisioned());
     let best = simulated(DecaConfig::baseline());
     let over = simulated(DecaConfig::overprovisioned());
-    out.push_str(&format!(
+    let _ = write!(
+        out,
         "simulated geomean TFLOPS (Q8 sweep, N=4): under {:.2}, best {:.2}, over {:.2}\n\
          best / under = {:.2}x (paper: 2x)   over / best = {:.3}x (paper: < 1.03x)\n",
         under,
@@ -391,7 +405,7 @@ pub fn fig16_dse() -> String {
         over,
         best / under,
         over / best
-    ));
+    );
     out
 }
 
@@ -415,12 +429,20 @@ pub fn fig17_integration() -> String {
             CompressionScheme::bf8_dense()
         };
         let base = executor
-            .run(&scheme, Engine::deca(DecaConfig::baseline(), IntegrationConfig::base()), 4)
+            .run(
+                &scheme,
+                Engine::deca(DecaConfig::baseline(), IntegrationConfig::base()),
+                4,
+            )
             .tflops;
         let mut cells = vec![format!("{:.0}%", density * 100.0)];
         for (_, integration) in &ladder {
             let tflops = executor
-                .run(&scheme, Engine::deca(DecaConfig::baseline(), *integration), 4)
+                .run(
+                    &scheme,
+                    Engine::deca(DecaConfig::baseline(), *integration),
+                    4,
+                )
                 .tflops;
             cells.push(format!("{:.2}x", tflops / base));
         }
@@ -438,10 +460,20 @@ pub fn tab04_llm_latency() -> String {
     let mut out = String::new();
     for model in [LlmModel::llama2_70b(), LlmModel::opt_66b()] {
         let mut table = TextTable::new(
-            format!("Table 4 — {} next-token latency (ms), HBM, 128 input tokens", model.name()),
+            format!(
+                "Table 4 — {} next-token latency (ms), HBM, 128 input tokens",
+                model.name()
+            ),
             &[
-                "engine", "BF16 (N=1)", "Q4 (N=1)", "Q8_20% (N=1)", "Q8_5% (N=1)", "BF16 (N=16)",
-                "Q4 (N=16)", "Q8_20% (N=16)", "Q8_5% (N=16)",
+                "engine",
+                "BF16 (N=1)",
+                "Q4 (N=1)",
+                "Q8_20% (N=1)",
+                "Q8_5% (N=1)",
+                "BF16 (N=16)",
+                "Q4 (N=16)",
+                "Q8_20% (N=16)",
+                "Q8_5% (N=16)",
             ],
         );
         for (engine_name, engine) in [("SW", Engine::software()), ("DECA", Engine::deca_default())]
@@ -449,14 +481,13 @@ pub fn tab04_llm_latency() -> String {
             let mut cells = vec![engine_name.to_string()];
             for batch in [1usize, 16] {
                 for scheme in &schemes {
-                    if engine_name == "DECA" && !scheme.is_quantized() && !scheme.is_sparse() {
+                    if engine_name == "DECA" && scheme.is_uncompressed() {
                         // The uncompressed model needs no decompression; DECA
                         // does not apply (the paper leaves this cell empty).
                         cells.push("-".to_string());
                         continue;
                     }
-                    let report =
-                        estimator.next_token(&model, scheme, engine.clone(), batch, 128);
+                    let report = estimator.next_token(&model, scheme, engine, batch, 128);
                     cells.push(fmt_f(report.total_ms(), 1));
                 }
             }
@@ -495,7 +526,15 @@ pub fn batch_sweep() -> String {
 pub fn area_report() -> String {
     let mut table = TextTable::new(
         "DECA area model (7 nm)",
-        &["sizing", "per-PE mm2", "56 PEs mm2", "% of 1600 mm2 die", "buffers", "LUT array", "datapath"],
+        &[
+            "sizing",
+            "per-PE mm2",
+            "56 PEs mm2",
+            "% of 1600 mm2 die",
+            "buffers",
+            "LUT array",
+            "datapath",
+        ],
     );
     for (name, config) in [
         ("{W=8,L=4}", DecaConfig::underprovisioned()),
@@ -508,7 +547,10 @@ pub fn area_report() -> String {
             name.to_string(),
             fmt_f(est.per_pe_mm2(), 4),
             fmt_f(est.total_mm2(56), 2),
-            format!("{:.3}%", est.fraction_of_die(56, deca::area::SPR_DIE_MM2) * 100.0),
+            format!(
+                "{:.3}%",
+                est.fraction_of_die(56, deca::area::SPR_DIE_MM2) * 100.0
+            ),
             fmt_pct(b),
             fmt_pct(l),
             fmt_pct(d),
@@ -579,7 +621,13 @@ mod tests {
     #[test]
     fn fig17_has_the_full_ladder() {
         let text = fig17_integration();
-        for step in ["Base", "+Reads L2", "+DECA prefetcher", "+TOut Regs", "+TEPL (DECA)"] {
+        for step in [
+            "Base",
+            "+Reads L2",
+            "+DECA prefetcher",
+            "+TOut Regs",
+            "+TEPL (DECA)",
+        ] {
             assert!(text.contains(step), "missing {step}");
         }
     }

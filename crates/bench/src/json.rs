@@ -1,0 +1,140 @@
+//! A deliberately tiny JSON document builder.
+//!
+//! The baseline artifact (`BENCH_baseline.json`) must be machine-readable,
+//! but nothing in this workspace needs a full serialization framework (and
+//! the build environment cannot fetch one — see `vendor/README.md`), so this
+//! module provides a value tree with a correct-by-construction renderer:
+//! string escaping per RFC 8259 and non-finite numbers mapped to `null`.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (rendered via f64; NaN/infinite become `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for [`Json::Str`].
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience constructor for an object entry list.
+    #[must_use]
+    pub fn obj(entries: Vec<(&str, Json)>) -> Json {
+        Json::Obj(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Renders the value as compact JSON.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (key, value)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a").render(), "\"a\"");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(Json::str("Q8_20%\"\\\n").render(), "\"Q8_20%\\\"\\\\\\n\"");
+        assert_eq!(Json::str("\u{1}").render(), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let doc = Json::obj(vec![
+            ("name", Json::str("baseline")),
+            ("values", Json::Arr(vec![Json::Num(1.0), Json::Num(2.0)])),
+            ("nested", Json::obj(vec![("ok", Json::Bool(true))])),
+        ]);
+        assert_eq!(
+            doc.render(),
+            "{\"name\":\"baseline\",\"values\":[1,2],\"nested\":{\"ok\":true}}"
+        );
+    }
+}

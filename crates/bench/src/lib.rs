@@ -15,7 +15,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod experiments;
+pub mod json;
 pub mod report;
 
 pub use report::TextTable;

@@ -54,12 +54,22 @@ impl std::fmt::Display for TextTable {
         let render_row = |row: &[String]| -> String {
             row.iter()
                 .enumerate()
-                .map(|(i, cell)| format!("{:>width$}", cell, width = widths.get(i).copied().unwrap_or(0)))
+                .map(|(i, cell)| {
+                    format!(
+                        "{:>width$}",
+                        cell,
+                        width = widths.get(i).copied().unwrap_or(0)
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
         writeln!(f, "{}", render_row(&self.headers))?;
-        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)))?;
+        writeln!(
+            f,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1))
+        )?;
         for row in &self.rows {
             writeln!(f, "{}", render_row(row))?;
         }
@@ -86,7 +96,7 @@ mod tests {
     #[test]
     fn table_renders_aligned_columns() {
         let mut t = TextTable::new("Demo", &["scheme", "TFLOPS"]);
-        t.add_row(vec!["Q8_20%".to_string(), fmt_f(3.14159, 2)]);
+        t.add_row(vec!["Q8_20%".to_string(), fmt_f(std::f64::consts::PI, 2)]);
         t.add_row(vec!["Q4".to_string(), fmt_f(12.0, 2)]);
         let text = t.to_string();
         assert!(text.contains("=== Demo ==="));

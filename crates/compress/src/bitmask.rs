@@ -65,7 +65,11 @@ impl Bitmask {
     ///
     /// Panics if `index >= len`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         let word = index / 64;
         let bit = index % 64;
         if value {
@@ -82,7 +86,11 @@ impl Bitmask {
     /// Panics if `index >= len`.
     #[must_use]
     pub fn get(&self, index: usize) -> bool {
-        assert!(index < self.len, "bit index {index} out of range {}", self.len);
+        assert!(
+            index < self.len,
+            "bit index {index} out of range {}",
+            self.len
+        );
         (self.words[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -102,7 +110,10 @@ impl Bitmask {
     /// Panics if the range is out of bounds or reversed.
     #[must_use]
     pub fn popcount_range(&self, start: usize, end: usize) -> usize {
-        assert!(start <= end && end <= self.len, "invalid range {start}..{end}");
+        assert!(
+            start <= end && end <= self.len,
+            "invalid range {start}..{end}"
+        );
         (start..end).filter(|&i| self.get(i)).count()
     }
 
@@ -180,7 +191,10 @@ impl Bitmask {
     /// Panics if `bytes` is too short for `len` bits.
     #[must_use]
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
-        assert!(bytes.len() * 8 >= len, "byte buffer too short for {len} bits");
+        assert!(
+            bytes.len() * 8 >= len,
+            "byte buffer too short for {len} bits"
+        );
         let mut mask = Bitmask::new(len);
         for i in 0..len {
             if (bytes[i / 8] >> (i % 8)) & 1 == 1 {

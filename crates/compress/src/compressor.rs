@@ -9,8 +9,8 @@
 use deca_numerics::{mx::ScaleE8M0, Bf16, IntCodec, QuantFormat};
 
 use crate::{
-    tile::pack_codes, Bitmask, CompressError, CompressedMatrix, CompressedTile,
-    CompressionScheme, DenseTile, TILE_COLS, TILE_ELEMS,
+    tile::pack_codes, Bitmask, CompressError, CompressedMatrix, CompressedTile, CompressionScheme,
+    DenseTile, TILE_COLS, TILE_ELEMS,
 };
 
 /// Offline compressor for a single [`CompressionScheme`].
@@ -71,7 +71,7 @@ impl Compressor {
             magnitudes.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
             let threshold = magnitudes[keep.saturating_sub(1).min(magnitudes.len() - 1)];
             let mut kept = 0usize;
-            for v in values.iter_mut() {
+            for v in &mut values {
                 if v.abs() >= threshold && *v != 0.0 && kept < keep {
                     kept += 1;
                 } else {
@@ -93,8 +93,7 @@ impl Compressor {
             QuantFormat::Int4 => 3, // max code 7 < 2^3
             fmt => fmt
                 .minifloat()
-                .map(|mf| mf.max_value().log2().floor() as i32)
-                .unwrap_or(0),
+                .map_or(0, |mf| mf.max_value().log2().floor() as i32),
         };
         values
             .chunks(group)
@@ -114,12 +113,12 @@ impl Compressor {
         };
         match self.scheme.format() {
             QuantFormat::Bf16 => Bf16::from_f32(scaled).to_bits(),
-            QuantFormat::Int8 => u16::from(IntCodec::int8().to_storage(
-                (scaled.round().clamp(-127.0, 127.0)) as i8,
-            )),
-            QuantFormat::Int4 => u16::from(IntCodec::int4().to_storage(
-                (scaled.round().clamp(-7.0, 7.0)) as i8,
-            )),
+            QuantFormat::Int8 => {
+                u16::from(IntCodec::int8().to_storage((scaled.round().clamp(-127.0, 127.0)) as i8))
+            }
+            QuantFormat::Int4 => {
+                u16::from(IntCodec::int4().to_storage((scaled.round().clamp(-7.0, 7.0)) as i8))
+            }
             fmt => {
                 let mf = fmt
                     .minifloat()
@@ -249,7 +248,9 @@ mod tests {
         let g = WeightGenerator::new(13);
         let m = g.dense_matrix(16, 32);
         let scheme = CompressionScheme::bf8_sparse(0.2);
-        let ct = Compressor::new(scheme).compress_tile(&m.tile(0, 0)).expect("compress");
+        let ct = Compressor::new(scheme)
+            .compress_tile(&m.tile(0, 0))
+            .expect("compress");
         let expected_nnz = (512.0 * 0.2) as usize;
         assert_eq!(ct.nonzero_count(), expected_nnz);
         assert_eq!(ct.bitmask().expect("sparse").popcount(), expected_nnz);
@@ -284,7 +285,9 @@ mod tests {
         let tile = DenseTile::from_f32(&values);
         // Keep only ~1% = 5 values.
         let scheme = CompressionScheme::bf8_sparse(0.01);
-        let ct = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+        let ct = Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress");
         let mask = ct.bitmask().expect("sparse");
         assert!(mask.get(10) && mask.get(100) && mask.get(200) && mask.get(300));
         assert_eq!(ct.nonzero_count(), 5);
@@ -307,7 +310,9 @@ mod tests {
         values[511] = -2.0;
         let tile = DenseTile::from_f32(&values);
         let scheme = CompressionScheme::bf16_sparse(0.05);
-        let ct = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+        let ct = Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress");
         let codes = ct.unpack_nonzeros();
         assert_eq!(codes.len(), 2);
         assert_eq!(Bf16::from_bits(codes[0]).to_f32(), 1.0);
@@ -320,6 +325,10 @@ mod tests {
         let m = g.dense_matrix(64, 64);
         let scheme = CompressionScheme::bf8_sparse(0.3);
         let cm = compress(&m, scheme).expect("compress");
-        assert!((cm.density() - 0.3).abs() < 0.01, "density {}", cm.density());
+        assert!(
+            (cm.density() - 0.3).abs() < 0.01,
+            "density {}",
+            cm.density()
+        );
     }
 }

@@ -54,43 +54,43 @@ impl Decompressor {
         let scales = tile.scales();
 
         let mut out = DenseTile::zero();
-        match tile.bitmask() {
-            Some(mask) => {
-                if mask.popcount() != codes.len() {
-                    return Err(CompressError::CorruptTile {
-                        reason: format!(
-                            "bitmask popcount {} does not match {} stored codes",
-                            mask.popcount(),
-                            codes.len()
-                        ),
-                    });
-                }
-                for (dense_pos, nz_idx) in mask
-                    .expansion_indices()
-                    .into_iter()
-                    .enumerate()
-                    .filter_map(|(p, idx)| idx.map(|i| (p, i)))
-                {
-                    let mut value = self.dequantize(format, codes[nz_idx]);
-                    if !scales.is_empty() {
-                        value = value.mul(scales[dense_pos / group].to_bf16());
-                    }
-                    out.set(dense_pos / TILE_COLS, dense_pos % TILE_COLS, value);
-                }
+        if let Some(mask) = tile.bitmask() {
+            if mask.popcount() != codes.len() {
+                return Err(CompressError::CorruptTile {
+                    reason: format!(
+                        "bitmask popcount {} does not match {} stored codes",
+                        mask.popcount(),
+                        codes.len()
+                    ),
+                });
             }
-            None => {
-                if codes.len() != TILE_ELEMS {
-                    return Err(CompressError::CorruptTile {
-                        reason: format!("dense tile stores {} codes, expected {TILE_ELEMS}", codes.len()),
-                    });
+            for (dense_pos, nz_idx) in mask
+                .expansion_indices()
+                .into_iter()
+                .enumerate()
+                .filter_map(|(p, idx)| idx.map(|i| (p, i)))
+            {
+                let mut value = self.dequantize(format, codes[nz_idx]);
+                if !scales.is_empty() {
+                    value = value * scales[dense_pos / group].to_bf16();
                 }
-                for (dense_pos, &code) in codes.iter().enumerate() {
-                    let mut value = self.dequantize(format, code);
-                    if !scales.is_empty() {
-                        value = value.mul(scales[dense_pos / group].to_bf16());
-                    }
-                    out.set(dense_pos / TILE_COLS, dense_pos % TILE_COLS, value);
+                out.set(dense_pos / TILE_COLS, dense_pos % TILE_COLS, value);
+            }
+        } else {
+            if codes.len() != TILE_ELEMS {
+                return Err(CompressError::CorruptTile {
+                    reason: format!(
+                        "dense tile stores {} codes, expected {TILE_ELEMS}",
+                        codes.len()
+                    ),
+                });
+            }
+            for (dense_pos, &code) in codes.iter().enumerate() {
+                let mut value = self.dequantize(format, code);
+                if !scales.is_empty() {
+                    value = value * scales[dense_pos / group].to_bf16();
                 }
+                out.set(dense_pos / TILE_COLS, dense_pos % TILE_COLS, value);
             }
         }
         Ok(out)
@@ -103,7 +103,10 @@ impl Decompressor {
     /// # Errors
     ///
     /// Propagates tile-level errors.
-    pub fn decompress_matrix(&self, matrix: &CompressedMatrix) -> Result<WeightMatrix, CompressError> {
+    pub fn decompress_matrix(
+        &self,
+        matrix: &CompressedMatrix,
+    ) -> Result<WeightMatrix, CompressError> {
         let mut out = WeightMatrix::zeros(matrix.rows(), matrix.cols());
         for tr in 0..matrix.tile_rows() {
             for tc in 0..matrix.tile_cols() {
@@ -130,20 +133,35 @@ impl Decompressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{generator::WeightGenerator, Compressor, CompressionScheme};
+    use crate::{generator::WeightGenerator, CompressionScheme, Compressor};
 
     fn roundtrip_max_rel_error(scheme: CompressionScheme, seed: u64) -> f64 {
         let g = WeightGenerator::new(seed);
         let m = g.dense_matrix(16, 32);
         let tile = m.tile(0, 0);
-        let compressed = Compressor::new(scheme).compress_tile(&tile).expect("compress");
-        let restored = Decompressor::new().decompress_tile(&compressed).expect("decompress");
+        let compressed = Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress");
+        let restored = Decompressor::new()
+            .decompress_tile(&compressed)
+            .expect("decompress");
         let mut max_rel: f64 = 0.0;
+        // For quantized (sub-16-bit) formats, values below half of the
+        // smallest subnormal legitimately flush to zero — there the error
+        // bound is absolute, not relative, so the relative-error sweep only
+        // covers weights above that threshold (the same convention as the
+        // property suite). BF16 has no such flush: every nonzero weight
+        // must round-trip, so its threshold is zero.
+        let flush_threshold = if scheme.is_quantized() {
+            f64::from(deca_numerics::Minifloat::bf8().min_subnormal()) / 2.0 * 1.01
+        } else {
+            0.0
+        };
         for r in 0..TILE_ROWS {
             for c in 0..TILE_COLS {
                 let orig = f64::from(tile.get(r, c).to_f32());
                 let back = f64::from(restored.get(r, c).to_f32());
-                if orig != 0.0 {
+                if orig.abs() > flush_threshold {
                     max_rel = max_rel.max(((back - orig) / orig).abs());
                 }
             }
@@ -153,7 +171,10 @@ mod tests {
 
     #[test]
     fn bf16_dense_roundtrip_is_exact() {
-        assert_eq!(roundtrip_max_rel_error(CompressionScheme::bf16_dense(), 21), 0.0);
+        assert_eq!(
+            roundtrip_max_rel_error(CompressionScheme::bf16_dense(), 21),
+            0.0
+        );
     }
 
     #[test]
@@ -176,7 +197,9 @@ mod tests {
         let compressed = Compressor::new(CompressionScheme::mxfp4())
             .compress_tile(&tile)
             .expect("compress");
-        let restored = Decompressor::new().decompress_tile(&compressed).expect("decompress");
+        let restored = Decompressor::new()
+            .decompress_tile(&compressed)
+            .expect("decompress");
         for row_group in 0..TILE_ROWS {
             let group_max = tile
                 .row(row_group)
@@ -203,7 +226,9 @@ mod tests {
             .without_pruning()
             .compress_tile(&tile)
             .expect("compress");
-        let restored = Decompressor::new().decompress_tile(&compressed).expect("decompress");
+        let restored = Decompressor::new()
+            .decompress_tile(&compressed)
+            .expect("decompress");
         for r in 0..TILE_ROWS {
             for c in 0..TILE_COLS {
                 assert_eq!(
@@ -222,8 +247,12 @@ mod tests {
         let g = WeightGenerator::new(25);
         let m = g.dense_matrix(48, 64);
         let scheme = CompressionScheme::bf8_sparse(0.3);
-        let cm = Compressor::new(scheme).compress_matrix(&m).expect("compress");
-        let restored = Decompressor::new().decompress_matrix(&cm).expect("decompress");
+        let cm = Compressor::new(scheme)
+            .compress_matrix(&m)
+            .expect("compress");
+        let restored = Decompressor::new()
+            .decompress_matrix(&cm)
+            .expect("decompress");
         assert_eq!(restored.rows(), 48);
         assert_eq!(restored.cols(), 64);
         assert!((restored.density() - 0.3).abs() < 0.02);

@@ -62,7 +62,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(CompressError::InvalidDensity(1.5).to_string().contains("1.5"));
+        assert!(CompressError::InvalidDensity(1.5)
+            .to_string()
+            .contains("1.5"));
         let e = CompressError::InvalidShape {
             rows: 3,
             cols: 5,

@@ -106,8 +106,8 @@ impl WeightGenerator {
         let mut m = WeightMatrix::zeros(rows, cols);
         match self.pattern {
             SparsityPattern::Bernoulli => {
-                let bern = rand::distributions::Bernoulli::new(density)
-                    .expect("density validated above");
+                let bern =
+                    rand::distributions::Bernoulli::new(density).expect("density validated above");
                 for v in m.data_mut() {
                     if bern.sample(&mut rng) {
                         let mut x = Self::sample_normalish(&mut rng, self.std_dev);

@@ -7,9 +7,7 @@
 
 use deca_numerics::Bf16;
 
-use crate::{
-    CompressError, CompressedTile, CompressionScheme, DenseTile, TILE_COLS, TILE_ROWS,
-};
+use crate::{CompressError, CompressedTile, CompressionScheme, DenseTile, TILE_COLS, TILE_ROWS};
 
 /// A dense weight matrix in row-major f32.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,7 +254,10 @@ impl CompressedMatrix {
     /// Panics if the coordinates are out of range.
     #[must_use]
     pub fn tile(&self, tr: usize, tc: usize) -> &CompressedTile {
-        assert!(tr < self.tile_rows && tc < self.tile_cols, "tile out of range");
+        assert!(
+            tr < self.tile_rows && tc < self.tile_cols,
+            "tile out of range"
+        );
         &self.tiles[tr * self.tile_cols + tc]
     }
 

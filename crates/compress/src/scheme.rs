@@ -39,7 +39,7 @@ impl CompressionScheme {
         density: f64,
         group_size: Option<usize>,
     ) -> Result<Self, CompressError> {
-        if !(density > 0.0 && density <= 1.0) || !density.is_finite() {
+        if !(density > 0.0 && density <= 1.0 && density.is_finite()) {
             return Err(CompressError::InvalidDensity(density));
         }
         if let Some(0) = group_size {
@@ -148,6 +148,14 @@ impl CompressionScheme {
     #[must_use]
     pub fn is_quantized(&self) -> bool {
         self.format != QuantFormat::Bf16
+    }
+
+    /// True if the scheme is the uncompressed dense BF16 baseline — no
+    /// dequantization and no expansion, so DECA does not apply (the paper
+    /// leaves these Table 4 cells empty).
+    #[must_use]
+    pub fn is_uncompressed(&self) -> bool {
+        !self.is_quantized() && !self.is_sparse()
     }
 
     /// Group size for group quantization, if any.
@@ -305,7 +313,10 @@ mod tests {
     #[test]
     fn byte_accounting_matches_paper_examples() {
         // Dense BF16: 1024 bytes, no bitmask, no scales.
-        assert_eq!(CompressionScheme::bf16_dense().expected_tile_bytes(), 1024.0);
+        assert_eq!(
+            CompressionScheme::bf16_dense().expected_tile_bytes(),
+            1024.0
+        );
         // Dense BF8: 512 bytes.
         assert_eq!(CompressionScheme::bf8_dense().expected_tile_bytes(), 512.0);
         // MXFP4: 256 payload + 16 scale bytes.

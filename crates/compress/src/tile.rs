@@ -224,7 +224,10 @@ impl CompressedTile {
             (Some(mask), true) => {
                 if mask.len() != TILE_ELEMS {
                     return Err(CompressError::CorruptTile {
-                        reason: format!("bitmask covers {} bits, expected {TILE_ELEMS}", mask.len()),
+                        reason: format!(
+                            "bitmask covers {} bits, expected {TILE_ELEMS}",
+                            mask.len()
+                        ),
                     });
                 }
                 if mask.popcount() != nonzero_count {
@@ -394,7 +397,11 @@ mod tests {
     #[test]
     fn pack_unpack_roundtrip_various_widths() {
         for bits in [1u32, 3, 4, 6, 7, 8, 12, 16] {
-            let max = if bits == 16 { u16::MAX } else { (1u16 << bits) - 1 };
+            let max = if bits == 16 {
+                u16::MAX
+            } else {
+                (1u16 << bits) - 1
+            };
             let codes: Vec<u16> = (0..100u16).map(|i| (i * 37 + 5) & max).collect();
             let packed = pack_codes(&codes, bits);
             assert_eq!(packed.len(), (codes.len() * bits as usize).div_ceil(8));

@@ -43,9 +43,10 @@ proptest! {
         let idx = mask.expansion_indices();
         prop_assert_eq!(sums.len(), bits.len() + 1);
         for (i, entry) in idx.iter().enumerate() {
-            match entry {
-                Some(k) => prop_assert_eq!(*k, sums[i]),
-                None => prop_assert_eq!(sums[i + 1], sums[i]),
+            if let Some(k) = entry {
+                prop_assert_eq!(*k, sums[i]);
+            } else {
+                prop_assert_eq!(sums[i + 1], sums[i]);
             }
         }
         // Windows of any size partition the popcount.
@@ -74,7 +75,7 @@ proptest! {
         let restored = Decompressor::new().decompress_tile(&compressed).unwrap();
         // Half of E5M2's smallest subnormal: only weights below this may
         // legitimately flush to zero under BF8 quantization.
-        let flush_threshold = 2f32.powi(-17) * 1.01;
+        let flush_threshold = deca_numerics::Minifloat::bf8().min_subnormal() / 2.0 * 1.01;
         for r in 0..TILE_ROWS {
             for c in 0..TILE_COLS {
                 let orig = tile.get(r, c);
@@ -113,9 +114,9 @@ proptest! {
         let tile = gen.dense_matrix(TILE_ROWS, TILE_COLS).tile(0, 0);
         let compressed = Compressor::new(CompressionScheme::bf8_dense()).compress_tile(&tile).unwrap();
         let restored = Decompressor::new().decompress_tile(&compressed).unwrap();
-        // E5M2's subnormal step is 2^-16; below the normal range the error
-        // bound is absolute (half a step) rather than relative.
-        let half_subnormal_step = 2f32.powi(-17) * 1.01;
+        // Below the normal range the error bound is absolute (half a
+        // subnormal step) rather than relative.
+        let half_subnormal_step = deca_numerics::Minifloat::bf8().min_subnormal() / 2.0 * 1.01;
         for (a, b) in tile.elements().iter().zip(restored.elements()) {
             let orig = a.to_f32();
             let back = b.to_f32();

@@ -59,7 +59,9 @@ mod tests {
         assert!(e.to_string().contains("Q4"));
         let e: DecaError = CompressError::InvalidDensity(2.0).into();
         assert!(matches!(e, DecaError::Compress(_)));
-        let e = DecaError::TeplHazard { reason: "no free loader" };
+        let e = DecaError::TeplHazard {
+            reason: "no free loader",
+        };
         assert!(e.to_string().contains("hazard"));
     }
 

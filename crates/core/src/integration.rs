@@ -131,7 +131,10 @@ impl IntegrationConfig {
         vec![
             ("Base", IntegrationConfig::base()),
             ("+Reads L2", IntegrationConfig::plus_reads_l2()),
-            ("+DECA prefetcher", IntegrationConfig::plus_deca_prefetcher()),
+            (
+                "+DECA prefetcher",
+                IntegrationConfig::plus_deca_prefetcher(),
+            ),
             ("+TOut Regs", IntegrationConfig::plus_tout_regs()),
             ("+TEPL (DECA)", IntegrationConfig::plus_tepl()),
         ]

@@ -49,8 +49,8 @@ mod error;
 mod integration;
 mod loader;
 mod lut_array;
-pub mod pipeline;
 mod pe;
+pub mod pipeline;
 mod tepl;
 pub mod timing;
 
@@ -78,7 +78,9 @@ mod tests {
         let tile = matrix.tile(0, 0);
         let reference = Decompressor::new();
         for scheme in SchemeSet::paper_evaluation() {
-            let compressed = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+            let compressed = Compressor::new(scheme)
+                .compress_tile(&tile)
+                .expect("compress");
             let expected = reference.decompress_tile(&compressed).expect("reference");
             let mut pe = DecaPe::new(DecaConfig::baseline());
             let produced = pe.process_tile(&compressed).expect("pe");
@@ -102,7 +104,9 @@ mod tests {
             let mut tiles = 0.0;
             for tr in 0..matrix.tile_rows() {
                 for tc in 0..matrix.tile_cols() {
-                    let compressed = compressor.compress_tile(&matrix.tile(tr, tc)).expect("compress");
+                    let compressed = compressor
+                        .compress_tile(&matrix.tile(tr, tc))
+                        .expect("compress");
                     let out = pe.process_tile(&compressed).expect("pe");
                     // Compare steady-state vOp cycles (the analytic model
                     // excludes the 2-cycle pipeline fill each tile pays once).

@@ -32,12 +32,16 @@ impl TileMetadata {
     #[must_use]
     pub fn for_tile(base: u64, tile: &CompressedTile) -> Self {
         let data_len = tile.payload_bytes() as u32;
-        let bitmask_len = tile.bitmask().map_or(0, |m| m.byte_size()) as u32;
+        let bitmask_len = tile.bitmask().map_or(0, deca_compress::Bitmask::byte_size) as u32;
         let scale_len = tile.scales().len() as u32;
         TileMetadata {
             data_addr: base,
             data_len,
-            bitmask_addr: if bitmask_len > 0 { base + u64::from(data_len) } else { 0 },
+            bitmask_addr: if bitmask_len > 0 {
+                base + u64::from(data_len)
+            } else {
+                0
+            },
             bitmask_len,
             scale_addr: if scale_len > 0 {
                 base + u64::from(data_len) + u64::from(bitmask_len)
@@ -142,7 +146,10 @@ impl Loader {
         self.current = Some(metadata);
         self.tiles_fetched += 1;
         self.bytes_fetched += u64::from(metadata.total_bytes());
-        metadata.cache_lines().div_ceil(self.ldq_entries as u32).max(1)
+        metadata
+            .cache_lines()
+            .div_ceil(self.ldq_entries as u32)
+            .max(1)
     }
 
     /// Records prefetch requests issued on behalf of future tiles.
@@ -195,7 +202,9 @@ mod tests {
 
     fn sample_tile(scheme: CompressionScheme) -> CompressedTile {
         let tile = WeightGenerator::new(3).dense_matrix(16, 32).tile(0, 0);
-        Compressor::new(scheme).compress_tile(&tile).expect("compress")
+        Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress")
     }
 
     #[test]

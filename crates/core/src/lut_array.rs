@@ -68,10 +68,7 @@ impl LutArray {
     #[must_use]
     pub fn dequantize(&self, codes: &[u16]) -> (Vec<Bf16>, u32) {
         match &self.table {
-            None => (
-                codes.iter().map(|&c| Bf16::from_bits(c)).collect(),
-                1,
-            ),
+            None => (codes.iter().map(|&c| Bf16::from_bits(c)).collect(), 1),
             Some(table) => {
                 let lq = self.l * table.lookups_per_lut_per_cycle();
                 let cycles = codes.len().div_ceil(lq).max(1) as u32;
@@ -111,7 +108,10 @@ mod tests {
         assert_eq!(arr.lookups_per_cycle(), Some(8));
         arr.program(QuantFormat::Fp4);
         assert_eq!(arr.lookups_per_cycle(), Some(32));
-        arr.program(QuantFormat::Custom { exp_bits: 4, man_bits: 2 }); // 7-bit
+        arr.program(QuantFormat::Custom {
+            exp_bits: 4,
+            man_bits: 2,
+        }); // 7-bit
         assert_eq!(arr.lookups_per_cycle(), Some(16));
     }
 

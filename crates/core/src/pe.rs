@@ -161,7 +161,9 @@ mod tests {
 
     fn compressed(scheme: CompressionScheme, seed: u64) -> CompressedTile {
         let tile = WeightGenerator::new(seed).dense_matrix(16, 32).tile(0, 0);
-        Compressor::new(scheme).compress_tile(&tile).expect("compress")
+        Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress")
     }
 
     #[test]

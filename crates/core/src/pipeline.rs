@@ -91,7 +91,10 @@ impl VopPipeline {
     /// Returns [`DecaError::NotConfiguredFor`] if the LUT array is
     /// programmed for a different quantized format than the tile uses, and
     /// propagates consistency errors from the tile itself.
-    pub fn process(&mut self, tile: &CompressedTile) -> Result<(DenseTile, PipelineTiming), DecaError> {
+    pub fn process(
+        &mut self,
+        tile: &CompressedTile,
+    ) -> Result<(DenseTile, PipelineTiming), DecaError> {
         let scheme = tile.scheme();
         let format = scheme.format();
         if format != QuantFormat::Bf16 {
@@ -108,13 +111,15 @@ impl VopPipeline {
         let codes = tile.unpack_nonzeros();
         let expansion = tile.bitmask().map(|m| {
             if m.popcount() != codes.len() {
-                return Err(DecaError::Compress(deca_compress::CompressError::CorruptTile {
-                    reason: format!(
-                        "bitmask popcount {} does not match {} codes",
-                        m.popcount(),
-                        codes.len()
-                    ),
-                }));
+                return Err(DecaError::Compress(
+                    deca_compress::CompressError::CorruptTile {
+                        reason: format!(
+                            "bitmask popcount {} does not match {} codes",
+                            m.popcount(),
+                            codes.len()
+                        ),
+                    },
+                ));
             }
             Ok(m.prefix_sums())
         });
@@ -184,20 +189,20 @@ fn apply_scale(
     if scales.is_empty() {
         value
     } else {
-        value.mul(scales[dense_pos / group].to_bf16())
+        value * scales[dense_pos / group].to_bf16()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use deca_compress::{
-        generator::WeightGenerator, CompressionScheme, Compressor, Decompressor,
-    };
+    use deca_compress::{generator::WeightGenerator, CompressionScheme, Compressor, Decompressor};
 
     fn compress_sample(scheme: CompressionScheme, seed: u64) -> CompressedTile {
         let tile = WeightGenerator::new(seed).dense_matrix(16, 32).tile(0, 0);
-        Compressor::new(scheme).compress_tile(&tile).expect("compress")
+        Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress")
     }
 
     fn pipeline_for(scheme: &CompressionScheme, config: DecaConfig) -> VopPipeline {
@@ -217,7 +222,9 @@ mod tests {
             let tile = compress_sample(scheme, 17);
             let mut pipeline = pipeline_for(&scheme, DecaConfig::baseline());
             let (out, _) = pipeline.process(&tile).expect("pipeline");
-            let reference = Decompressor::new().decompress_tile(&tile).expect("reference");
+            let reference = Decompressor::new()
+                .decompress_tile(&tile)
+                .expect("reference");
             assert_eq!(out, reference, "scheme {scheme}");
         }
     }
@@ -302,6 +309,9 @@ mod tests {
         assert!(pipeline.process(&q4).is_ok());
         assert!(pipeline.process(&q8).is_err());
         assert_eq!(pipeline.width(), 32);
-        assert_eq!(pipeline.lut_array().programmed_format(), Some(QuantFormat::Fp4));
+        assert_eq!(
+            pipeline.lut_array().programmed_format(),
+            Some(QuantFormat::Fp4)
+        );
     }
 }

@@ -70,7 +70,7 @@ impl TeplQueue {
     /// True if a new TEPL could issue right now.
     #[must_use]
     pub fn can_issue(&self) -> bool {
-        self.slots.iter().any(|s| *s == TeplSlotState::Free)
+        self.slots.contains(&TeplSlotState::Free)
     }
 
     /// Number of TEPLs currently in flight (issued but not yet retired).
@@ -90,18 +90,15 @@ impl TeplQueue {
     /// structural hazard that stalls the core's issue stage (§5.3). The
     /// stall is also counted for statistics.
     pub fn issue(&mut self, tile_id: u64) -> Result<usize, DecaError> {
-        match self.slots.iter().position(|s| *s == TeplSlotState::Free) {
-            Some(slot) => {
-                self.slots[slot] = TeplSlotState::Issued { tile_id };
-                self.issued_total += 1;
-                Ok(slot)
-            }
-            None => {
-                self.structural_stalls += 1;
-                Err(DecaError::TeplHazard {
-                    reason: "all TEPL ports busy (as many TEPLs in flight as DECA Loaders)",
-                })
-            }
+        if let Some(slot) = self.slots.iter().position(|s| *s == TeplSlotState::Free) {
+            self.slots[slot] = TeplSlotState::Issued { tile_id };
+            self.issued_total += 1;
+            Ok(slot)
+        } else {
+            self.structural_stalls += 1;
+            Err(DecaError::TeplHazard {
+                reason: "all TEPL ports busy (as many TEPLs in flight as DECA Loaders)",
+            })
         }
     }
 

@@ -46,7 +46,7 @@ pub fn tile_exec_model(
     cache: &CacheConfig,
 ) -> TileExecModel {
     let decompress_cycles = deca.vop_model().cycles_per_tile(scheme);
-    build_model(scheme, integration, cache, decompress_cycles)
+    build_model(scheme, *integration, cache, decompress_cycles)
 }
 
 /// Builds the execution model using bubbles *measured* on a sample of
@@ -78,14 +78,14 @@ pub fn tile_exec_model_measured(
         total_bytes += tile.byte_size() as f64;
     }
     let decompress_cycles = total_cycles / sample_tiles.len() as f64;
-    let mut model = build_model(&scheme, integration, cache, decompress_cycles);
+    let mut model = build_model(&scheme, *integration, cache, decompress_cycles);
     model.bytes_per_tile = total_bytes / sample_tiles.len() as f64;
     Ok(model)
 }
 
 fn build_model(
     scheme: &CompressionScheme,
-    integration: &IntegrationConfig,
+    integration: IntegrationConfig,
     cache: &CacheConfig,
     decompress_cycles: f64,
 ) -> TileExecModel {
@@ -167,7 +167,10 @@ mod tests {
         );
         assert!(model.exposed_pre_latency > 0.0);
         assert!(model.exposed_post_latency > TOUT_READ_LATENCY);
-        assert!(matches!(model.invocation, InvocationModel::Serialized { .. }));
+        assert!(matches!(
+            model.invocation,
+            InvocationModel::Serialized { .. }
+        ));
         assert!(!model.prefetch.is_enabled());
     }
 
@@ -224,7 +227,10 @@ mod tests {
         let dense = speedup_from_tepl(&CompressionScheme::bf8_dense());
         let sparse = speedup_from_tepl(&CompressionScheme::bf8_sparse(0.05));
         assert!(sparse > dense, "sparse {sparse} dense {dense}");
-        assert!(sparse > 1.5, "TEPL should give a large boost at 5 % density, got {sparse}");
+        assert!(
+            sparse > 1.5,
+            "TEPL should give a large boost at 5 % density, got {sparse}"
+        );
     }
 
     #[test]
@@ -237,8 +243,11 @@ mod tests {
             .flat_map(|tr| {
                 let compressor = compressor.clone();
                 let matrix = &matrix;
-                (0..matrix.tile_cols())
-                    .map(move |tc| compressor.compress_tile(&matrix.tile(tr, tc)).expect("compress"))
+                (0..matrix.tile_cols()).map(move |tc| {
+                    compressor
+                        .compress_tile(&matrix.tile(tr, tc))
+                        .expect("compress")
+                })
             })
             .collect();
         let analytic = tile_exec_model(

@@ -8,7 +8,7 @@ use deca_sim::{CacheConfig, GemmSimulation, GemmStats, TileExecModel};
 use crate::{avx_model::VectorResources, software_exec_model, GemmShape, Parlooper};
 
 /// Which decompression engine executes the kernel.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Engine {
     /// The libxsmm-style software kernel on the core's AVX units.
     Software {
@@ -52,7 +52,10 @@ impl Engine {
     /// DECA with explicit sizing and integration options.
     #[must_use]
     pub fn deca(config: DecaConfig, integration: IntegrationConfig) -> Self {
-        Engine::Deca { config, integration }
+        Engine::Deca {
+            config,
+            integration,
+        }
     }
 
     /// A short display label.
@@ -145,9 +148,10 @@ impl CompressedGemmExecutor {
     pub fn exec_model(&self, scheme: &CompressionScheme, engine: &Engine) -> TileExecModel {
         match engine {
             Engine::Software { resources } => software_exec_model(scheme, resources),
-            Engine::Deca { config, integration } => {
-                timing::tile_exec_model(scheme, config, integration, &self.cache)
-            }
+            Engine::Deca {
+                config,
+                integration,
+            } => timing::tile_exec_model(scheme, config, integration, &self.cache),
         }
     }
 
@@ -218,7 +222,11 @@ mod tests {
         let base = exec.uncompressed_baseline(1);
         assert!(base.stats.memory_utilization() > 0.9);
         // ~0.4 TFLOPS at N=1 on HBM (850 GB/s / 1 KB per tile * 512 FMAs).
-        assert!((base.tflops - 0.42).abs() < 0.05, "baseline {}", base.tflops);
+        assert!(
+            (base.tflops - 0.42).abs() < 0.05,
+            "baseline {}",
+            base.tflops
+        );
     }
 
     #[test]
@@ -296,10 +304,18 @@ mod tests {
         let scheme = CompressionScheme::bf8_sparse(0.1);
         let deca = exec.run(&scheme, Engine::deca_default(), 1).tflops;
         let more = exec
-            .run(&scheme, Engine::software_with(VectorResources::more_avx_units()), 1)
+            .run(
+                &scheme,
+                Engine::software_with(VectorResources::more_avx_units()),
+                1,
+            )
             .tflops;
         let wider = exec
-            .run(&scheme, Engine::software_with(VectorResources::wider_avx_units()), 1)
+            .run(
+                &scheme,
+                Engine::software_with(VectorResources::wider_avx_units()),
+                1,
+            )
             .tflops;
         assert!(deca > more, "DECA {deca:.2} vs more-units {more:.2}");
         assert!(deca > wider, "DECA {deca:.2} vs wider-units {wider:.2}");

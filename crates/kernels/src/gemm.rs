@@ -137,7 +137,10 @@ mod tests {
         let cascade = FcCascade::paper_microbenchmark(1);
         let params = cascade.layer.weight_elements() as f64;
         assert!((params - 251.66e6).abs() / 251.66e6 < 0.01);
-        assert_eq!(cascade.total_parameters(), cascade.layer.weight_elements() * 8);
+        assert_eq!(
+            cascade.total_parameters(),
+            cascade.layer.weight_elements() * 8
+        );
         assert!(cascade.total_weight_tiles() > 3_900_000);
     }
 

@@ -90,7 +90,13 @@ mod tests {
             / executor.run(&low_cf, Engine::software(), 1).tflops;
         let high = executor.run(&high_cf, Engine::deca_default(), 1).tflops
             / executor.run(&high_cf, Engine::software(), 1).tflops;
-        assert!(low < 1.15, "no meaningful gain expected at low CF on DDR, got {low:.2}");
-        assert!(high > 1.4, "high-CF schemes should gain on DDR, got {high:.2}");
+        assert!(
+            low < 1.15,
+            "no meaningful gain expected at low CF on DDR, got {low:.2}"
+        );
+        assert!(
+            high > 1.4,
+            "high-CF schemes should gain on DDR, got {high:.2}"
+        );
     }
 }

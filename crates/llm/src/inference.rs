@@ -120,7 +120,7 @@ impl InferenceEstimator {
         // One steady-state simulation gives the per-tile rate for this
         // (scheme, engine, batch); every FC GeMM then contributes its own
         // worst-loaded-core tile count at that rate.
-        let run = self.executor.run(scheme, engine.clone(), batch);
+        let run = self.executor.run(scheme, engine, batch);
         let cycles_per_tile = run.stats.cycles_per_tile();
         let seconds_per_tile = cycles_per_tile / self.machine.frequency_hz();
 
@@ -133,9 +133,8 @@ impl InferenceEstimator {
 
         let attention_seconds = self.attention_seconds(model, batch, context_tokens);
         let layers = model.layers() as f64;
-        let other_seconds = layers
-            * (LAYER_OVERHEAD_US + LAYER_OVERHEAD_PER_SEQUENCE_US * batch as f64)
-            * 1e-6;
+        let other_seconds =
+            layers * (LAYER_OVERHEAD_US + LAYER_OVERHEAD_PER_SEQUENCE_US * batch as f64) * 1e-6;
 
         NextTokenReport {
             model: model.name().to_string(),

@@ -66,7 +66,10 @@ impl LayerGeometry {
     /// FC-layer weight parameters of one layer.
     #[must_use]
     pub fn fc_params(&self) -> usize {
-        self.fc_gemms(1).iter().map(GemmShape::weight_elements).sum()
+        self.fc_gemms(1)
+            .iter()
+            .map(GemmShape::weight_elements)
+            .sum()
     }
 
     /// Bytes of KV cache appended per token per sequence (BF16 keys and

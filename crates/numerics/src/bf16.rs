@@ -13,7 +13,9 @@
 /// let x = Bf16::from_f32(0.15625);
 /// assert_eq!(x.to_f32(), 0.15625); // exactly representable
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Bf16(u16);
 
 impl Bf16 {
@@ -63,7 +65,7 @@ impl Bf16 {
     /// True if the value is positive or negative zero.
     #[must_use]
     pub fn is_zero(self) -> bool {
-        (self.0 & 0x7FFF) == 0
+        self.abs().0 == 0
     }
 
     /// Absolute value.
@@ -71,13 +73,16 @@ impl Bf16 {
     pub fn abs(self) -> Self {
         Bf16(self.0 & 0x7FFF)
     }
+}
 
-    /// Multiplies two BF16 values, rounding the result back to BF16.
-    ///
-    /// This mirrors what DECA's scaling stage does when applying a group
-    /// scale factor to a dequantized element.
-    #[must_use]
-    pub fn mul(self, other: Bf16) -> Bf16 {
+/// Multiplies two BF16 values, rounding the result back to BF16.
+///
+/// This mirrors what DECA's scaling stage does when applying a group scale
+/// factor to a dequantized element.
+impl std::ops::Mul for Bf16 {
+    type Output = Bf16;
+
+    fn mul(self, other: Bf16) -> Bf16 {
         Bf16::from_f32(self.to_f32() * other.to_f32())
     }
 }
@@ -187,7 +192,7 @@ mod tests {
     fn mul_applies_scale() {
         let a = Bf16::from_f32(1.5);
         let s = Bf16::from_f32(4.0);
-        assert_eq!(a.mul(s).to_f32(), 6.0);
+        assert_eq!((a * s).to_f32(), 6.0);
     }
 
     #[test]

@@ -105,7 +105,7 @@ impl IntCodec {
     #[must_use]
     pub fn from_storage(self, raw: u8) -> i8 {
         let shift = 8 - self.bits;
-        (((raw << shift) as i8) >> shift) as i8
+        (raw << shift).cast_signed() >> shift
     }
 }
 

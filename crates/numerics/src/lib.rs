@@ -114,9 +114,7 @@ impl QuantFormat {
             QuantFormat::Bf8 => Some(Minifloat::bf8()),
             QuantFormat::E4m3 => Some(Minifloat::e4m3()),
             QuantFormat::Fp4 => Some(Minifloat::e2m1()),
-            QuantFormat::Custom { exp_bits, man_bits } => {
-                Minifloat::new(exp_bits, man_bits).ok()
-            }
+            QuantFormat::Custom { exp_bits, man_bits } => Minifloat::new(exp_bits, man_bits).ok(),
             QuantFormat::Bf16 | QuantFormat::Int8 | QuantFormat::Int4 => None,
         }
     }

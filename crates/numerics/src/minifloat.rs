@@ -139,6 +139,14 @@ impl Minifloat {
         2f32.powi(1 - self.bias)
     }
 
+    /// The smallest positive subnormal magnitude (the format's absolute
+    /// resolution): values below half of this flush to zero under
+    /// round-to-nearest encoding.
+    #[must_use]
+    pub fn min_subnormal(&self) -> f32 {
+        self.min_normal() * 2f32.powi(-i32::from(self.man_bits))
+    }
+
     /// Decodes a code word to its `f32` value.
     ///
     /// Code bits above the format width are ignored (masked off), mirroring
@@ -156,9 +164,9 @@ impl Minifloat {
     fn decode_raw(&self, code: u8) -> f32 {
         let total = self.bits();
         let sign = (code >> (total - 1)) & 1;
-        let exp_mask = (1u16 << self.exp_bits) as u32 - 1;
+        let exp_mask = (1u32 << self.exp_bits) - 1;
         let exp = (u32::from(code) >> self.man_bits) & exp_mask;
-        let man_mask = (1u16 << self.man_bits) as u32 - 1;
+        let man_mask = (1u32 << self.man_bits) - 1;
         let man = u32::from(code) & man_mask;
         let sign_f = if sign == 1 { -1.0f32 } else { 1.0f32 };
         let man_scale = f64::from(1u32 << self.man_bits);
@@ -172,15 +180,11 @@ impl Minifloat {
             } else {
                 f64::NAN
             }
-        } else if exp == exp_mask
-            && self.exp_bits == 4
-            && self.man_bits == 3
-            && man == man_mask
-        {
+        } else if exp == exp_mask && self.exp_bits == 4 && self.man_bits == 3 && man == man_mask {
             // E4M3 ML convention: only S.1111.111 is NaN.
             f64::NAN
         } else {
-            (1.0 + f64::from(man) / man_scale) * 2f64.powi(exp as i32 - self.bias)
+            (1.0 + f64::from(man) / man_scale) * 2f64.powi(exp.cast_signed() - self.bias)
         };
         sign_f * magnitude as f32
     }
@@ -208,9 +212,7 @@ impl Minifloat {
         }
         let v = value.clamp(-self.max_value(), self.max_value());
         // Binary search for insertion point in the sorted finite values.
-        let idx = self
-            .sorted
-            .partition_point(|(cand, _)| *cand < v);
+        let idx = self.sorted.partition_point(|(cand, _)| *cand < v);
         let lower = idx.checked_sub(1).map(|i| self.sorted[i]);
         let upper = self.sorted.get(idx).copied();
         match (lower, upper) {

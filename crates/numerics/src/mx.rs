@@ -218,9 +218,7 @@ mod tests {
     fn roundtrip_error_is_bounded() {
         let mx = MxCodec::mxfp4();
         // Values spanning several binades within one group.
-        let values: Vec<f32> = (0..32)
-            .map(|i| ((i as f32) - 16.0) * 0.37 + 0.01)
-            .collect();
+        let values: Vec<f32> = (0..32).map(|i| ((i as f32) - 16.0) * 0.37 + 0.01).collect();
         let groups = mx.quantize(&values);
         assert_eq!(groups.len(), 1);
         let back = mx.dequantize_all(&groups);

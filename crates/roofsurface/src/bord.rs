@@ -229,8 +229,8 @@ mod tests {
         let bord = Bord::new(RoofSurface::for_cpu(&machine));
         let sigs = software_signatures();
         let frac = bord.vec_bound_fraction(&sigs);
-        let base = Bord::new(RoofSurface::for_cpu(&MachineConfig::spr_hbm()))
-            .vec_bound_fraction(&sigs);
+        let base =
+            Bord::new(RoofSurface::for_cpu(&MachineConfig::spr_hbm())).vec_bound_fraction(&sigs);
         assert!(frac < base, "4x VOS must reduce the VEC-bound fraction");
         assert!(frac > 0.0, "4x VOS is still not enough for all kernels");
     }
@@ -238,8 +238,7 @@ mod tests {
     #[test]
     fn place_reports_coordinates_and_region() {
         let bord = Bord::new(RoofSurface::for_cpu(&MachineConfig::spr_hbm()));
-        let sig =
-            KernelSignature::from_scheme_and_vops(&CompressionScheme::mxfp4(), 192.0);
+        let sig = KernelSignature::from_scheme_and_vops(&CompressionScheme::mxfp4(), 192.0);
         let p = bord.place(&sig);
         assert_eq!(p.label, "Q4");
         assert!((p.aix_m - 1.0 / 272.0).abs() < 1e-9);

@@ -30,15 +30,19 @@ pub fn binomial_cdf(k: usize, n: usize, p: f64) -> f64 {
     if k >= n {
         return 1.0;
     }
-    if p == 0.0 {
+    // The [0, 1] bounds are asserted above, so the boundary cases compare
+    // exactly (no arithmetic has touched `p` yet).
+    if p <= 0.0 {
         return 1.0;
     }
-    if p == 1.0 {
-        return if k >= n { 1.0 } else { 0.0 };
+    if p >= 1.0 {
+        // k < n here: with certain success, fewer than n successes never
+        // happens.
+        return 0.0;
     }
     let q = 1.0 - p;
     // pmf(0) = q^n, then pmf(i) = pmf(i-1) * (n-i+1)/i * p/q.
-    let mut pmf = q.powi(n as i32);
+    let mut pmf = q.powi(i32::try_from(n).expect("window size fits in i32"));
     let mut cdf = pmf;
     for i in 1..=k {
         pmf *= (n - i + 1) as f64 / i as f64 * (p / q);
@@ -74,7 +78,7 @@ impl DecaVopModel {
     pub fn new(w: usize, l: usize) -> Self {
         assert!(w > 0 && l > 0, "W and L must be positive");
         assert!(
-            TILE_ELEMS % w == 0,
+            TILE_ELEMS.is_multiple_of(w),
             "W={w} must divide the {TILE_ELEMS}-element tile"
         );
         DecaVopModel { w, l }
@@ -224,7 +228,10 @@ mod tests {
                 CompressionScheme::bf8_dense()
             };
             let bpv = model.bubbles_per_vop(&scheme);
-            assert!(bpv <= previous + 1e-12, "density {d}: bpv {bpv} > {previous}");
+            assert!(
+                bpv <= previous + 1e-12,
+                "density {d}: bpv {bpv} > {previous}"
+            );
             previous = bpv;
         }
         // At 5 % density bubbles are essentially gone.
@@ -242,12 +249,20 @@ mod tests {
         let d = 0.5;
         let mut direct = 0.0;
         for x in 0..=w {
-            let pmf = binomial_cdf(x, w, d) - if x == 0 { 0.0 } else { binomial_cdf(x - 1, w, d) };
+            let pmf = binomial_cdf(x, w, d)
+                - if x == 0 {
+                    0.0
+                } else {
+                    binomial_cdf(x - 1, w, d)
+                };
             let cycles = if x == 0 { 1 } else { x.div_ceil(lq) };
             direct += pmf * (cycles - 1) as f64;
         }
         let model_bpv = model.bubbles_per_vop(&scheme);
-        assert!((model_bpv - direct).abs() < 1e-9, "model {model_bpv} direct {direct}");
+        assert!(
+            (model_bpv - direct).abs() < 1e-9,
+            "model {model_bpv} direct {direct}"
+        );
     }
 
     #[test]
@@ -277,8 +292,14 @@ mod tests {
         assert!(under < base && base < over);
         // §9.2: the best sizing has 8x fewer LUTs and half the W of the
         // overprovisioned one.
-        assert_eq!(DecaVopModel::OVERPROVISIONED.l / DecaVopModel::BASELINE.l, 8);
-        assert_eq!(DecaVopModel::OVERPROVISIONED.w / DecaVopModel::BASELINE.w, 2);
+        assert_eq!(
+            DecaVopModel::OVERPROVISIONED.l / DecaVopModel::BASELINE.l,
+            8
+        );
+        assert_eq!(
+            DecaVopModel::OVERPROVISIONED.w / DecaVopModel::BASELINE.w,
+            2
+        );
     }
 
     #[test]

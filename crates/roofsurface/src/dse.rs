@@ -6,7 +6,7 @@
 
 use deca_compress::CompressionScheme;
 
-use crate::{BoundingFactor, Bord, DecaVopModel, MachineConfig, RoofSurface};
+use crate::{Bord, BoundingFactor, DecaVopModel, MachineConfig, RoofSurface};
 
 /// A candidate DECA sizing together with its cost proxy.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -128,10 +128,7 @@ impl DesignSpaceExploration {
         self.sweep(candidates)
             .into_iter()
             .filter(|o| o.all_escape_vec)
-            .min_by(|a, b| {
-                (a.point.cost, a.point.model.w)
-                    .cmp(&(b.point.cost, b.point.model.w))
-            })
+            .min_by(|a, b| (a.point.cost, a.point.model.w).cmp(&(b.point.cost, b.point.model.w)))
     }
 
     /// The classification of every kernel on the BORD for one sizing — the
@@ -152,11 +149,7 @@ mod tests {
     use deca_compress::SchemeSet;
 
     fn hbm_dse() -> DesignSpaceExploration {
-        DesignSpaceExploration::new(
-            MachineConfig::spr_hbm(),
-            SchemeSet::paper_evaluation(),
-            4,
-        )
+        DesignSpaceExploration::new(MachineConfig::spr_hbm(), SchemeSet::paper_evaluation(), 4)
     }
 
     #[test]
@@ -197,7 +190,12 @@ mod tests {
         let pick = dse
             .recommend(&DesignSpaceExploration::default_grid())
             .expect("some design must qualify");
-        assert_eq!(pick.point.model, DecaVopModel::BASELINE, "picked {}", pick.point.model);
+        assert_eq!(
+            pick.point.model,
+            DecaVopModel::BASELINE,
+            "picked {}",
+            pick.point.model
+        );
     }
 
     #[test]
@@ -240,11 +238,8 @@ mod tests {
     fn ddr_machine_needs_a_smaller_design() {
         // On DDR the memory roof is lower, so even a small DECA suffices for
         // more kernels than on HBM.
-        let ddr = DesignSpaceExploration::new(
-            MachineConfig::spr_ddr(),
-            SchemeSet::paper_evaluation(),
-            4,
-        );
+        let ddr =
+            DesignSpaceExploration::new(MachineConfig::spr_ddr(), SchemeSet::paper_evaluation(), 4);
         let hbm = hbm_dse();
         let small = DecaVopModel::new(16, 8);
         let ddr_fail = ddr.evaluate(small).vec_bound_kernels.len();

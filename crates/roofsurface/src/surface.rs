@@ -236,8 +236,7 @@ mod tests {
         assert!(s.tiles_per_second(&sw) <= s.memory_rate(&sw));
         // Uncompressed BF16 needs no decompression work to speak of: give it
         // a tiny op count and it becomes memory-bound.
-        let bf16 =
-            KernelSignature::from_scheme_and_vops(&CompressionScheme::bf16_dense(), 16.0);
+        let bf16 = KernelSignature::from_scheme_and_vops(&CompressionScheme::bf16_dense(), 16.0);
         assert_eq!(s.bounding_factor(&bf16), BoundingFactor::Memory);
         // An extremely compressed kernel with almost no vector work is
         // matrix-bound.
@@ -283,10 +282,8 @@ mod tests {
         // §4.2/§7: even 4x VOS is not enough to make all kernels escape the
         // VEC-bound region.
         let s = hbm_cpu();
-        let worst = KernelSignature::from_scheme_and_vops(
-            &CompressionScheme::bf8_sparse(0.05),
-            144.0,
-        );
+        let worst =
+            KernelSignature::from_scheme_and_vops(&CompressionScheme::bf8_sparse(0.05), 144.0);
         assert!(s.required_vos_scaling(&worst) > 4.0);
         let mem_bound =
             KernelSignature::from_scheme_and_vops(&CompressionScheme::bf16_sparse(0.5), 96.0);
@@ -298,10 +295,22 @@ mod tests {
         let s = hbm_cpu();
         let samples = s.sample_grid((0.001, 0.02), (0.001, 0.2), 32, 4);
         assert_eq!(samples.len(), 32 * 32);
-        let mem = samples.iter().filter(|p| p.bound == BoundingFactor::Memory).count();
-        let vec = samples.iter().filter(|p| p.bound == BoundingFactor::Vector).count();
-        let mtx = samples.iter().filter(|p| p.bound == BoundingFactor::Matrix).count();
-        assert!(mem > 0 && vec > 0 && mtx > 0, "mem={mem} vec={vec} mtx={mtx}");
+        let mem = samples
+            .iter()
+            .filter(|p| p.bound == BoundingFactor::Memory)
+            .count();
+        let vec = samples
+            .iter()
+            .filter(|p| p.bound == BoundingFactor::Vector)
+            .count();
+        let mtx = samples
+            .iter()
+            .filter(|p| p.bound == BoundingFactor::Matrix)
+            .count();
+        assert!(
+            mem > 0 && vec > 0 && mtx > 0,
+            "mem={mem} vec={vec} mtx={mtx}"
+        );
         // FLOPS on the surface never exceed the compute roof.
         let peak = crate::FLOPS_PER_TILE_OP_PER_N * 4.0 * s.mos();
         assert!(samples.iter().all(|p| p.flops <= peak + 1e-3));

@@ -285,8 +285,14 @@ mod tests {
         let per_core_bpc = s.socket_bytes_per_cycle() / 56.0;
         let bound = model.steady_state_bound_cycles(per_core_bpc);
         let cpt = stats.cycles_per_tile();
-        assert!(cpt >= bound * 0.999, "cycles/tile {cpt} below bound {bound}");
-        assert!(cpt <= bound * 1.10, "cycles/tile {cpt} far above bound {bound}");
+        assert!(
+            cpt >= bound * 0.999,
+            "cycles/tile {cpt} below bound {bound}"
+        );
+        assert!(
+            cpt <= bound * 1.10,
+            "cycles/tile {cpt} far above bound {bound}"
+        );
     }
 
     #[test]
@@ -297,7 +303,9 @@ mod tests {
         let mut overlapped_model = base_model();
         overlapped_model.bytes_per_tile = 128.0;
         let mut serial = overlapped_model.clone();
-        serial.invocation = InvocationModel::Serialized { overhead_cycles: 36.0 };
+        serial.invocation = InvocationModel::Serialized {
+            overhead_cycles: 36.0,
+        };
         let overlapped = s.run(&overlapped_model, 2000);
         let serialized = s.run(&serial, 2000);
         assert!(
@@ -320,7 +328,9 @@ mod tests {
             fast.bytes_per_tile = bytes;
             fast.exposed_post_latency = 6.0;
             let mut slow = fast.clone();
-            slow.invocation = InvocationModel::Serialized { overhead_cycles: 36.0 };
+            slow.invocation = InvocationModel::Serialized {
+                overhead_cycles: 36.0,
+            };
             let a = s.run(&fast, 2000).total_cycles;
             let b = s.run(&slow, 2000).total_cycles;
             b / a

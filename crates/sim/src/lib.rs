@@ -91,7 +91,10 @@ mod tests {
         let analytic_tps = machine.memory_bandwidth_bytes_per_sec() / 1024.0;
         let measured_tps = stats.tiles_per_second(&machine);
         let rel = (measured_tps - analytic_tps).abs() / analytic_tps;
-        assert!(rel < 0.05, "measured {measured_tps:.3e} vs analytic {analytic_tps:.3e}");
+        assert!(
+            rel < 0.05,
+            "measured {measured_tps:.3e} vs analytic {analytic_tps:.3e}"
+        );
         assert!(stats.memory_utilization() > 0.9);
     }
 

@@ -146,7 +146,7 @@ mod tests {
         // 800 bytes = 100 cycles of transfer.
         let t1 = mem.request(0.0, 800.0, 0.0);
         assert_eq!(t1, 200.0); // 100 transfer + 100 latency
-        // Issued immediately after, but the channel is busy until cycle 100.
+                               // Issued immediately after, but the channel is busy until cycle 100.
         let t2 = mem.request(1.0, 800.0, 0.0);
         assert_eq!(t2, 300.0);
         assert_eq!(mem.bytes_transferred(), 1600.0);

@@ -143,7 +143,10 @@ impl MulticoreGemmSimulation {
         let mut heap = BinaryHeap::new();
         for (idx, core) in cores.iter().enumerate() {
             if core.tiles_assigned > 0 {
-                heap.push(Pending { time: 0.0, core: idx });
+                heap.push(Pending {
+                    time: 0.0,
+                    core: idx,
+                });
             }
         }
 
@@ -246,14 +249,17 @@ mod tests {
         let multicore = MulticoreGemmSimulation::new(machine.clone(), cache.clone());
         let fair = GemmSimulation::new(machine.clone(), cache);
         for m in [
-            model(1024.0, 8.0),  // memory-bound
-            model(90.0, 64.0),   // decompression-bound
-            model(320.0, 72.0),  // mixed
+            model(1024.0, 8.0), // memory-bound
+            model(90.0, 64.0),  // decompression-bound
+            model(320.0, 72.0), // mixed
         ] {
             let a = multicore.run(&m, 800).tflops(&machine, 1);
             let b = fair.run(&m, 800).tflops(&machine, 1);
             let rel = (a - b).abs() / b;
-            assert!(rel < 0.05, "multicore {a:.3} vs fair-share {b:.3} ({rel:.3})");
+            assert!(
+                rel < 0.05,
+                "multicore {a:.3} vs fair-share {b:.3} ({rel:.3})"
+            );
         }
     }
 

@@ -79,7 +79,9 @@ impl GemmStats {
     /// Socket-level FLOPS (FMAs/s) for batch size `n`.
     #[must_use]
     pub fn flops(&self, machine: &MachineConfig, n: usize) -> f64 {
-        deca_roofsurface::FLOPS_PER_TILE_OP_PER_N * n.min(16) as f64 * self.tiles_per_second(machine)
+        deca_roofsurface::FLOPS_PER_TILE_OP_PER_N
+            * n.min(16) as f64
+            * self.tiles_per_second(machine)
     }
 
     /// Socket-level TFLOPS for batch size `n`.

@@ -9,32 +9,36 @@ use proptest::prelude::*;
 
 fn arbitrary_model() -> impl Strategy<Value = TileExecModel> {
     (
-        32.0f64..1100.0,  // bytes per tile
-        4.0f64..200.0,    // decompress cycles
-        1.0f64..60.0,     // core cycles
-        0.0f64..80.0,     // post latency
-        prop::bool::ANY,  // serialized?
-        0usize..=16,      // prefetch distance (0 = none)
+        32.0f64..1100.0, // bytes per tile
+        4.0f64..200.0,   // decompress cycles
+        1.0f64..60.0,    // core cycles
+        0.0f64..80.0,    // post latency
+        prop::bool::ANY, // serialized?
+        0usize..=16,     // prefetch distance (0 = none)
     )
-        .prop_map(|(bytes, decomp, core, post, serialized, distance)| TileExecModel {
-            bytes_per_tile: bytes,
-            decompress_cycles_per_tile: decomp,
-            core_cycles_per_tile: core,
-            tmul_cycles_per_tile: 16.0,
-            exposed_pre_latency: 0.0,
-            exposed_post_latency: post,
-            invocation: if serialized {
-                InvocationModel::Serialized { overhead_cycles: 36.0 }
-            } else {
-                InvocationModel::Overlapped
+        .prop_map(
+            |(bytes, decomp, core, post, serialized, distance)| TileExecModel {
+                bytes_per_tile: bytes,
+                decompress_cycles_per_tile: decomp,
+                core_cycles_per_tile: core,
+                tmul_cycles_per_tile: 16.0,
+                exposed_pre_latency: 0.0,
+                exposed_post_latency: post,
+                invocation: if serialized {
+                    InvocationModel::Serialized {
+                        overhead_cycles: 36.0,
+                    }
+                } else {
+                    InvocationModel::Overlapped
+                },
+                buffering_depth: 2,
+                prefetch: if distance == 0 {
+                    PrefetchConfig::none()
+                } else {
+                    PrefetchConfig::stream(distance)
+                },
             },
-            buffering_depth: 2,
-            prefetch: if distance == 0 {
-                PrefetchConfig::none()
-            } else {
-                PrefetchConfig::stream(distance)
-            },
-        })
+        )
 }
 
 proptest! {

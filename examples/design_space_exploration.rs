@@ -6,9 +6,7 @@
 //! Run with: `cargo run --release --example design_space_exploration`
 
 use deca_compress::SchemeSet;
-use deca_roofsurface::{
-    Bord, DecaVopModel, DesignSpaceExploration, MachineConfig, RoofSurface,
-};
+use deca_roofsurface::{Bord, DecaVopModel, DesignSpaceExploration, MachineConfig, RoofSurface};
 
 fn main() {
     // A hypothetical future part: 64 cores and 1.5 TB/s of memory bandwidth.
@@ -30,7 +28,10 @@ fn main() {
     let schemes = SchemeSet::paper_evaluation();
     let dse = DesignSpaceExploration::new(machine.clone(), schemes.clone(), 4);
 
-    println!("\n{:<14} {:>10} {:>12} {:>16}", "sizing", "cost (B)", "min TFLOPS", "VEC-bound kernels");
+    println!(
+        "\n{:<14} {:>10} {:>12} {:>16}",
+        "sizing", "cost (B)", "min TFLOPS", "VEC-bound kernels"
+    );
     for candidate in DesignSpaceExploration::default_grid() {
         let outcome = dse.evaluate(candidate);
         println!(
@@ -50,7 +51,10 @@ fn main() {
             );
             // Show where the kernels land on the BORD with that sizing.
             let bord = Bord::new(RoofSurface::for_deca(&machine));
-            let sigs: Vec<_> = schemes.iter().map(|s| pick.point.model.signature(s)).collect();
+            let sigs: Vec<_> = schemes
+                .iter()
+                .map(|s| pick.point.model.signature(s))
+                .collect();
             let points = bord.place_all(&sigs);
             println!("{}", bord.render_ascii(&points, 64, 20));
         }
@@ -63,5 +67,8 @@ fn main() {
         .recommend(&DesignSpaceExploration::default_grid())
         .expect("SPR has a qualifying design");
     assert_eq!(spr_pick.point.model, DecaVopModel::BASELINE);
-    println!("(for reference, SPR-HBM recommends {})", spr_pick.point.model);
+    println!(
+        "(for reference, SPR-HBM recommends {})",
+        spr_pick.point.model
+    );
 }

@@ -14,7 +14,11 @@ fn main() {
     let machine = MachineConfig::spr_hbm();
     let estimator = InferenceEstimator::new(machine);
     for model in [LlmModel::llama2_70b(), LlmModel::opt_66b()] {
-        println!("== {} ({:.1} B parameters) ==", model.name(), model.total_params() as f64 / 1e9);
+        println!(
+            "== {} ({:.1} B parameters) ==",
+            model.name(),
+            model.total_params() as f64 / 1e9
+        );
         println!(
             "{:<10} {:>10} {:>14} {:>14} {:>12} {:>10}",
             "scheme", "fits HBM?", "SW next-token", "DECA next-token", "DECA tok/s", "speedup"
@@ -22,20 +26,20 @@ fn main() {
         for scheme in SchemeSet::llm_evaluation() {
             let fits = footprint::fits_in_hbm(&model, &scheme);
             let sw = estimator.next_token(&model, &scheme, Engine::software(), 1, 128);
-            let uncompressed_dense =
-                !scheme.is_quantized() && !scheme.is_sparse();
-            let (deca_ms, tok_s, speedup) = if uncompressed_dense {
-                (f64::NAN, f64::NAN, f64::NAN)
+            // DECA does not apply to the uncompressed model — leave the
+            // cells empty like Table 4 does.
+            let (deca_ms, tok_s, speedup) = if scheme.is_uncompressed() {
+                ("-".to_string(), "-".to_string(), "-".to_string())
             } else {
                 let deca = estimator.next_token(&model, &scheme, Engine::deca_default(), 1, 128);
                 (
-                    deca.total_ms(),
-                    deca.tokens_per_second(),
-                    sw.total_ms() / deca.total_ms(),
+                    format!("{:.1}ms", deca.total_ms()),
+                    format!("{:.1}", deca.tokens_per_second()),
+                    format!("{:.2}x", sw.total_ms() / deca.total_ms()),
                 )
             };
             println!(
-                "{:<10} {:>10} {:>12.1}ms {:>12.1}ms {:>12.1} {:>9.2}x",
+                "{:<10} {:>10} {:>12.1}ms {:>14} {:>12} {:>10}",
                 scheme.label(),
                 if fits { "yes" } else { "no" },
                 sw.total_ms(),

@@ -15,7 +15,9 @@ use deca_numerics::Bf16;
 #[test]
 fn compressed_gemm_matches_dense_reference_within_quantization_error() {
     let weights = WeightGenerator::new(1001).dense_matrix(96, 64);
-    let activations = WeightGenerator::new(1002).with_std_dev(0.5).dense_matrix(4, 96);
+    let activations = WeightGenerator::new(1002)
+        .with_std_dev(0.5)
+        .dense_matrix(4, 96);
     let dense_out = functional::gemm_dense(&activations, &weights);
 
     for scheme in [
@@ -48,7 +50,9 @@ fn compressed_gemm_matches_dense_reference_within_quantization_error() {
 fn deca_pe_reconstruction_is_bit_exact_across_a_matrix() {
     let weights = WeightGenerator::new(2002).dense_matrix(48, 96);
     for scheme in SchemeSet::paper_evaluation() {
-        let compressed = Compressor::new(scheme).compress_matrix(&weights).expect("compress");
+        let compressed = Compressor::new(scheme)
+            .compress_matrix(&weights)
+            .expect("compress");
         let reference = Decompressor::new();
         let mut pe = DecaPe::new(DecaConfig::baseline());
         for tr in 0..compressed.tile_rows() {
@@ -69,9 +73,13 @@ fn pruned_density_is_respected_end_to_end() {
     let weights = WeightGenerator::new(3003).dense_matrix(64, 64);
     for density in [0.5, 0.2, 0.05] {
         let scheme = CompressionScheme::bf8_sparse(density);
-        let compressed = Compressor::new(scheme).compress_matrix(&weights).expect("compress");
+        let compressed = Compressor::new(scheme)
+            .compress_matrix(&weights)
+            .expect("compress");
         assert!((compressed.density() - density).abs() < 0.01);
-        let restored = Decompressor::new().decompress_matrix(&compressed).expect("decompress");
+        let restored = Decompressor::new()
+            .decompress_matrix(&compressed)
+            .expect("decompress");
         assert!((restored.density() - density).abs() < 0.01);
     }
 }

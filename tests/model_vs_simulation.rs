@@ -86,7 +86,9 @@ fn bubble_model_orderings_are_consistent() {
         let mut tiles = 0.0;
         for tr in 0..matrix.tile_rows() {
             for tc in 0..matrix.tile_cols() {
-                let tile = compressor.compress_tile(&matrix.tile(tr, tc)).expect("compress");
+                let tile = compressor
+                    .compress_tile(&matrix.tile(tr, tc))
+                    .expect("compress");
                 let (_, timing) = pipeline.process(&tile).expect("pipeline");
                 cycles += f64::from(timing.vops + timing.bubbles);
                 tiles += 1.0;
@@ -95,12 +97,21 @@ fn bubble_model_orderings_are_consistent() {
         measured.push(cycles / tiles);
     }
     for window in analytic.windows(2) {
-        assert!(window[0] >= window[1], "analytic cycles must fall with sparsity");
+        assert!(
+            window[0] >= window[1],
+            "analytic cycles must fall with sparsity"
+        );
     }
     for window in measured.windows(2) {
-        assert!(window[0] >= window[1], "measured cycles must fall with sparsity");
+        assert!(
+            window[0] >= window[1],
+            "measured cycles must fall with sparsity"
+        );
     }
     for (a, m) in analytic.iter().zip(&measured) {
-        assert!((a - m).abs() / a < 0.10, "analytic {a:.2} vs measured {m:.2}");
+        assert!(
+            (a - m).abs() / a < 0.10,
+            "analytic {a:.2} vs measured {m:.2}"
+        );
     }
 }

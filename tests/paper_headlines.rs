@@ -33,7 +33,10 @@ fn headline_llm_speedup_band() {
     let estimator = InferenceEstimator::new(MachineConfig::spr_hbm());
     let mut speedups = Vec::new();
     for model in [LlmModel::llama2_70b(), LlmModel::opt_66b()] {
-        for scheme in [CompressionScheme::mxfp4(), CompressionScheme::bf8_sparse(0.05)] {
+        for scheme in [
+            CompressionScheme::mxfp4(),
+            CompressionScheme::bf8_sparse(0.05),
+        ] {
             let sw = estimator.next_token(&model, &scheme, Engine::software(), 1, 128);
             let deca = estimator.next_token(&model, &scheme, Engine::deca_default(), 1, 128);
             speedups.push(sw.total_ms() / deca.total_ms());

@@ -1,0 +1,322 @@
+//! Offline stub of `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset this
+//! workspace's benches use: `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{bench_with_input, throughput, finish}`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros. It honours the CLI flags CI relies on:
+//! `--test` (run every benchmark once, no timing) and `--quick` (short
+//! measurement), ignores the `--bench` flag cargo passes, and treats any
+//! bare argument as a substring filter. There is no statistical analysis —
+//! it reports the arithmetic-mean time per iteration.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group (or standalone).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter rendering alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Throughput annotation for a benchmark (recorded, reported per-second).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration (reported in binary units).
+    Bytes(u64),
+    /// Bytes processed per iteration (reported in decimal units).
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Runs the measured closure and accumulates timing.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this bencher's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Prevents the compiler from optimising a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Full measurement.
+    Full,
+    /// `--quick`: one short measurement batch.
+    Quick,
+    /// `--test`: run each benchmark exactly once, report no timing.
+    Test,
+}
+
+/// The benchmark driver: holds CLI-derived settings and runs benchmarks.
+pub struct Criterion {
+    mode: Mode,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Full,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies the benchmark CLI arguments (`--quick`, `--test`, a substring
+    /// filter); unknown flags — including the `--bench` cargo appends — are
+    /// ignored.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => self.mode = Mode::Quick,
+                "--test" => self.mode = Mode::Test,
+                _ if arg.starts_with('-') => {}
+                _ => self.filter = Some(arg),
+            }
+        }
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_ref().is_none_or(|f| id.contains(f))
+    }
+
+    fn measure<F: FnMut(&mut Bencher)>(&self, id: &str, f: &mut F) {
+        if !self.matches(id) {
+            return;
+        }
+        if self.mode == Mode::Test {
+            let mut bencher = Bencher {
+                iterations: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut bencher);
+            println!("{id}: test mode, 1 iteration ... ok");
+            return;
+        }
+        // Calibrate: run once, then scale the batch to the target time.
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.elapsed.max(Duration::from_nanos(1));
+        let target = match self.mode {
+            Mode::Quick => Duration::from_millis(20),
+            _ => Duration::from_millis(200),
+        };
+        let iterations = (target.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+        let mut bencher = Bencher {
+            iterations,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let nanos_per_iter = bencher.elapsed.as_nanos() as f64 / iterations as f64;
+        println!(
+            "{id}: time: [{} / iter] ({iterations} iterations)",
+            fmt_time(nanos_per_iter)
+        );
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.measure(id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing line (the real crate prints a summary report).
+    pub fn final_summary(&self) {
+        if self.mode != Mode::Test {
+            println!("benchmarks complete");
+        }
+    }
+}
+
+fn fmt_time(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into());
+        self.criterion.measure(&full_id, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full_id = format!("{}/{}", self.name, id.into());
+        self.criterion
+            .measure(&full_id, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each target against a shared
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Criterion benchmark group `", stringify!($name), "`.")]
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        let mut bencher = Bencher {
+            iterations: 17,
+            elapsed: Duration::ZERO,
+        };
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 17);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("Q8").to_string(), "Q8");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut criterion = Criterion {
+            mode: Mode::Test,
+            filter: None,
+        };
+        let mut ran = false;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.throughput(Throughput::Bytes(1024));
+            group.bench_with_input(BenchmarkId::from_parameter("x"), &5u32, |b, v| {
+                b.iter(|| *v * 2);
+                ran = true;
+            });
+            group.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_matching() {
+        let criterion = Criterion {
+            mode: Mode::Test,
+            filter: Some("pipe".to_string()),
+        };
+        assert!(criterion.matches("deca_pe_pipeline/Q8"));
+        assert!(!criterion.matches("roofsurface"));
+    }
+}

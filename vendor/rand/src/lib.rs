@@ -1,0 +1,225 @@
+//! Offline stub of `rand` 0.8.
+//!
+//! Implements exactly the API subset this workspace uses — `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::gen`, `Rng::gen_range`, and
+//! `distributions::{Distribution, Bernoulli}` — on top of a SplitMix64
+//! generator. The stream differs from the real `StdRng` (ChaCha12), but all
+//! callers only rely on determinism-for-a-seed and uniformity, never on the
+//! exact stream.
+
+use std::ops::Range;
+
+/// The core of a random number generator: a 64-bit output stream.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// RNGs that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates an RNG whose stream is a deterministic function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a half-open integer range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+/// Random distributions and the [`Distribution`](distributions::Distribution) trait.
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: unit-interval floats, uniform integers.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+            // 53 high bits -> uniform in [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: Rng>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: Rng>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Distribution<u64> for Standard {
+        fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+
+    /// Error returned by [`Bernoulli::new`] for probabilities outside [0, 1].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct BernoulliError;
+
+    impl std::fmt::Display for BernoulliError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "probability is outside [0, 1]")
+        }
+    }
+
+    impl std::error::Error for BernoulliError {}
+
+    /// The Bernoulli distribution: `true` with probability `p`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Bernoulli {
+        p: f64,
+    }
+
+    impl Bernoulli {
+        /// Creates a Bernoulli distribution with success probability `p`.
+        ///
+        /// # Errors
+        ///
+        /// Returns [`BernoulliError`] if `p` is not in `[0, 1]`.
+        pub fn new(p: f64) -> Result<Self, BernoulliError> {
+            if (0.0..=1.0).contains(&p) {
+                Ok(Bernoulli { p })
+            } else {
+                Err(BernoulliError)
+            }
+        }
+    }
+
+    impl Distribution<bool> for Bernoulli {
+        fn sample<R: Rng>(&self, rng: &mut R) -> bool {
+            let unit: f64 = Standard.sample(rng);
+            unit < self.p
+        }
+    }
+}
+
+/// Concrete RNG types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64 in this stub).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            StdRng { state }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Bernoulli, Distribution};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>().to_bits(), b.gen::<f64>().to_bits());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bernoulli_hits_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bern = Bernoulli::new(0.3).unwrap();
+        let hits = (0..100_000).filter(|_| bern.sample(&mut rng)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn bernoulli_rejects_invalid_probability() {
+        assert!(Bernoulli::new(-0.1).is_err());
+        assert!(Bernoulli::new(1.1).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the macro
+//! namespace (no-op derives from the stub `serde_derive`) and the trait
+//! namespace, so `#[derive(serde::Serialize, serde::Deserialize)]` compiles
+//! exactly as it would against the real crate. No serialization machinery is
+//! included because nothing in this workspace serializes through serde yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (the stub derive emits no impls).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (the stub derive emits no impls).
+pub trait Deserialize<'de>: Sized {}

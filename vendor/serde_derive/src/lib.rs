@@ -1,0 +1,22 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, and this workspace only
+//! uses `#[derive(serde::Serialize, serde::Deserialize)]` as forward-looking
+//! annotations — nothing serializes through serde yet (reports hand-roll
+//! their JSON/text). The derives therefore expand to nothing. Swapping the
+//! real serde back in requires no source change: delete `vendor/` and point
+//! the workspace dependencies at the registry.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
