@@ -1,9 +1,11 @@
 //! Criterion benchmark: functional tile decompression throughput of the
-//! reference decompressor, per compression scheme.
+//! reference decompressor, per compression scheme, plus the pluggable
+//! streaming engines head to head.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use deca_compress::{
-    generator::WeightGenerator, CompressionScheme, Compressor, Decompressor, TILE_BYTES_BF16,
+    generator::WeightGenerator, CompressionScheme, Compressor, DecompressScratch, Decompressor,
+    DenseTile, EngineKind, WeightMatrix, TILE_BYTES_BF16,
 };
 
 fn bench_decompress(c: &mut Criterion) {
@@ -61,5 +63,67 @@ fn bench_compress(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_decompress, bench_compress);
+fn bench_engines_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_tile_decompression");
+    let tile = WeightGenerator::new(44).dense_matrix(16, 32).tile(0, 0);
+    let compressed = Compressor::new(CompressionScheme::bf8_sparse(0.5))
+        .compress_tile(&tile)
+        .expect("compress");
+    for kind in EngineKind::all() {
+        let engine = kind.build();
+        let mut out = DenseTile::zero();
+        let mut scratch = DecompressScratch::new();
+        group.throughput(Throughput::Bytes(TILE_BYTES_BF16 as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &compressed,
+            |b, compressed| {
+                b.iter(|| {
+                    engine
+                        .decompress_tile_into(
+                            std::hint::black_box(compressed),
+                            &mut scratch,
+                            &mut out,
+                        )
+                        .unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_engines_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_matrix_decompression");
+    let weights = WeightGenerator::new(45).dense_matrix(256, 512);
+    let compressed = Compressor::new(CompressionScheme::bf8_sparse(0.5))
+        .compress_matrix(&weights)
+        .expect("compress");
+    let dense_bytes = (weights.rows() * weights.cols() * 2) as u64;
+    for kind in EngineKind::all() {
+        let engine = kind.build();
+        let mut out = WeightMatrix::zeros(weights.rows(), weights.cols());
+        group.throughput(Throughput::Bytes(dense_bytes));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kind.label()),
+            &compressed,
+            |b, compressed| {
+                b.iter(|| {
+                    engine
+                        .decompress_matrix_into(std::hint::black_box(compressed), &mut out)
+                        .unwrap();
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decompress,
+    bench_compress,
+    bench_engines_tile,
+    bench_engines_matrix
+);
 criterion_main!(benches);

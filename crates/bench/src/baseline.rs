@@ -9,7 +9,10 @@
 
 use std::time::Instant;
 
-use deca_compress::SchemeSet;
+use deca_compress::{
+    generator::WeightGenerator, CompressionScheme, Compressor, Decompressor, EngineKind, SchemeSet,
+    WeightMatrix,
+};
 use deca_kernels::{avx_model::software_signature, CompressedGemmExecutor, Engine};
 use deca_llm::{InferenceEstimator, LlmModel};
 use deca_roofsurface::{MachineConfig, RoofSurface};
@@ -128,6 +131,90 @@ pub fn llm_latency_results() -> Json {
     Json::Arr(models)
 }
 
+/// Rows of the synthetic matrix the engine benchmark streams (shrunk in
+/// debug builds so plain `cargo test` stays fast; the committed baseline is
+/// always regenerated in release mode).
+const ENGINE_BENCH_ROWS: usize = if cfg!(debug_assertions) { 256 } else { 1024 };
+/// Columns of the engine-benchmark matrix.
+const ENGINE_BENCH_COLS: usize = if cfg!(debug_assertions) { 256 } else { 1024 };
+/// Timed whole-matrix decompressions per engine.
+const ENGINE_BENCH_ITERS: usize = if cfg!(debug_assertions) { 2 } else { 6 };
+
+/// Matrix-decompression throughput of every pluggable engine, per scheme:
+/// dense GB/s produced (decompressed BF16 bytes over wall time), the
+/// speedup over the scalar reference, and a bit-exactness check against it.
+///
+/// The GB/s and speedup values are wall-clock measurements and therefore
+/// machine-dependent; the CI drift check strips them (like `wall_ms`)
+/// before comparing baselines. The `bit_exact` flags are deterministic.
+#[must_use]
+pub fn engine_results() -> Json {
+    let generator = WeightGenerator::new(77);
+    let weights = generator.dense_matrix(ENGINE_BENCH_ROWS, ENGINE_BENCH_COLS);
+    let dense_bytes = (ENGINE_BENCH_ROWS * ENGINE_BENCH_COLS * 2) as f64;
+    let mut scheme_entries = Vec::new();
+    for scheme in [
+        CompressionScheme::bf8_sparse(0.5),
+        CompressionScheme::bf8_sparse(0.05),
+        CompressionScheme::mxfp4(),
+    ] {
+        let compressed = Compressor::new(scheme)
+            .compress_matrix(&weights)
+            .expect("compress");
+        let reference = Decompressor::new()
+            .decompress_matrix(&compressed)
+            .expect("reference");
+        let mut engines = Vec::new();
+        let mut scalar_gbps = 0.0f64;
+        for kind in EngineKind::all() {
+            let engine = kind.build();
+            let mut out = WeightMatrix::zeros(ENGINE_BENCH_ROWS, ENGINE_BENCH_COLS);
+            engine
+                .decompress_matrix_into(&compressed, &mut out)
+                .expect("warmup");
+            let bit_exact = out == reference;
+            let start = Instant::now();
+            for _ in 0..ENGINE_BENCH_ITERS {
+                engine
+                    .decompress_matrix_into(&compressed, &mut out)
+                    .expect("decompress");
+            }
+            let secs = start.elapsed().as_secs_f64().max(1e-9);
+            let gbps = dense_bytes * ENGINE_BENCH_ITERS as f64 / secs / 1e9;
+            if kind == EngineKind::Scalar {
+                scalar_gbps = gbps;
+            }
+            engines.push(Json::obj(vec![
+                ("engine", Json::str(kind.label())),
+                ("dense_gbps", num(gbps)),
+                (
+                    "speedup_vs_scalar",
+                    num(if scalar_gbps > 0.0 {
+                        gbps / scalar_gbps
+                    } else {
+                        1.0
+                    }),
+                ),
+                ("bit_exact", Json::Bool(bit_exact)),
+            ]));
+        }
+        scheme_entries.push(Json::obj(vec![
+            ("scheme", Json::str(scheme.label())),
+            ("compressed_bytes", num(compressed.total_bytes() as f64)),
+            ("engines", Json::Arr(engines)),
+        ]));
+    }
+    Json::obj(vec![
+        (
+            "matrix",
+            Json::str(format!("{ENGINE_BENCH_ROWS}x{ENGINE_BENCH_COLS}")),
+        ),
+        ("dense_bytes", num(dense_bytes)),
+        ("iters", num(ENGINE_BENCH_ITERS as f64)),
+        ("schemes", Json::Arr(scheme_entries)),
+    ])
+}
+
 /// Runs every baseline experiment, recording wall time per experiment, and
 /// assembles the full document.
 #[must_use]
@@ -137,6 +224,7 @@ pub fn collect() -> Json {
         ("roofsurface", roofsurface_results),
         ("pipeline", pipeline_results),
         ("llm_latency", llm_latency_results),
+        ("bench_engines", engine_results),
     ];
     let mut records = Vec::new();
     for (name, run) in experiments {
@@ -174,7 +262,7 @@ mod tests {
     }
 
     #[test]
-    fn document_has_all_three_experiments() {
+    fn document_has_all_experiments() {
         let doc = collect();
         let Json::Arr(experiments) = find(&doc, "experiments") else {
             panic!("experiments must be an array");
@@ -186,7 +274,10 @@ mod tests {
                 other => panic!("name must be a string, got {other:?}"),
             })
             .collect();
-        assert_eq!(names, ["roofsurface", "pipeline", "llm_latency"]);
+        assert_eq!(
+            names,
+            ["roofsurface", "pipeline", "llm_latency", "bench_engines"]
+        );
         for experiment in experiments {
             match find(experiment, "wall_ms") {
                 Json::Num(ms) => assert!(*ms >= 0.0),
@@ -213,6 +304,31 @@ mod tests {
                 match find(kernel, key) {
                     Json::Num(v) => assert!(v.is_finite() && *v > 0.0, "{key} = {v}"),
                     other => panic!("{key} must be a number, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engine_results_verify_bit_exactness() {
+        let engines = engine_results();
+        let Json::Arr(schemes) = find(&engines, "schemes") else {
+            panic!("schemes must be an array");
+        };
+        assert_eq!(schemes.len(), 3);
+        for scheme in schemes {
+            let Json::Arr(entries) = find(scheme, "engines") else {
+                panic!("engines must be an array");
+            };
+            assert_eq!(entries.len(), 3);
+            for entry in entries {
+                match find(entry, "bit_exact") {
+                    Json::Bool(exact) => assert!(*exact, "engine must match the reference"),
+                    other => panic!("bit_exact must be a bool, got {other:?}"),
+                }
+                match find(entry, "dense_gbps") {
+                    Json::Num(v) => assert!(v.is_finite() && *v > 0.0),
+                    other => panic!("dense_gbps must be a number, got {other:?}"),
                 }
             }
         }

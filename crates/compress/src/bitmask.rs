@@ -170,6 +170,16 @@ impl Bitmask {
         (0..self.len).filter(|&i| self.get(i)).collect()
     }
 
+    /// The backing 64-bit words, LSB-first (bit `i` of the mask is bit
+    /// `i % 64` of word `i / 64`). Bits past `len` are always zero.
+    ///
+    /// This is the view DECA's POPCNT + parallel-prefix-sum circuitry
+    /// consumes, and what the word-parallel decompression engine iterates.
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Serializes the mask into bytes, LSB-first, exactly as it is stored in
     /// memory (`len/8` bytes, rounded up).
     #[must_use]

@@ -6,38 +6,31 @@
 //! BF16), expand them to their dense positions using the bitmask, and apply
 //! the per-group scale factors.
 
-use deca_numerics::{Bf16, DequantTable, QuantFormat};
+use crate::engine::{DecompressEngine, DecompressScratch, ScalarEngine};
+use crate::{CompressError, CompressedMatrix, CompressedTile, DenseTile, WeightMatrix};
 
-use crate::{
-    CompressError, CompressedMatrix, CompressedTile, DenseTile, WeightMatrix, TILE_COLS,
-    TILE_ELEMS, TILE_ROWS,
-};
-
-/// Reference decompressor. Stateless apart from a small LUT cache.
+/// Reference decompressor: the allocating convenience facade over
+/// [`ScalarEngine`].
+///
+/// The per-format dequantization tables are precomputed at construction
+/// (no interior mutability), so a `Decompressor` is `Sync` and can be
+/// shared across threads.
 #[derive(Debug, Default)]
 pub struct Decompressor {
-    lut_cache: std::cell::RefCell<Vec<(QuantFormat, DequantTable)>>,
+    engine: ScalarEngine,
 }
 
 impl Decompressor {
-    /// Creates a decompressor.
+    /// Creates a decompressor (precomputes the per-format LUTs).
     #[must_use]
     pub fn new() -> Self {
         Decompressor::default()
     }
 
-    fn dequantize(&self, format: QuantFormat, code: u16) -> Bf16 {
-        if format == QuantFormat::Bf16 {
-            return Bf16::from_bits(code);
-        }
-        let mut cache = self.lut_cache.borrow_mut();
-        if let Some((_, lut)) = cache.iter().find(|(f, _)| *f == format) {
-            return lut.lookup(code as u8);
-        }
-        let lut = DequantTable::for_format(format);
-        let value = lut.lookup(code as u8);
-        cache.push((format, lut));
-        value
+    /// The scalar streaming engine backing this decompressor.
+    #[must_use]
+    pub fn engine(&self) -> &ScalarEngine {
+        &self.engine
     }
 
     /// Decompresses a single tile back to its dense BF16 form.
@@ -47,52 +40,10 @@ impl Decompressor {
     /// Returns [`CompressError::CorruptTile`] if the tile's bitmask and
     /// nonzero payload disagree.
     pub fn decompress_tile(&self, tile: &CompressedTile) -> Result<DenseTile, CompressError> {
-        let scheme = tile.scheme();
-        let codes = tile.unpack_nonzeros();
-        let format = scheme.format();
-        let group = scheme.group_size().unwrap_or(usize::MAX);
-        let scales = tile.scales();
-
         let mut out = DenseTile::zero();
-        if let Some(mask) = tile.bitmask() {
-            if mask.popcount() != codes.len() {
-                return Err(CompressError::CorruptTile {
-                    reason: format!(
-                        "bitmask popcount {} does not match {} stored codes",
-                        mask.popcount(),
-                        codes.len()
-                    ),
-                });
-            }
-            for (dense_pos, nz_idx) in mask
-                .expansion_indices()
-                .into_iter()
-                .enumerate()
-                .filter_map(|(p, idx)| idx.map(|i| (p, i)))
-            {
-                let mut value = self.dequantize(format, codes[nz_idx]);
-                if !scales.is_empty() {
-                    value = value * scales[dense_pos / group].to_bf16();
-                }
-                out.set(dense_pos / TILE_COLS, dense_pos % TILE_COLS, value);
-            }
-        } else {
-            if codes.len() != TILE_ELEMS {
-                return Err(CompressError::CorruptTile {
-                    reason: format!(
-                        "dense tile stores {} codes, expected {TILE_ELEMS}",
-                        codes.len()
-                    ),
-                });
-            }
-            for (dense_pos, &code) in codes.iter().enumerate() {
-                let mut value = self.dequantize(format, code);
-                if !scales.is_empty() {
-                    value = value * scales[dense_pos / group].to_bf16();
-                }
-                out.set(dense_pos / TILE_COLS, dense_pos % TILE_COLS, value);
-            }
-        }
+        let mut scratch = DecompressScratch::new();
+        self.engine
+            .decompress_tile_into(tile, &mut scratch, &mut out)?;
         Ok(out)
     }
 
@@ -107,33 +58,21 @@ impl Decompressor {
         &self,
         matrix: &CompressedMatrix,
     ) -> Result<WeightMatrix, CompressError> {
-        let mut out = WeightMatrix::zeros(matrix.rows(), matrix.cols());
-        for tr in 0..matrix.tile_rows() {
-            for tc in 0..matrix.tile_cols() {
-                let tile = self.decompress_tile(matrix.tile(tr, tc))?;
-                for r in 0..TILE_ROWS {
-                    let row = tr * TILE_ROWS + r;
-                    if row >= matrix.rows() {
-                        break;
-                    }
-                    for c in 0..TILE_COLS {
-                        let col = tc * TILE_COLS + c;
-                        if col >= matrix.cols() {
-                            break;
-                        }
-                        out.set(row, col, tile.get(r, c).to_f32());
-                    }
-                }
-            }
-        }
-        Ok(out)
+        self.engine.decompress_matrix(matrix)
     }
 }
+
+/// The decompressor is shareable across threads: its only state is the
+/// precomputed LUT array.
+const _: fn() = || {
+    fn assert_sync<T: Sync + Send>() {}
+    assert_sync::<Decompressor>();
+};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{generator::WeightGenerator, CompressionScheme, Compressor};
+    use crate::{generator::WeightGenerator, CompressionScheme, Compressor, TILE_COLS, TILE_ROWS};
 
     fn roundtrip_max_rel_error(scheme: CompressionScheme, seed: u64) -> f64 {
         let g = WeightGenerator::new(seed);

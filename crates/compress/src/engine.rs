@@ -1,0 +1,752 @@
+//! Pluggable streaming decompression engines (Fig. 1, right).
+//!
+//! The paper's central observation is that *online weight decompression is
+//! the hot loop of compressed LLM inference*: every weight tile fetched from
+//! memory must be dequantized, expanded and scaled before the TMUL can
+//! consume it. This module turns the single hardcoded scalar path into an
+//! enumerable backend axis behind one trait.
+//!
+//! # The streaming, zero-copy contract
+//!
+//! [`DecompressEngine::decompress_tile_into`] never allocates on the hot
+//! path: the caller owns a reusable output [`DenseTile`] and a
+//! [`DecompressScratch`] holding the unpacked-code and group-scale buffers,
+//! and every backend is required to produce **bit-exact** output — the same
+//! 512 BF16 bit patterns the scalar reference produces. This mirrors the
+//! hardware contract of Fig. 1: whatever circuit performs dequantization,
+//! the TMUL must see identical dense BF16 tiles.
+//!
+//! # Backends and their Fig. 1 correspondence
+//!
+//! * [`ScalarEngine`] — the functional ground truth: one dense position at a
+//!   time, a running nonzero counter standing in for the prefix sum. This is
+//!   the per-element loop a naive CPU implementation executes.
+//! * [`WordParallelEngine`] — the software analogue of DECA's POPCNT +
+//!   parallel-prefix-sum + crossbar datapath (§6.1): it walks the bitmask as
+//!   64-bit words, skips zero words entirely, locates nonzeros with
+//!   count-trailing-zeros, and dequantizes through a precomputed per-format
+//!   LUT array instead of re-deriving tables.
+//! * [`ParallelMatrixEngine`] — whole-matrix decompression fanned out over
+//!   OS threads with `std::thread::scope`, one disjoint band of tile rows
+//!   per worker: the software stand-in for one DECA PE per core working on a
+//!   Parlooper partition.
+//!
+//! [`EngineKind`] names the backends so that higher layers (executor,
+//! simulator, LLM estimator, benchmarks) can record *which* engine produced
+//! or validated a result.
+
+use deca_numerics::{Bf16, DequantTable, QuantFormat};
+
+use crate::{
+    CompressError, CompressedMatrix, CompressedTile, DenseTile, WeightMatrix, TILE_COLS,
+    TILE_ELEMS, TILE_ROWS,
+};
+
+/// Precomputed dequantization tables for every ≤8-bit quantized format,
+/// indexed by format — the replacement for the interior-mutable linear-scan
+/// LUT cache the reference decompressor used to carry.
+///
+/// All tables are built eagerly at construction (a few KB in total), so
+/// lookups are a slice index, the structure is `Sync`, and no tile ever pays
+/// for table construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FormatLuts {
+    tables: Vec<DequantTable>,
+}
+
+/// Named formats with a fixed slot (everything except `Custom`).
+const NAMED_SLOTS: usize = 5;
+
+fn lut_slot(format: QuantFormat) -> Option<usize> {
+    match format {
+        QuantFormat::Bf16 => None,
+        QuantFormat::Bf8 => Some(0),
+        QuantFormat::E4m3 => Some(1),
+        QuantFormat::Fp4 => Some(2),
+        QuantFormat::Int8 => Some(3),
+        QuantFormat::Int4 => Some(4),
+        QuantFormat::Custom { exp_bits, man_bits } => custom_combinations()
+            .position(|combo| combo == (exp_bits, man_bits))
+            .map(|i| NAMED_SLOTS + i),
+    }
+}
+
+/// Every valid `Custom { exp_bits, man_bits }` combination that fits in a
+/// LUT (1 sign + exp + man ≤ 8 bits), in deterministic order.
+fn custom_combinations() -> impl Iterator<Item = (u8, u8)> {
+    (1u8..=5).flat_map(|e| (0u8..=6).filter_map(move |m| (1 + e + m <= 8).then_some((e, m))))
+}
+
+impl FormatLuts {
+    /// Builds the tables for every supported ≤8-bit format.
+    #[must_use]
+    pub fn precomputed() -> Self {
+        let mut tables = vec![
+            DequantTable::for_format(QuantFormat::Bf8),
+            DequantTable::for_format(QuantFormat::E4m3),
+            DequantTable::for_format(QuantFormat::Fp4),
+            DequantTable::for_format(QuantFormat::Int8),
+            DequantTable::for_format(QuantFormat::Int4),
+        ];
+        for (exp_bits, man_bits) in custom_combinations() {
+            tables.push(DequantTable::for_format(QuantFormat::Custom {
+                exp_bits,
+                man_bits,
+            }));
+        }
+        FormatLuts { tables }
+    }
+
+    /// The process-wide shared instance, built once on first use. The
+    /// tables are immutable and a pure function of the formats, so every
+    /// engine and decompressor shares them instead of re-deriving ~30
+    /// tables per construction.
+    #[must_use]
+    pub fn shared() -> &'static FormatLuts {
+        static SHARED: std::sync::OnceLock<FormatLuts> = std::sync::OnceLock::new();
+        SHARED.get_or_init(FormatLuts::precomputed)
+    }
+
+    /// The dequantization table for `format`, or `None` for BF16 (which
+    /// bypasses the LUTs entirely).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-BF16 formats wider than 8 bits, which have no LUT —
+    /// the same contract as [`DequantTable::for_format`].
+    #[must_use]
+    pub fn table(&self, format: QuantFormat) -> Option<&DequantTable> {
+        if format == QuantFormat::Bf16 {
+            return None;
+        }
+        let slot =
+            lut_slot(format).unwrap_or_else(|| panic!("no dequantization LUT for format {format}"));
+        Some(&self.tables[slot])
+    }
+
+    /// Dequantizes one code of `format` (BF16 codes pass through as raw bit
+    /// patterns), exactly as the reference decompressor does.
+    #[must_use]
+    pub fn dequantize(&self, format: QuantFormat, code: u16) -> Bf16 {
+        match self.table(format) {
+            None => Bf16::from_bits(code),
+            Some(table) => table.lookup(code as u8),
+        }
+    }
+}
+
+impl Default for FormatLuts {
+    fn default() -> Self {
+        FormatLuts::precomputed()
+    }
+}
+
+/// Reusable scratch buffers for streaming decompression: the unpacked
+/// nonzero codes and the per-group scales promoted to BF16. Create one per
+/// worker and pass it to every [`DecompressEngine::decompress_tile_into`]
+/// call — no per-tile allocation survives after the buffers warm up.
+#[derive(Debug, Default, Clone)]
+pub struct DecompressScratch {
+    /// Unpacked nonzero codes of the tile being decompressed.
+    codes: Vec<u16>,
+    /// Per-group scale factors as BF16 (empty unless group-quantized).
+    group_scales: Vec<Bf16>,
+}
+
+impl DecompressScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        DecompressScratch::default()
+    }
+
+    /// The codes unpacked by the most recent tile decompression.
+    #[must_use]
+    pub fn codes(&self) -> &[u16] {
+        &self.codes
+    }
+
+    /// Unpacks a tile's nonzero codes into this scratch's code buffer and
+    /// returns them — the entry point for external streaming consumers
+    /// (e.g. the vOp pipeline) that share the zero-copy contract.
+    pub fn unpack<'s>(&'s mut self, tile: &CompressedTile) -> &'s [u16] {
+        tile.unpack_nonzeros_into(&mut self.codes);
+        &self.codes
+    }
+}
+
+/// A streaming tile/matrix decompression backend.
+///
+/// Implementations must be bit-exact with respect to [`ScalarEngine`]: for
+/// any consistent [`CompressedTile`], `decompress_tile_into` must produce a
+/// [`DenseTile`] whose 512 BF16 bit patterns are identical to the scalar
+/// reference's, and must reject inconsistent tiles with
+/// [`CompressError::CorruptTile`].
+pub trait DecompressEngine: std::fmt::Debug + Send + Sync {
+    /// A short stable name identifying the backend (used in reports,
+    /// benchmark baselines and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Decompresses one tile into the caller-provided output buffer using
+    /// the caller-provided scratch space. The output tile is fully
+    /// overwritten (zeros included).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::CorruptTile`] if the tile's memory
+    /// structures disagree (bitmask popcount vs. stored codes, dense code
+    /// count vs. tile size).
+    fn decompress_tile_into(
+        &self,
+        tile: &CompressedTile,
+        scratch: &mut DecompressScratch,
+        out: &mut DenseTile,
+    ) -> Result<(), CompressError>;
+
+    /// Decompresses a whole matrix into a caller-provided dense matrix,
+    /// streaming tile by tile through one reused tile buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::InvalidShape`] if `out` does not match the
+    /// matrix dimensions, and propagates tile-level errors.
+    fn decompress_matrix_into(
+        &self,
+        matrix: &CompressedMatrix,
+        out: &mut WeightMatrix,
+    ) -> Result<(), CompressError> {
+        check_output_shape(matrix, out)?;
+        let mut tile = DenseTile::zero();
+        let mut scratch = DecompressScratch::new();
+        for tr in 0..matrix.tile_rows() {
+            for tc in 0..matrix.tile_cols() {
+                self.decompress_tile_into(matrix.tile(tr, tc), &mut scratch, &mut tile)?;
+                store_tile(out, tr, tc, &tile);
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper allocating the output matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tile-level errors.
+    fn decompress_matrix(&self, matrix: &CompressedMatrix) -> Result<WeightMatrix, CompressError> {
+        let mut out = WeightMatrix::zeros(matrix.rows(), matrix.cols());
+        self.decompress_matrix_into(matrix, &mut out)?;
+        Ok(out)
+    }
+}
+
+fn check_output_shape(matrix: &CompressedMatrix, out: &WeightMatrix) -> Result<(), CompressError> {
+    if out.rows() != matrix.rows() || out.cols() != matrix.cols() {
+        return Err(CompressError::InvalidShape {
+            rows: out.rows(),
+            cols: out.cols(),
+            reason: "output matrix shape does not match the compressed matrix",
+        });
+    }
+    Ok(())
+}
+
+/// Writes a decompressed tile into its matrix position, clipping at the
+/// matrix edge (tiles past the edge are zero-padded).
+fn store_tile(out: &mut WeightMatrix, tr: usize, tc: usize, tile: &DenseTile) {
+    let rows = out.rows();
+    let cols = out.cols();
+    let row_base = tr * TILE_ROWS;
+    let band = &mut out.data_mut()[row_base * cols..];
+    store_tile_in_band(band, rows - row_base, cols, tc, tile);
+}
+
+/// Writes a tile into a band of `band_rows` matrix rows starting at the
+/// tile's row base. `band` is the row-major storage of those rows.
+fn store_tile_in_band(
+    band: &mut [f32],
+    band_rows: usize,
+    cols: usize,
+    tc: usize,
+    tile: &DenseTile,
+) {
+    let col_base = tc * TILE_COLS;
+    let tile_cols = TILE_COLS.min(cols.saturating_sub(col_base));
+    for (r, row) in tile.elements().chunks_exact(TILE_COLS).enumerate() {
+        if r >= band_rows {
+            break;
+        }
+        let dst = &mut band[r * cols + col_base..r * cols + col_base + tile_cols];
+        for (d, v) in dst.iter_mut().zip(&row[..tile_cols]) {
+            *d = v.to_f32();
+        }
+    }
+}
+
+/// What a backend needs to decompress one validated tile: the shared
+/// dequantization table (if any), the scale-group size and the raw scales.
+struct TilePlan<'a> {
+    table: Option<&'a DequantTable>,
+    group: usize,
+    scales: &'a [deca_numerics::mx::ScaleE8M0],
+}
+
+/// Validates a tile's three memory structures (§5.2) via
+/// [`CompressedTile::validate`], unpacks its codes into scratch, and
+/// returns the dequantization plan shared by all backends — a corrupted
+/// weight stream must fault here, never index out of bounds or silently
+/// decompress unscaled.
+fn prepare<'a>(
+    luts: &'a FormatLuts,
+    tile: &'a CompressedTile,
+    scratch: &mut DecompressScratch,
+) -> Result<TilePlan<'a>, CompressError> {
+    tile.validate()?;
+    let scheme = tile.scheme();
+    tile.unpack_nonzeros_into(&mut scratch.codes);
+    Ok(TilePlan {
+        table: luts.table(scheme.format()),
+        group: scheme.group_size().unwrap_or(usize::MAX),
+        scales: tile.scales(),
+    })
+}
+
+/// The scalar reference backend: per-element dequantize → expand → scale,
+/// exactly the semantics of the original `Decompressor` but borrowing the
+/// caller's buffers instead of allocating per tile.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ScalarEngine;
+
+impl ScalarEngine {
+    /// Creates the engine (the per-format LUTs are shared process-wide).
+    #[must_use]
+    pub fn new() -> Self {
+        ScalarEngine
+    }
+
+    /// The precomputed per-format LUT array.
+    #[must_use]
+    pub fn luts(&self) -> &'static FormatLuts {
+        FormatLuts::shared()
+    }
+}
+
+impl DecompressEngine for ScalarEngine {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn decompress_tile_into(
+        &self,
+        tile: &CompressedTile,
+        scratch: &mut DecompressScratch,
+        out: &mut DenseTile,
+    ) -> Result<(), CompressError> {
+        let plan = prepare(self.luts(), tile, scratch)?;
+        let value_of = |code: u16| match plan.table {
+            Some(t) => t.lookup(code as u8),
+            None => Bf16::from_bits(code),
+        };
+        out.fill_zero();
+        if let Some(mask) = tile.bitmask() {
+            let mut nz = 0usize;
+            for pos in 0..TILE_ELEMS {
+                if !mask.get(pos) {
+                    continue;
+                }
+                let mut value = value_of(scratch.codes[nz]);
+                if !plan.scales.is_empty() {
+                    value = value * plan.scales[pos / plan.group].to_bf16();
+                }
+                out.set(pos / TILE_COLS, pos % TILE_COLS, value);
+                nz += 1;
+            }
+        } else {
+            for (pos, &code) in scratch.codes.iter().enumerate() {
+                let mut value = value_of(code);
+                if !plan.scales.is_empty() {
+                    value = value * plan.scales[pos / plan.group].to_bf16();
+                }
+                out.set(pos / TILE_COLS, pos % TILE_COLS, value);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The word-parallel backend: the software analogue of DECA's POPCNT +
+/// prefix-sum + crossbar datapath. The bitmask is consumed as 64-bit words
+/// (zero words are skipped outright, nonzeros located with
+/// count-trailing-zeros), group scales are promoted to BF16 once per tile,
+/// and dequantization indexes the precomputed LUT array directly.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WordParallelEngine;
+
+impl WordParallelEngine {
+    /// Creates the engine (the per-format LUTs are shared process-wide).
+    #[must_use]
+    pub fn new() -> Self {
+        WordParallelEngine
+    }
+}
+
+impl DecompressEngine for WordParallelEngine {
+    fn name(&self) -> &'static str {
+        "word-parallel"
+    }
+
+    fn decompress_tile_into(
+        &self,
+        tile: &CompressedTile,
+        scratch: &mut DecompressScratch,
+        out: &mut DenseTile,
+    ) -> Result<(), CompressError> {
+        let plan = prepare(FormatLuts::shared(), tile, scratch)?;
+        let (table, group) = (plan.table, plan.group);
+        // Promote the group scales once per tile instead of once per element
+        // (bit-exact: the per-element multiply uses the same BF16 value).
+        scratch.group_scales.clear();
+        scratch
+            .group_scales
+            .extend(plan.scales.iter().map(|s| s.to_bf16()));
+        let group_scales = &scratch.group_scales[..];
+        let codes = &scratch.codes[..];
+        out.fill_zero();
+        let dst = out.elements_mut();
+        let value_of = |code: u16| match table {
+            Some(t) => t.lookup(code as u8),
+            None => Bf16::from_bits(code),
+        };
+        if let Some(mask) = tile.bitmask() {
+            let mut nz = 0usize;
+            for (wi, &word) in mask.words().iter().enumerate() {
+                let mut w = word;
+                while w != 0 {
+                    let pos = wi * 64 + w.trailing_zeros() as usize;
+                    let mut value = value_of(codes[nz]);
+                    if !group_scales.is_empty() {
+                        value = value * group_scales[pos / group];
+                    }
+                    dst[pos] = value;
+                    nz += 1;
+                    w &= w - 1;
+                }
+            }
+        } else if group_scales.is_empty() {
+            for (slot, &code) in dst.iter_mut().zip(codes) {
+                *slot = value_of(code);
+            }
+        } else {
+            for (pos, (slot, &code)) in dst.iter_mut().zip(codes).enumerate() {
+                *slot = value_of(code) * group_scales[pos / group];
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Whole-matrix decompression fanned out over OS threads: tile rows are
+/// split into disjoint bands (each band is a contiguous row-major slice of
+/// the output) and each worker streams its bands through an inner
+/// [`WordParallelEngine`] with its own scratch and tile buffer.
+#[derive(Debug, Default, Clone)]
+pub struct ParallelMatrixEngine {
+    inner: WordParallelEngine,
+    threads: Option<usize>,
+}
+
+impl ParallelMatrixEngine {
+    /// Creates the engine with as many workers as the host exposes.
+    #[must_use]
+    pub fn new() -> Self {
+        ParallelMatrixEngine {
+            inner: WordParallelEngine::new(),
+            threads: None,
+        }
+    }
+
+    /// Caps the worker count (useful for reproducible benchmarking).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one worker thread is required");
+        self.threads = Some(threads);
+        self
+    }
+
+    fn worker_count(&self, tile_rows: usize) -> usize {
+        let available = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        available.clamp(1, tile_rows.max(1))
+    }
+}
+
+impl DecompressEngine for ParallelMatrixEngine {
+    fn name(&self) -> &'static str {
+        "parallel-matrix"
+    }
+
+    fn decompress_tile_into(
+        &self,
+        tile: &CompressedTile,
+        scratch: &mut DecompressScratch,
+        out: &mut DenseTile,
+    ) -> Result<(), CompressError> {
+        // Single tiles have no fan-out axis; delegate to the inner engine.
+        self.inner.decompress_tile_into(tile, scratch, out)
+    }
+
+    fn decompress_matrix_into(
+        &self,
+        matrix: &CompressedMatrix,
+        out: &mut WeightMatrix,
+    ) -> Result<(), CompressError> {
+        check_output_shape(matrix, out)?;
+        let rows = matrix.rows();
+        let cols = matrix.cols();
+        let tile_rows = matrix.tile_rows();
+        let tile_cols = matrix.tile_cols();
+        let workers = self.worker_count(tile_rows);
+
+        // One band of up to 16 matrix rows per tile row; bands are disjoint
+        // contiguous slices of the row-major output, so the scoped threads
+        // never alias.
+        let bands: Vec<(usize, &mut [f32])> = out
+            .data_mut()
+            .chunks_mut(TILE_ROWS * cols)
+            .enumerate()
+            .collect();
+        let mut groups: Vec<Vec<(usize, &mut [f32])>> = Vec::new();
+        groups.resize_with(workers, Vec::new);
+        for (i, band) in bands {
+            groups[i % workers].push((i, band));
+        }
+
+        let results: Vec<Result<(), CompressError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || {
+                        let mut tile = DenseTile::zero();
+                        let mut scratch = DecompressScratch::new();
+                        for (tr, band) in group {
+                            let band_rows = (rows - tr * TILE_ROWS).min(TILE_ROWS);
+                            for tc in 0..tile_cols {
+                                self.inner.decompress_tile_into(
+                                    matrix.tile(tr, tc),
+                                    &mut scratch,
+                                    &mut tile,
+                                )?;
+                                store_tile_in_band(band, band_rows, cols, tc, &tile);
+                            }
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("decompression worker panicked"))
+                .collect()
+        });
+        results.into_iter().collect()
+    }
+}
+
+/// The enumerable backend axis: names every provided engine so that higher
+/// layers can select one and report which one ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum EngineKind {
+    /// [`ScalarEngine`] — the per-element functional reference.
+    Scalar,
+    /// [`WordParallelEngine`] — u64 bitmask words + popcount prefix sums.
+    WordParallel,
+    /// [`ParallelMatrixEngine`] — scoped-thread fan-out over tile rows.
+    ParallelMatrix,
+}
+
+impl EngineKind {
+    /// Every provided backend, in reference-first order.
+    #[must_use]
+    pub fn all() -> [EngineKind; 3] {
+        [
+            EngineKind::Scalar,
+            EngineKind::WordParallel,
+            EngineKind::ParallelMatrix,
+        ]
+    }
+
+    /// The backend's stable name (matches [`DecompressEngine::name`]).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Scalar => "scalar",
+            EngineKind::WordParallel => "word-parallel",
+            EngineKind::ParallelMatrix => "parallel-matrix",
+        }
+    }
+
+    /// Instantiates the backend.
+    #[must_use]
+    pub fn build(self) -> Box<dyn DecompressEngine> {
+        match self {
+            EngineKind::Scalar => Box::new(ScalarEngine::new()),
+            EngineKind::WordParallel => Box::new(WordParallelEngine::new()),
+            EngineKind::ParallelMatrix => Box::new(ParallelMatrixEngine::new()),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generator::WeightGenerator, CompressionScheme, Compressor, Decompressor};
+
+    fn sample_tile(scheme: CompressionScheme, seed: u64) -> CompressedTile {
+        let tile = WeightGenerator::new(seed).dense_matrix(16, 32).tile(0, 0);
+        Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress")
+    }
+
+    fn schemes() -> Vec<CompressionScheme> {
+        vec![
+            CompressionScheme::bf16_dense(),
+            CompressionScheme::bf16_sparse(0.3),
+            CompressionScheme::bf8_dense(),
+            CompressionScheme::bf8_sparse(0.5),
+            CompressionScheme::bf8_sparse(0.05),
+            CompressionScheme::mxfp4(),
+            CompressionScheme::mxfp4_sparse(0.4),
+        ]
+    }
+
+    #[test]
+    fn all_engines_match_the_reference_tile_output() {
+        let reference = Decompressor::new();
+        for scheme in schemes() {
+            let tile = sample_tile(scheme, 31);
+            let expected = reference.decompress_tile(&tile).expect("reference");
+            for kind in EngineKind::all() {
+                let engine = kind.build();
+                let mut out = DenseTile::zero();
+                let mut scratch = DecompressScratch::new();
+                engine
+                    .decompress_tile_into(&tile, &mut scratch, &mut out)
+                    .expect("engine");
+                for (a, b) in expected.elements().iter().zip(out.elements()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{kind} on {scheme}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn output_tile_is_fully_overwritten() {
+        // A reused output buffer must not leak values from a previous tile.
+        let engine = WordParallelEngine::new();
+        let mut scratch = DecompressScratch::new();
+        let mut out = DenseTile::zero();
+        let dense = sample_tile(CompressionScheme::bf8_dense(), 5);
+        engine
+            .decompress_tile_into(&dense, &mut scratch, &mut out)
+            .expect("dense");
+        let sparse = sample_tile(CompressionScheme::bf8_sparse(0.05), 6);
+        engine
+            .decompress_tile_into(&sparse, &mut scratch, &mut out)
+            .expect("sparse");
+        let reference = Decompressor::new().decompress_tile(&sparse).expect("ref");
+        assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn matrix_decompression_matches_reference_for_ragged_shapes() {
+        let g = WeightGenerator::new(9);
+        let m = g.dense_matrix(50, 70); // not tile-aligned on purpose
+        let cm = Compressor::new(CompressionScheme::bf8_sparse(0.3))
+            .compress_matrix(&m)
+            .expect("compress");
+        let expected = Decompressor::new().decompress_matrix(&cm).expect("ref");
+        for kind in EngineKind::all() {
+            let got = kind.build().decompress_matrix(&cm).expect("engine");
+            assert_eq!(got, expected, "{kind}");
+        }
+    }
+
+    #[test]
+    fn parallel_engine_thread_cap_is_respected_and_correct() {
+        let g = WeightGenerator::new(10);
+        let m = g.dense_matrix(128, 96);
+        let cm = Compressor::new(CompressionScheme::mxfp4())
+            .compress_matrix(&m)
+            .expect("compress");
+        let expected = Decompressor::new().decompress_matrix(&cm).expect("ref");
+        for threads in [1, 2, 7] {
+            let engine = ParallelMatrixEngine::new().with_threads(threads);
+            assert_eq!(
+                engine.decompress_matrix(&cm).expect("engine"),
+                expected,
+                "{threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let g = WeightGenerator::new(11);
+        let cm = Compressor::new(CompressionScheme::bf8_dense())
+            .compress_matrix(&g.dense_matrix(32, 32))
+            .expect("compress");
+        let mut wrong = WeightMatrix::zeros(16, 32);
+        for kind in EngineKind::all() {
+            assert!(matches!(
+                kind.build().decompress_matrix_into(&cm, &mut wrong),
+                Err(CompressError::InvalidShape { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn format_luts_cover_every_sub_byte_format() {
+        let luts = FormatLuts::precomputed();
+        for format in [
+            QuantFormat::Bf8,
+            QuantFormat::E4m3,
+            QuantFormat::Fp4,
+            QuantFormat::Int8,
+            QuantFormat::Int4,
+            QuantFormat::Custom {
+                exp_bits: 3,
+                man_bits: 2,
+            },
+        ] {
+            let table = luts.table(format).expect("table");
+            assert_eq!(table.format(), format);
+            let direct = DequantTable::for_format(format);
+            assert_eq!(table.entries(), direct.entries());
+        }
+        assert!(luts.table(QuantFormat::Bf16).is_none());
+        assert_eq!(
+            luts.dequantize(QuantFormat::Bf16, Bf16::ONE.to_bits())
+                .to_f32(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn engine_kind_labels_round_trip() {
+        for kind in EngineKind::all() {
+            assert_eq!(kind.build().name(), kind.label());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+}

@@ -16,6 +16,10 @@
 //! * [`WeightMatrix`] / [`CompressedMatrix`] — whole matrices tiled for AMX,
 //! * [`Compressor`] / [`Decompressor`] — offline compression and reference
 //!   online decompression,
+//! * [`engine`] — the pluggable streaming decompression backends
+//!   ([`DecompressEngine`]): scalar reference, word-parallel
+//!   (POPCNT/prefix-sum style) and threaded whole-matrix fan-out, all
+//!   bit-exact against each other,
 //! * [`generator`] — synthetic weight matrices with controlled density.
 //!
 //! # Example
@@ -37,6 +41,7 @@
 mod bitmask;
 mod compressor;
 mod decompressor;
+pub mod engine;
 mod error;
 pub mod generator;
 mod matrix;
@@ -46,10 +51,14 @@ mod tile;
 pub use bitmask::Bitmask;
 pub use compressor::{compress, Compressor};
 pub use decompressor::Decompressor;
+pub use engine::{
+    DecompressEngine, DecompressScratch, EngineKind, FormatLuts, ParallelMatrixEngine,
+    ScalarEngine, WordParallelEngine,
+};
 pub use error::CompressError;
 pub use matrix::{CompressedMatrix, WeightMatrix};
 pub use scheme::{CompressionScheme, SchemeSet};
-pub use tile::{CompressedTile, DenseTile, TileShape};
+pub use tile::{pack_codes, unpack_codes, unpack_codes_into, CompressedTile, DenseTile, TileShape};
 
 /// Rows in an AMX weight tile (§2.3).
 pub const TILE_ROWS: usize = 16;

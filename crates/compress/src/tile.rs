@@ -103,6 +103,19 @@ impl DenseTile {
         &self.data
     }
 
+    /// Mutable view of all 512 elements in row-major order (position
+    /// `row * 32 + col`). This is the zero-copy write path the streaming
+    /// decompression engines scatter into.
+    pub fn elements_mut(&mut self) -> &mut [Bf16] {
+        &mut self.data
+    }
+
+    /// Resets every element to zero without reallocating, so one tile
+    /// buffer can be reused across streaming decompressions.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(Bf16::ZERO);
+    }
+
     /// One 32-element row.
     ///
     /// # Panics
@@ -167,25 +180,55 @@ pub fn pack_codes(codes: &[u16], bits: u32) -> Vec<u8> {
 /// Panics if the buffer is too short.
 #[must_use]
 pub fn unpack_codes(bytes: &[u8], bits: u32, count: usize) -> Vec<u16> {
+    let mut out = Vec::new();
+    unpack_codes_into(bytes, bits, count, &mut out);
+    out
+}
+
+/// Unpacks `count` codes of `bits` bits each into a caller-provided buffer,
+/// clearing it first — the non-allocating variant of [`unpack_codes`] that
+/// the streaming decompression engines reuse across tiles. Byte-aligned
+/// widths (16, 8 and 4 bits — every format the paper evaluates) take a
+/// direct byte path; other widths fall back to the bit-serial loop.
+///
+/// # Panics
+///
+/// Panics if the buffer is too short.
+pub fn unpack_codes_into(bytes: &[u8], bits: u32, count: usize, out: &mut Vec<u16>) {
     assert!((1..=16).contains(&bits), "bit width must be 1..=16");
     assert!(
         bytes.len() * 8 >= count * bits as usize,
         "byte buffer too short: {} bytes for {count} codes of {bits} bits",
         bytes.len()
     );
-    let mut out = Vec::with_capacity(count);
-    let mut bit_pos = 0usize;
-    for _ in 0..count {
-        let mut code = 0u16;
-        for b in 0..bits as usize {
-            if (bytes[(bit_pos + b) / 8] >> ((bit_pos + b) % 8)) & 1 == 1 {
-                code |= 1 << b;
+    out.clear();
+    out.reserve(count);
+    match bits {
+        16 => out.extend(
+            bytes
+                .chunks_exact(2)
+                .take(count)
+                .map(|pair| u16::from_le_bytes([pair[0], pair[1]])),
+        ),
+        8 => out.extend(bytes.iter().take(count).map(|&b| u16::from(b))),
+        4 => out.extend((0..count).map(|i| {
+            let byte = bytes[i / 2];
+            u16::from(if i % 2 == 0 { byte & 0x0F } else { byte >> 4 })
+        })),
+        _ => {
+            let mut bit_pos = 0usize;
+            for _ in 0..count {
+                let mut code = 0u16;
+                for b in 0..bits as usize {
+                    if (bytes[(bit_pos + b) / 8] >> ((bit_pos + b) % 8)) & 1 == 1 {
+                        code |= 1 << b;
+                    }
+                }
+                out.push(code);
+                bit_pos += bits as usize;
             }
         }
-        out.push(code);
-        bit_pos += bits as usize;
     }
-    out
 }
 
 /// A compressed weight tile: the three memory structures a DECA Loader
@@ -220,74 +263,85 @@ impl CompressedTile {
         bitmask: Option<Bitmask>,
         scales: Vec<ScaleE8M0>,
     ) -> Result<Self, CompressError> {
-        match (&bitmask, scheme.is_sparse()) {
-            (Some(mask), true) => {
-                if mask.len() != TILE_ELEMS {
-                    return Err(CompressError::CorruptTile {
-                        reason: format!(
-                            "bitmask covers {} bits, expected {TILE_ELEMS}",
-                            mask.len()
-                        ),
-                    });
-                }
-                if mask.popcount() != nonzero_count {
-                    return Err(CompressError::CorruptTile {
-                        reason: format!(
-                            "bitmask popcount {} does not match nonzero count {nonzero_count}",
-                            mask.popcount()
-                        ),
-                    });
-                }
-            }
-            (None, true) => {
-                return Err(CompressError::CorruptTile {
-                    reason: "sparse scheme requires a bitmask".to_string(),
-                })
-            }
-            (Some(_), false) => {
-                return Err(CompressError::CorruptTile {
-                    reason: "dense scheme must not carry a bitmask".to_string(),
-                })
-            }
-            (None, false) => {
-                if nonzero_count != TILE_ELEMS {
-                    return Err(CompressError::CorruptTile {
-                        reason: format!(
-                            "dense tile must store all {TILE_ELEMS} elements, got {nonzero_count}"
-                        ),
-                    });
-                }
-            }
-        }
-        let needed_bits = nonzero_count * scheme.element_bits() as usize;
-        if nonzero_bytes.len() * 8 < needed_bits {
-            return Err(CompressError::CorruptTile {
-                reason: format!(
-                    "nonzero payload of {} bytes cannot hold {nonzero_count} codes of {} bits",
-                    nonzero_bytes.len(),
-                    scheme.element_bits()
-                ),
-            });
-        }
-        let expected_scales = match scheme.group_size() {
-            Some(g) => TILE_ELEMS.div_ceil(g),
-            None => 0,
-        };
-        if scales.len() != expected_scales {
-            return Err(CompressError::CorruptTile {
-                reason: format!(
-                    "expected {expected_scales} group scales, got {}",
-                    scales.len()
-                ),
-            });
-        }
-        Ok(CompressedTile {
+        let tile = CompressedTile {
             scheme,
             nonzero_bytes,
             nonzero_count,
             bitmask,
             scales,
-        })
+        };
+        tile.validate()?;
+        Ok(tile)
+    }
+
+    /// Checks that the tile's three memory structures agree: the bitmask
+    /// covers exactly one tile and its popcount matches the stored nonzero
+    /// count, a dense tile stores every element, the payload holds all
+    /// codes, and the scale vector matches the scheme's group geometry.
+    ///
+    /// [`CompressedTile::new`] enforces this at construction; decompression
+    /// engines and the vOp pipeline re-check it on every tile so that a
+    /// corrupted weight stream (reachable through [`new_unchecked`] or a
+    /// hypothetical deserialization path) faults cleanly instead of
+    /// indexing out of bounds or silently mis-decompressing.
+    ///
+    /// [`new_unchecked`]: CompressedTile::new_unchecked
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompressError::CorruptTile`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), CompressError> {
+        let corrupt = |reason: String| Err(CompressError::CorruptTile { reason });
+        match (&self.bitmask, self.scheme.is_sparse()) {
+            (Some(mask), true) => {
+                if mask.len() != TILE_ELEMS {
+                    return corrupt(format!(
+                        "bitmask covers {} bits, expected {TILE_ELEMS}",
+                        mask.len()
+                    ));
+                }
+                if mask.popcount() != self.nonzero_count {
+                    return corrupt(format!(
+                        "bitmask popcount {} does not match nonzero count {}",
+                        mask.popcount(),
+                        self.nonzero_count
+                    ));
+                }
+            }
+            (None, true) => return corrupt("sparse scheme requires a bitmask".to_string()),
+            (Some(_), false) => {
+                return corrupt("dense scheme must not carry a bitmask".to_string())
+            }
+            (None, false) => {
+                if self.nonzero_count != TILE_ELEMS {
+                    return corrupt(format!(
+                        "dense tile must store all {TILE_ELEMS} elements, got {}",
+                        self.nonzero_count
+                    ));
+                }
+            }
+        }
+        let needed_bits = self.nonzero_count * self.scheme.element_bits() as usize;
+        if self.nonzero_bytes.len() * 8 < needed_bits {
+            return corrupt(format!(
+                "nonzero payload of {} bytes cannot hold {} codes of {} bits",
+                self.nonzero_bytes.len(),
+                self.nonzero_count,
+                self.scheme.element_bits()
+            ));
+        }
+        let expected_scales = match self.scheme.group_size() {
+            Some(g) => TILE_ELEMS.div_ceil(g),
+            None => 0,
+        };
+        if self.scales.len() != expected_scales {
+            return corrupt(format!(
+                "expected {expected_scales} group scales, got {}",
+                self.scales.len()
+            ));
+        }
+        Ok(())
     }
 
     /// The compression scheme this tile was produced with.
@@ -329,6 +383,45 @@ impl CompressedTile {
             self.scheme.element_bits(),
             self.nonzero_count,
         )
+    }
+
+    /// Unpacks the nonzero codes into a caller-provided buffer (cleared
+    /// first) — the non-allocating variant of [`unpack_nonzeros`] used by
+    /// the streaming decompression engines and the vOp pipeline hot loop.
+    ///
+    /// [`unpack_nonzeros`]: CompressedTile::unpack_nonzeros
+    pub fn unpack_nonzeros_into(&self, out: &mut Vec<u16>) {
+        unpack_codes_into(
+            &self.nonzero_bytes,
+            self.scheme.element_bits(),
+            self.nonzero_count,
+            out,
+        );
+    }
+
+    /// Assembles a compressed tile from its parts **without** consistency
+    /// validation.
+    ///
+    /// This exists for fault injection: decompression engines must detect
+    /// tiles whose memory structures disagree (a corrupted weight stream),
+    /// and the validating [`CompressedTile::new`] makes such tiles otherwise
+    /// unconstructible. Not intended for production use.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn new_unchecked(
+        scheme: CompressionScheme,
+        nonzero_bytes: Vec<u8>,
+        nonzero_count: usize,
+        bitmask: Option<Bitmask>,
+        scales: Vec<ScaleE8M0>,
+    ) -> Self {
+        CompressedTile {
+            scheme,
+            nonzero_bytes,
+            nonzero_count,
+            bitmask,
+            scales,
+        }
     }
 
     /// Bytes of the nonzero payload as stored in memory.

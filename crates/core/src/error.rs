@@ -18,6 +18,13 @@ pub enum DecaError {
         /// Explanation of the hazard.
         reason: &'static str,
     },
+    /// The pipeline's functional output disagrees with the injected
+    /// reference decompression engine — a modeling bug, caught by
+    /// validation.
+    EngineMismatch {
+        /// Name of the engine the output was validated against.
+        engine: &'static str,
+    },
 }
 
 impl std::fmt::Display for DecaError {
@@ -28,6 +35,12 @@ impl std::fmt::Display for DecaError {
             }
             DecaError::Compress(e) => write!(f, "compressed tile error: {e}"),
             DecaError::TeplHazard { reason } => write!(f, "TEPL structural hazard: {reason}"),
+            DecaError::EngineMismatch { engine } => {
+                write!(
+                    f,
+                    "pipeline output disagrees with the {engine} decompression engine"
+                )
+            }
         }
     }
 }

@@ -6,7 +6,9 @@
 //! the PE's input queues. A PE has two Loaders so that one tile can be
 //! fetched while the pipeline processes the other.
 
-use deca_compress::CompressedTile;
+use deca_compress::{CompressedTile, DecompressEngine, DecompressScratch, DenseTile};
+
+use crate::DecaError;
 
 /// The metadata the core passes when invoking DECA for one tile: the three
 /// memory structures to fetch (§5.2).
@@ -164,6 +166,48 @@ impl Loader {
         }
     }
 
+    /// Marks the fetch as complete after validating the arrived tile
+    /// against the metadata this loader was programmed with and against an
+    /// injected decompression engine: the engine streams the tile through
+    /// its zero-copy path, which rejects any tile whose memory structures
+    /// disagree — the model-level equivalent of DECA faulting on a
+    /// corrupted weight stream instead of feeding garbage to the TMUL.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecaError::Compress`] if the tile's size disagrees with
+    /// the programmed metadata or the engine rejects the tile. The loader
+    /// stays in the `Fetching` state on error.
+    pub fn fetch_complete_validated(
+        &mut self,
+        tile: &CompressedTile,
+        engine: &dyn DecompressEngine,
+    ) -> Result<(), DecaError> {
+        let Some(metadata) = self.current else {
+            return Err(DecaError::Compress(
+                deca_compress::CompressError::CorruptTile {
+                    reason: "loader has no tile metadata to validate against".to_string(),
+                },
+            ));
+        };
+        if metadata.total_bytes() as usize != tile.byte_size() {
+            return Err(DecaError::Compress(
+                deca_compress::CompressError::CorruptTile {
+                    reason: format!(
+                        "fetched tile occupies {} bytes but the metadata describes {}",
+                        tile.byte_size(),
+                        metadata.total_bytes()
+                    ),
+                },
+            ));
+        }
+        let mut out = DenseTile::zero();
+        let mut scratch = DecompressScratch::new();
+        engine.decompress_tile_into(tile, &mut scratch, &mut out)?;
+        self.fetch_complete();
+        Ok(())
+    }
+
     /// Releases the loader once the pipeline has drained its tile.
     pub fn release(&mut self) {
         self.state = LoaderState::Idle;
@@ -267,6 +311,36 @@ mod tests {
         let mut loader = Loader::new(1, 4);
         let waves = loader.start_fetch(md);
         assert_eq!(waves, 4); // 16 lines / 4 LDQ entries
+    }
+
+    #[test]
+    fn validated_fetch_accepts_consistent_tiles() {
+        let tile = sample_tile(CompressionScheme::bf8_sparse(0.3));
+        let md = TileMetadata::for_tile(0x2000, &tile);
+        let engine = deca_compress::WordParallelEngine::new();
+        let mut loader = Loader::new(0, 16);
+        loader.start_fetch(md);
+        loader
+            .fetch_complete_validated(&tile, &engine)
+            .expect("consistent tile must validate");
+        assert_eq!(loader.state(), LoaderState::Ready);
+    }
+
+    #[test]
+    fn validated_fetch_rejects_mismatched_metadata() {
+        let tile = sample_tile(CompressionScheme::bf8_sparse(0.3));
+        let other = sample_tile(CompressionScheme::bf16_dense());
+        let engine = deca_compress::ScalarEngine::new();
+        let mut loader = Loader::new(0, 16);
+        loader.start_fetch(TileMetadata::for_tile(0, &other));
+        let err = loader
+            .fetch_complete_validated(&tile, &engine)
+            .expect_err("metadata mismatch must be rejected");
+        assert!(matches!(err, DecaError::Compress(_)));
+        assert_eq!(loader.state(), LoaderState::Fetching);
+        // An idle loader has nothing to validate against.
+        let mut idle = Loader::new(1, 16);
+        assert!(idle.fetch_complete_validated(&tile, &engine).is_err());
     }
 
     #[test]

@@ -15,7 +15,9 @@
 //! `deca-sim`; this module answers "how many cycles does *this* tile take in
 //! the pipeline, given its actual bitmask".
 
-use deca_compress::{CompressedTile, DenseTile, TILE_COLS, TILE_ELEMS};
+use deca_compress::{
+    CompressedTile, DecompressEngine, DecompressScratch, DenseTile, TILE_COLS, TILE_ELEMS,
+};
 use deca_numerics::{Bf16, QuantFormat};
 
 use crate::{DecaConfig, DecaError, LutArray};
@@ -95,6 +97,29 @@ impl VopPipeline {
         &mut self,
         tile: &CompressedTile,
     ) -> Result<(DenseTile, PipelineTiming), DecaError> {
+        let mut out = DenseTile::zero();
+        let mut scratch = DecompressScratch::new();
+        let timing = self.process_into(tile, &mut scratch, &mut out)?;
+        Ok((out, timing))
+    }
+
+    /// Streaming variant of [`VopPipeline::process`]: writes the dense tile
+    /// into a caller-provided buffer, unpacking the nonzero codes into the
+    /// caller's scratch — the same zero-copy contract as
+    /// [`DecompressEngine::decompress_tile_into`], plus the timing model.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`VopPipeline::process`].
+    pub fn process_into(
+        &mut self,
+        tile: &CompressedTile,
+        scratch: &mut DecompressScratch,
+        out: &mut DenseTile,
+    ) -> Result<PipelineTiming, DecaError> {
+        // Same memory-structure validation as the decompression engines: a
+        // corrupted tile must fault cleanly, never index out of bounds.
+        tile.validate()?;
         let scheme = tile.scheme();
         let format = scheme.format();
         if format != QuantFormat::Bf16 {
@@ -108,7 +133,7 @@ impl VopPipeline {
             }
         }
 
-        let codes = tile.unpack_nonzeros();
+        let codes = scratch.unpack(tile);
         let expansion = tile.bitmask().map(|m| {
             if m.popcount() != codes.len() {
                 return Err(DecaError::Compress(
@@ -130,7 +155,7 @@ impl VopPipeline {
         let scales = tile.scales();
         let group = scheme.group_size().unwrap_or(usize::MAX);
 
-        let mut out = DenseTile::zero();
+        out.fill_zero();
         let mut bubbles = 0u32;
         let vops = (TILE_ELEMS / self.w) as u32;
 
@@ -171,11 +196,42 @@ impl VopPipeline {
             }
         }
 
-        let timing = PipelineTiming {
+        Ok(PipelineTiming {
             vops,
             bubbles,
             pipeline_cycles: vops + bubbles + self.extra_stages,
-        };
+        })
+    }
+
+    /// Processes a tile and validates the functional output bit-exactly
+    /// against an injected decompression engine — the cross-check the
+    /// integration tests and the executor use to tie the PE's timing model
+    /// to the functional ground truth, naming which backend verified it.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`VopPipeline::process`] returns, plus
+    /// [`DecaError::EngineMismatch`] if the engine's output differs from the
+    /// pipeline's in any of the 512 BF16 bit patterns.
+    pub fn process_validated(
+        &mut self,
+        tile: &CompressedTile,
+        engine: &dyn DecompressEngine,
+    ) -> Result<(DenseTile, PipelineTiming), DecaError> {
+        let (out, timing) = self.process(tile)?;
+        let mut reference = DenseTile::zero();
+        let mut scratch = DecompressScratch::new();
+        engine.decompress_tile_into(tile, &mut scratch, &mut reference)?;
+        let agrees = out
+            .elements()
+            .iter()
+            .zip(reference.elements())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !agrees {
+            return Err(DecaError::EngineMismatch {
+                engine: engine.name(),
+            });
+        }
         Ok((out, timing))
     }
 }
@@ -230,6 +286,42 @@ mod tests {
     }
 
     #[test]
+    fn streaming_process_into_reuses_buffers() {
+        let scheme = CompressionScheme::bf8_sparse(0.2);
+        let mut pipeline = pipeline_for(&scheme, DecaConfig::baseline());
+        let mut out = DenseTile::zero();
+        let mut scratch = DecompressScratch::new();
+        // Stream two different tiles through the same buffers; each output
+        // must match its own reference (no leakage from the previous tile).
+        for seed in [40, 41] {
+            let tile = compress_sample(scheme, seed);
+            let timing = pipeline
+                .process_into(&tile, &mut scratch, &mut out)
+                .expect("pipeline");
+            let reference = Decompressor::new()
+                .decompress_tile(&tile)
+                .expect("reference");
+            assert_eq!(out, reference, "seed {seed}");
+            assert_eq!(timing.vops, 16);
+        }
+    }
+
+    #[test]
+    fn process_validated_names_the_agreeing_engine() {
+        for kind in deca_compress::EngineKind::all() {
+            let scheme = CompressionScheme::mxfp4();
+            let tile = compress_sample(scheme, 42);
+            let mut pipeline = pipeline_for(&scheme, DecaConfig::baseline());
+            let engine = kind.build();
+            let (out, timing) = pipeline
+                .process_validated(&tile, engine.as_ref())
+                .expect("validated");
+            assert_eq!(timing.vops, 16);
+            assert!(out.nonzero_count() > 0);
+        }
+    }
+
+    #[test]
     fn dense_q8_timing_is_deterministic() {
         // W=32, L=8, 8-bit codes: every vOp needs 4 dequant cycles -> 3
         // bubbles per vOp, 16 vOps, +2 fill cycles.
@@ -274,6 +366,36 @@ mod tests {
         let (out, timing) = pipeline.process(&tile).expect("pipeline");
         assert_eq!(timing.bubbles, 0);
         assert_eq!(out.nonzero_count(), tile.nonzero_count());
+    }
+
+    #[test]
+    fn forged_tiles_fault_cleanly_instead_of_panicking() {
+        use deca_compress::{pack_codes, Bitmask, TILE_ELEMS};
+        // A bitmask covering half a tile with a matching popcount, and a
+        // group-quantized tile with a truncated scale vector: both must be
+        // rejected as corrupt, exactly like the decompression engines do.
+        let mut short_mask = Bitmask::new(256);
+        short_mask.set(0, true);
+        let short = deca_compress::CompressedTile::new_unchecked(
+            CompressionScheme::bf8_sparse(0.5),
+            pack_codes(&[1], 8),
+            1,
+            Some(short_mask),
+            vec![],
+        );
+        let truncated_scales = deca_compress::CompressedTile::new_unchecked(
+            CompressionScheme::mxfp4(),
+            pack_codes(&vec![0u16; TILE_ELEMS], 4),
+            TILE_ELEMS,
+            None,
+            vec![deca_numerics::mx::ScaleE8M0::ONE; 1],
+        );
+        for (tile, label) in [(short, "short bitmask"), (truncated_scales, "scales")] {
+            let mut pipeline = VopPipeline::new(&DecaConfig::baseline());
+            pipeline.configure(tile.scheme().format());
+            let err = pipeline.process(&tile).expect_err(label);
+            assert!(matches!(err, DecaError::Compress(_)), "{label}: {err}");
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! chosen scheme — i.e. that the decompression path feeding the TMUL is
 //! numerically sound.
 
-use deca_compress::{CompressError, CompressedMatrix, Decompressor, WeightMatrix};
+use deca_compress::{
+    CompressError, CompressedMatrix, DecompressEngine, Decompressor, WeightMatrix,
+};
 use deca_numerics::Bf16;
 
 /// Multiplies `activations` (`N×K`, row-major) by `weights` (`K×M`),
@@ -55,7 +57,25 @@ pub fn gemm_compressed(
     activations: &WeightMatrix,
     weights: &CompressedMatrix,
 ) -> Result<WeightMatrix, CompressError> {
-    let dense = Decompressor::new().decompress_matrix(weights)?;
+    gemm_compressed_with(Decompressor::new().engine(), activations, weights)
+}
+
+/// [`gemm_compressed`] through an explicit decompression backend, so
+/// modeled-vs-functional comparisons can name which engine produced the
+/// dense weights. Every backend is bit-exact against the scalar reference,
+/// so the numeric result is engine-independent — running the same GeMM
+/// under two engines and comparing is exactly how that invariant is
+/// enforced end to end.
+///
+/// # Errors
+///
+/// Propagates decompression errors.
+pub fn gemm_compressed_with(
+    engine: &dyn DecompressEngine,
+    activations: &WeightMatrix,
+    weights: &CompressedMatrix,
+) -> Result<WeightMatrix, CompressError> {
+    let dense = engine.decompress_matrix(weights)?;
     Ok(gemm_dense(activations, &dense))
 }
 
@@ -163,6 +183,20 @@ mod tests {
         // the output must stay finite and nonzero.
         assert!(result.data().iter().all(|v| v.is_finite()));
         assert!(result.data().iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn every_engine_yields_the_same_gemm_result() {
+        let weights = WeightGenerator::new(9).dense_matrix(64, 48);
+        let a = activations(2, 64);
+        let compressed = Compressor::new(CompressionScheme::bf8_sparse(0.3))
+            .compress_matrix(&weights)
+            .unwrap();
+        let reference = gemm_compressed(&a, &compressed).unwrap();
+        for kind in deca_compress::EngineKind::all() {
+            let result = gemm_compressed_with(kind.build().as_ref(), &a, &compressed).unwrap();
+            assert_eq!(result, reference, "{kind}");
+        }
     }
 
     #[test]

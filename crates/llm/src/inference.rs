@@ -9,7 +9,7 @@
 //! once against Table 1's FC-time fractions and then left untouched for
 //! every other experiment.
 
-use deca_compress::CompressionScheme;
+use deca_compress::{CompressionScheme, EngineKind};
 use deca_kernels::{CompressedGemmExecutor, Engine, GemmShape, Parlooper};
 use deca_roofsurface::MachineConfig;
 
@@ -37,6 +37,9 @@ pub struct NextTokenReport {
     pub scheme: String,
     /// Engine label.
     pub engine: String,
+    /// Which functional decompression backend stands behind the modeled FC
+    /// numbers (the engine axis of the compression substrate).
+    pub decompress_engine: String,
     /// Batch size.
     pub batch: usize,
     /// Context length (tokens already in the KV cache).
@@ -101,6 +104,14 @@ impl InferenceEstimator {
         }
     }
 
+    /// Selects the functional decompression backend behind the FC-GeMM
+    /// numbers; every [`NextTokenReport`] names it.
+    #[must_use]
+    pub fn with_decompress_backend(mut self, backend: EngineKind) -> Self {
+        self.executor = self.executor.with_decompress_backend(backend);
+        self
+    }
+
     /// The underlying compressed-GeMM executor.
     #[must_use]
     pub fn executor(&self) -> &CompressedGemmExecutor {
@@ -140,6 +151,7 @@ impl InferenceEstimator {
             model: model.name().to_string(),
             scheme: scheme.label(),
             engine: engine.label(),
+            decompress_engine: run.decompress_engine,
             batch,
             context_tokens,
             fc_seconds,
@@ -250,5 +262,20 @@ mod tests {
         assert!((report.tokens_per_second() - 4.0 / total).abs() < 1e-6);
         assert_eq!(report.batch, 4);
         assert_eq!(report.scheme, "Q4");
+        assert_eq!(report.decompress_engine, "scalar");
+    }
+
+    #[test]
+    fn decompress_backend_choice_is_named_but_does_not_move_latency() {
+        let model = LlmModel::llama2_70b();
+        let scheme = CompressionScheme::bf8_sparse(0.2);
+        let scalar = hbm().next_token(&model, &scheme, Engine::deca_default(), 1, 128);
+        let word = hbm()
+            .with_decompress_backend(EngineKind::WordParallel)
+            .next_token(&model, &scheme, Engine::deca_default(), 1, 128);
+        assert_eq!(scalar.decompress_engine, "scalar");
+        assert_eq!(word.decompress_engine, "word-parallel");
+        // All backends are bit-exact, so the modeled latency is identical.
+        assert!((scalar.total_ms() - word.total_ms()).abs() < 1e-12);
     }
 }

@@ -15,7 +15,7 @@
 
 use deca_roofsurface::MachineConfig;
 
-use crate::{CacheConfig, GemmStats, MemoryController, PrefetchConfig};
+use crate::{CacheConfig, GemmStats, MemoryController, MemoryTrace, PrefetchConfig, TraceEvent};
 
 /// How the core invokes the decompression engine, which determines how much
 /// cross-iteration overlap survives (§5.2–5.3).
@@ -158,10 +158,35 @@ impl GemmSimulation {
     pub fn run(&self, model: &TileExecModel, tiles_per_core: usize) -> GemmStats {
         model.validate();
         assert!(tiles_per_core > 0, "must simulate at least one tile");
-        self.run_once(model, tiles_per_core)
+        self.run_once(model, tiles_per_core, |_| model.bytes_per_tile)
     }
 
-    fn run_once(&self, model: &TileExecModel, tiles_per_core: usize) -> GemmStats {
+    /// Replays an actual per-tile memory trace through the executor: every
+    /// tile pays for its *own* compressed bytes (lumpy real matrices)
+    /// instead of the scheme-average `bytes_per_tile` of the model, whose
+    /// cycle costs and latency/overlap knobs still apply. The trace comes
+    /// from [`MemoryTrace::from_matrix`], which streams the matrix through
+    /// a named decompression engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails validation or the trace is empty.
+    #[must_use]
+    pub fn run_trace(&self, model: &TileExecModel, trace: &MemoryTrace) -> GemmStats {
+        model.validate();
+        assert!(!trace.is_empty(), "must simulate at least one tile");
+        let events = trace.events();
+        self.run_once(model, events.len(), |i| {
+            TraceEvent::total_bytes(&events[i]) as f64
+        })
+    }
+
+    fn run_once(
+        &self,
+        model: &TileExecModel,
+        tiles_per_core: usize,
+        bytes_of: impl Fn(usize) -> f64,
+    ) -> GemmStats {
         let lines_per_tile = self.cache.lines_for(model.bytes_per_tile.max(1.0));
         let prefetch = model
             .prefetch
@@ -210,7 +235,7 @@ impl GemmSimulation {
             } else {
                 0.0
             };
-            let data_ready = memory.request(mem_trigger, model.bytes_per_tile, fetch_latency);
+            let data_ready = memory.request(mem_trigger, bytes_of(i), fetch_latency);
             let invoke = if i >= depth {
                 if serialized {
                     consume_done[i - depth]
@@ -428,5 +453,44 @@ mod tests {
     #[should_panic(expected = "at least one tile")]
     fn zero_tiles_is_rejected() {
         let _ = sim().run(&base_model(), 0);
+    }
+
+    #[test]
+    fn trace_replay_matches_uniform_run_for_uniform_tiles() {
+        use deca_compress::{
+            generator::WeightGenerator, CompressionScheme, Compressor, WordParallelEngine,
+        };
+        let s = sim();
+        // A dense BF8 matrix compresses every tile to exactly 512 bytes, so
+        // the trace-driven replay must agree with the uniform model run.
+        let m = WeightGenerator::new(3).dense_matrix(256, 512);
+        let cm = Compressor::new(CompressionScheme::bf8_dense())
+            .compress_matrix(&m)
+            .expect("compress");
+        let trace = MemoryTrace::from_matrix(&cm, &WordParallelEngine::new()).expect("trace");
+        let model = base_model();
+        let uniform = s.run(&model, trace.len());
+        let traced = s.run_trace(&model, &trace);
+        assert_eq!(traced.tiles_per_core, uniform.tiles_per_core);
+        assert!((traced.total_cycles - uniform.total_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lumpy_sparse_traces_shift_the_memory_time() {
+        use deca_compress::{
+            generator::WeightGenerator, CompressionScheme, Compressor, WordParallelEngine,
+        };
+        let s = sim();
+        let scheme = CompressionScheme::bf8_sparse(0.3);
+        let m = WeightGenerator::new(4).dense_matrix(256, 512);
+        let cm = Compressor::new(scheme)
+            .compress_matrix(&m)
+            .expect("compress");
+        let trace = MemoryTrace::from_matrix(&cm, &WordParallelEngine::new()).expect("trace");
+        let mut model = base_model();
+        model.bytes_per_tile = scheme.expected_tile_bytes();
+        let traced = s.run_trace(&model, &trace);
+        // The replay moves exactly the matrix's real bytes.
+        assert!((traced.bytes_per_core - trace.total_bytes() as f64).abs() < 1e-6);
     }
 }

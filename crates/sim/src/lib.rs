@@ -17,7 +17,12 @@
 //! * latency exposure when tiles are fetched without prefetching, when the
 //!   decompressed tile takes the L2 round-trip instead of the TOut
 //!   registers, and when fences serialize iterations (Fig. 17),
-//! * bandwidth sharing across symmetric cores (Fig. 14).
+//! * bandwidth sharing across symmetric cores (Fig. 14),
+//! * trace-driven replay of *actual* compressed matrices: [`MemoryTrace`]
+//!   streams a real [`deca_compress::CompressedMatrix`] through a pluggable
+//!   decompression engine and records the per-tile fetch footprint, which
+//!   [`GemmSimulation::run_trace`] replays so every tile pays for its own
+//!   (lumpy) bytes instead of the scheme average.
 //!
 //! What it abstracts away: per-µop out-of-order scheduling, cache
 //! replacement (weight streams have no reuse), and NoC topology beyond a hop
@@ -55,6 +60,7 @@ mod memory;
 mod multicore;
 mod prefetch;
 mod stats;
+mod trace;
 
 pub use cache::CacheConfig;
 pub use exec::{GemmSimulation, InvocationModel, TileExecModel};
@@ -62,6 +68,7 @@ pub use memory::MemoryController;
 pub use multicore::MulticoreGemmSimulation;
 pub use prefetch::{PrefetchConfig, PrefetchKind};
 pub use stats::{GemmStats, UtilizationReport};
+pub use trace::{MemoryTrace, TraceEvent};
 
 #[cfg(test)]
 mod tests {

@@ -109,3 +109,70 @@ fn pathological_tiles_are_handled() {
     }
     assert_eq!(produced.nonzero_count(), TILE_COLS);
 }
+
+/// The engine axis end to end: one compressed matrix streams through every
+/// pluggable backend into the trace-driven simulator and the functional
+/// GeMM, and the vOp pipeline validates against each backend — all layers
+/// agreeing on one bit-exact ground truth.
+#[test]
+fn engine_axis_threads_through_every_layer() {
+    use deca_compress::EngineKind;
+
+    let weights = WeightGenerator::new(4004).dense_matrix(96, 128);
+    let activations = WeightGenerator::new(4005)
+        .with_std_dev(0.5)
+        .dense_matrix(2, 96);
+    let scheme = CompressionScheme::bf8_sparse(0.2);
+    let compressed = Compressor::new(scheme)
+        .compress_matrix(&weights)
+        .expect("compress");
+
+    // Functional layer: engine-parameterized GeMM is backend-independent.
+    let reference_gemm = functional::gemm_compressed(&activations, &compressed).expect("gemm");
+    for kind in EngineKind::all() {
+        let out =
+            functional::gemm_compressed_with(kind.build().as_ref(), &activations, &compressed)
+                .expect("gemm");
+        assert_eq!(out, reference_gemm, "{kind}");
+    }
+
+    // Simulation layer: traces generated through any engine are identical
+    // and replay the matrix's exact bytes.
+    let machine = deca_roofsurface::MachineConfig::spr_hbm();
+    let executor = deca_kernels::CompressedGemmExecutor::new(machine.clone());
+    let model = executor.exec_model(&scheme, &deca_kernels::Engine::deca_default());
+    let sim = deca_sim::GemmSimulation::new(machine, deca_sim::CacheConfig::spr());
+    let mut traced_cycles = Vec::new();
+    for kind in EngineKind::all() {
+        let trace =
+            deca_sim::MemoryTrace::from_matrix(&compressed, kind.build().as_ref()).expect("trace");
+        assert_eq!(trace.engine(), kind.label());
+        let stats = sim.run_trace(&model, &trace);
+        assert!((stats.bytes_per_core - compressed.total_bytes() as f64).abs() < 1e-6);
+        traced_cycles.push(stats.total_cycles);
+    }
+    assert!(traced_cycles.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-9));
+
+    // Core layer: the PE pipeline validates bit-exactly against every
+    // backend on every tile of the matrix.
+    let mut pipeline = deca::pipeline::VopPipeline::new(&DecaConfig::baseline());
+    pipeline.configure(scheme.format());
+    for kind in EngineKind::all() {
+        let engine = kind.build();
+        pipeline
+            .process_validated(compressed.tile(0, 0), engine.as_ref())
+            .expect("pipeline agrees with engine");
+    }
+
+    // LLM layer: the report names the backend that stands behind it.
+    let report = deca_llm::InferenceEstimator::new(deca_roofsurface::MachineConfig::spr_hbm())
+        .with_decompress_backend(EngineKind::WordParallel)
+        .next_token(
+            &deca_llm::LlmModel::llama2_70b(),
+            &scheme,
+            deca_kernels::Engine::deca_default(),
+            1,
+            128,
+        );
+    assert_eq!(report.decompress_engine, "word-parallel");
+}
