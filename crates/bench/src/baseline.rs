@@ -16,6 +16,10 @@ use deca_compress::{
 use deca_kernels::{avx_model::software_signature, CompressedGemmExecutor, Engine};
 use deca_llm::{InferenceEstimator, LlmModel};
 use deca_roofsurface::{MachineConfig, RoofSurface};
+use deca_serve::{
+    capacity_search, hbm_kv_budget_tokens, CapacityResult, CapacitySpec, EstimatorCostModel,
+    SchedulerKind, ServingConfig, ServingSimulator, SloTarget, WorkloadSpec,
+};
 
 use crate::json::Json;
 
@@ -215,6 +219,187 @@ pub fn engine_results() -> Json {
     ])
 }
 
+/// Requests per probed rate of the serving capacity search (shrunk in
+/// debug builds so plain `cargo test` stays fast; the committed baseline is
+/// regenerated in release mode).
+const SERVING_SEARCH_REQUESTS: usize = if cfg!(debug_assertions) { 32 } else { 128 };
+/// Bisection refinements of the capacity search.
+const SERVING_SEARCH_ITERATIONS: usize = if cfg!(debug_assertions) { 3 } else { 6 };
+/// Requests on the bursty continuous-vs-static trace.
+const SERVING_BURSTY_REQUESTS: usize = if cfg!(debug_assertions) { 48 } else { 160 };
+/// Decode batch limit of the simulated replica.
+const SERVING_MAX_BATCH: usize = 16;
+
+/// The `bench_serving` headline sentence for the Q8_5% row.
+fn serving_headline(
+    slo: &SloTarget,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    sw: &CapacityResult,
+    deca: &CapacityResult,
+) -> String {
+    if sw.max_rate_rps > 0.0 {
+        format!(
+            "at p99 TPOT <= {:.0} ms (TTFT <= {:.0} s), DECA sustains {:.2}x the requests/sec \
+             of software decompression on {} {} ({:.2} vs {:.2} req/s per socket)",
+            slo.tpot_s * 1e3,
+            slo.ttft_s,
+            deca.max_rate_rps / sw.max_rate_rps,
+            model.name(),
+            scheme.label(),
+            deca.max_rate_rps,
+            sw.max_rate_rps
+        )
+    } else {
+        format!(
+            "at p99 TPOT <= {:.0} ms (TTFT <= {:.0} s), DECA sustains {:.2} req/s per socket \
+             on {} {} — an SLO software decompression cannot meet at any rate",
+            slo.tpot_s * 1e3,
+            slo.ttft_s,
+            deca.max_rate_rps,
+            model.name(),
+            scheme.label()
+        )
+    }
+}
+
+/// Continuous vs static batching on a bursty trace (DECA, Q8_5%): one row
+/// per scheduler plus the `[continuous, static]` goodputs.
+fn bursty_scheduler_rows(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    slo: &SloTarget,
+) -> (Vec<Json>, Vec<f64>) {
+    let scheme = CompressionScheme::bf8_sparse(0.05);
+    let budget = hbm_kv_budget_tokens(model, &scheme).expect("Q8_5% fits");
+    let bursty = WorkloadSpec::bursty_chat(0.6, SERVING_BURSTY_REQUESTS, 43).generate();
+    let mut scheduler_rows = Vec::new();
+    let mut goodputs = Vec::new();
+    // One memoized cost model across both scheduler runs: its answers are
+    // pure functions of (batch, context), independent of the schedule.
+    let mut cost = EstimatorCostModel::new(
+        machine.clone(),
+        model.clone(),
+        scheme,
+        Engine::deca_default(),
+    );
+    for kind in [
+        SchedulerKind::ContinuousBatching,
+        SchedulerKind::StaticBatching,
+    ] {
+        let config = ServingConfig::continuous(SERVING_MAX_BATCH, budget).with_scheduler(kind);
+        let mut simulator = ServingSimulator::new(cost, config);
+        let report = simulator.run(&bursty);
+        cost = simulator.into_cost_model();
+        let metrics = report.metrics();
+        let goodput = report.goodput_rps(slo);
+        goodputs.push(goodput);
+        scheduler_rows.push(Json::obj(vec![
+            ("scheduler", Json::str(kind.to_string())),
+            ("goodput_rps", num(goodput)),
+            ("p99_ttft_s", num(metrics.ttft.p99_s)),
+            ("p99_e2e_s", num(metrics.e2e.p99_s)),
+            ("peak_queue_depth", num(report.peak_queue_depth as f64)),
+            (
+                "peak_kv_reserved_tokens",
+                num(report.peak_kv_reserved_tokens as f64),
+            ),
+            ("completed", num(report.completed() as f64)),
+            ("rejected", num(report.rejected as f64)),
+        ]));
+    }
+    (scheduler_rows, goodputs)
+}
+
+/// The serving-layer experiment (`deca-serve`): for each Table 4 compressed
+/// scheme, the maximum requests/sec one SPR-HBM socket sustains at the
+/// interactive p99 SLO with continuous batching — software decompression
+/// versus DECA — plus a continuous-vs-static goodput comparison on a bursty
+/// trace. Everything here is modeled/deterministic (the simulation has no
+/// wall-clock inputs); only the surrounding `wall_ms` is volatile.
+#[must_use]
+pub fn serving_results() -> Json {
+    let machine = MachineConfig::spr_hbm();
+    let model = LlmModel::llama2_70b();
+    let slo = SloTarget::interactive();
+    let spec = CapacitySpec {
+        slo,
+        requests: SERVING_SEARCH_REQUESTS,
+        seed: 7,
+        min_rate: 0.25,
+        max_rate: 64.0,
+        iterations: SERVING_SEARCH_ITERATIONS,
+    };
+
+    let mut capacity_rows = Vec::new();
+    let mut headline = String::new();
+    for scheme in [
+        CompressionScheme::mxfp4(),
+        CompressionScheme::bf8_sparse(0.2),
+        CompressionScheme::bf8_sparse(0.05),
+    ] {
+        let budget = hbm_kv_budget_tokens(&model, &scheme)
+            .expect("every compressed Table 4 scheme fits in HBM");
+        let config = ServingConfig::continuous(SERVING_MAX_BATCH, budget);
+        let sw = capacity_search(
+            &machine,
+            &model,
+            &scheme,
+            Engine::software(),
+            &config,
+            &spec,
+        );
+        let deca = capacity_search(
+            &machine,
+            &model,
+            &scheme,
+            Engine::deca_default(),
+            &config,
+            &spec,
+        );
+        if scheme == CompressionScheme::bf8_sparse(0.05) {
+            headline = serving_headline(&slo, &model, &scheme, &sw, &deca);
+        }
+        let mut row = vec![
+            ("scheme", Json::str(scheme.label())),
+            ("kv_budget_tokens", num(budget as f64)),
+            ("software_rps", num(sw.max_rate_rps)),
+            ("software_p99_tpot_ms", num(sw.p99_tpot_s * 1e3)),
+            ("deca_rps", num(deca.max_rate_rps)),
+            ("deca_p99_tpot_ms", num(deca.p99_tpot_s * 1e3)),
+        ];
+        // Software may be unable to meet the SLO at any rate (e.g. Q4's
+        // 116 ms decode step leaves no interference headroom under 150 ms);
+        // mirror Table 4's empty cell instead of a divide-by-zero ratio.
+        if sw.max_rate_rps > 0.0 {
+            row.push(("deca_vs_software", num(deca.max_rate_rps / sw.max_rate_rps)));
+        }
+        capacity_rows.push(Json::obj(row));
+    }
+
+    let (scheduler_rows, goodputs) = bursty_scheduler_rows(&machine, &model, &slo);
+
+    Json::obj(vec![
+        ("machine", Json::str(machine.name.clone())),
+        ("model", Json::str(model.name().to_string())),
+        ("max_batch", num(SERVING_MAX_BATCH as f64)),
+        ("slo_ttft_s", num(slo.ttft_s)),
+        ("slo_tpot_ms", num(slo.tpot_s * 1e3)),
+        ("search_requests", num(SERVING_SEARCH_REQUESTS as f64)),
+        ("capacity", Json::Arr(capacity_rows)),
+        ("headline", Json::str(headline)),
+        (
+            "continuous_vs_static_goodput",
+            num(if goodputs[1] > 0.0 {
+                goodputs[0] / goodputs[1]
+            } else {
+                0.0
+            }),
+        ),
+        ("bursty_schedulers", Json::Arr(scheduler_rows)),
+    ])
+}
+
 /// Runs every baseline experiment, recording wall time per experiment, and
 /// assembles the full document.
 #[must_use]
@@ -225,6 +410,7 @@ pub fn collect() -> Json {
         ("pipeline", pipeline_results),
         ("llm_latency", llm_latency_results),
         ("bench_engines", engine_results),
+        ("bench_serving", serving_results),
     ];
     let mut records = Vec::new();
     for (name, run) in experiments {
@@ -276,7 +462,13 @@ mod tests {
             .collect();
         assert_eq!(
             names,
-            ["roofsurface", "pipeline", "llm_latency", "bench_engines"]
+            [
+                "roofsurface",
+                "pipeline",
+                "llm_latency",
+                "bench_engines",
+                "bench_serving"
+            ]
         );
         for experiment in experiments {
             match find(experiment, "wall_ms") {
@@ -331,6 +523,54 @@ mod tests {
                     other => panic!("dense_gbps must be a number, got {other:?}"),
                 }
             }
+        }
+    }
+
+    fn try_find<'a>(obj: &'a Json, key: &str) -> Option<&'a Json> {
+        match obj {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn serving_results_show_deca_capacity_advantage() {
+        let serving = serving_results();
+        let Json::Arr(rows) = find(&serving, "capacity") else {
+            panic!("capacity must be an array");
+        };
+        assert_eq!(rows.len(), 3);
+        for row in rows {
+            // DECA always sustains some load at the interactive SLO.
+            match find(row, "deca_rps") {
+                Json::Num(v) => assert!(v.is_finite() && *v > 0.0, "deca_rps = {v}"),
+                other => panic!("deca_rps must be a number, got {other:?}"),
+            }
+            // The ratio is present exactly when software met the SLO at
+            // all, and it is then strictly above 1: DECA serves more load
+            // per socket than software decompression on every scheme.
+            let Json::Num(sw) = find(row, "software_rps") else {
+                panic!("software_rps must be a number");
+            };
+            match (*sw > 0.0, try_find(row, "deca_vs_software")) {
+                (true, Some(Json::Num(ratio))) => {
+                    assert!(*ratio > 1.0, "DECA vs software capacity ratio {ratio}");
+                }
+                (false, None) => {} // software cannot meet the SLO at all
+                (present, ratio) => {
+                    panic!("software_rps>0 = {present} inconsistent with ratio {ratio:?}")
+                }
+            }
+        }
+        match find(&serving, "headline") {
+            Json::Str(s) => assert!(s.contains("DECA sustains"), "{s}"),
+            other => panic!("headline must be a string, got {other:?}"),
+        }
+        // Continuous batching beats static batching on goodput for the
+        // bursty workload.
+        match find(&serving, "continuous_vs_static_goodput") {
+            Json::Num(ratio) => assert!(*ratio > 1.0, "continuous vs static goodput {ratio}"),
+            other => panic!("goodput ratio must be a number, got {other:?}"),
         }
     }
 

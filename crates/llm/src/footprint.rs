@@ -28,10 +28,58 @@ pub fn model_footprint_bytes(model: &LlmModel, scheme: &CompressionScheme) -> f6
     fc + embeddings
 }
 
-/// Whether a model compressed with `scheme` fits in the 64 GB HBM.
+/// Whether a model compressed with `scheme` fits in the 64 GB HBM
+/// (weights only — see [`fits_in_hbm_with_kv`] for the serving-time check
+/// that includes the KV cache).
 #[must_use]
 pub fn fits_in_hbm(model: &LlmModel, scheme: &CompressionScheme) -> bool {
     model_footprint_bytes(model, scheme) <= HBM_CAPACITY_BYTES as f64
+}
+
+/// Bytes of KV cache held for one sequence at `context_tokens` (keys and
+/// values of every layer, BF16).
+#[must_use]
+pub fn kv_cache_bytes_per_sequence(model: &LlmModel, context_tokens: usize) -> u64 {
+    (model.layers() * model.layer().kv_bytes_per_token() * context_tokens) as u64
+}
+
+/// Total KV-cache bytes for `batch` sequences at a uniform context length.
+#[must_use]
+pub fn kv_cache_bytes(model: &LlmModel, context_tokens: usize, batch: usize) -> u64 {
+    kv_cache_bytes_per_sequence(model, context_tokens) * batch as u64
+}
+
+/// HBM bytes left for the KV cache (and activations) after the weights are
+/// resident. Negative when the weights alone overflow the 64 GB.
+#[must_use]
+pub fn hbm_headroom_bytes(model: &LlmModel, scheme: &CompressionScheme) -> f64 {
+    HBM_CAPACITY_BYTES as f64 - model_footprint_bytes(model, scheme)
+}
+
+/// Whether the weights *and* the KV cache of `batch` sequences at
+/// `context_tokens` fit in the 64 GB HBM together.
+#[must_use]
+pub fn fits_in_hbm_with_kv(
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    context_tokens: usize,
+    batch: usize,
+) -> bool {
+    kv_cache_bytes(model, context_tokens, batch) as f64 <= hbm_headroom_bytes(model, scheme)
+}
+
+/// The total number of KV-cache token slots (summed across all resident
+/// sequences) the HBM headroom sustains, or `None` when the weights alone do
+/// not fit. This is the KV budget the serving scheduler in `deca-serve`
+/// admits against.
+#[must_use]
+pub fn max_kv_tokens(model: &LlmModel, scheme: &CompressionScheme) -> Option<u64> {
+    let headroom = hbm_headroom_bytes(model, scheme);
+    if headroom < 0.0 {
+        return None;
+    }
+    let per_token = (model.layers() * model.layer().kv_bytes_per_token()) as f64;
+    Some((headroom / per_token) as u64)
 }
 
 #[cfg(test)]
@@ -62,6 +110,52 @@ mod tests {
         let opt = LlmModel::opt_66b();
         assert!(!fits_in_hbm(&opt, &CompressionScheme::bf16_dense()));
         assert!(fits_in_hbm(&opt, &CompressionScheme::mxfp4()));
+    }
+
+    #[test]
+    fn kv_cache_accounting_scales_with_context_and_batch() {
+        let llama = LlmModel::llama2_70b();
+        // 80 layers x 4096 B/token (GQA) = 327 680 B per context token.
+        assert_eq!(kv_cache_bytes_per_sequence(&llama, 1), 327_680);
+        assert_eq!(
+            kv_cache_bytes(&llama, 4096, 16),
+            327_680 * 4096 * 16 // ~21.5 GB: a real bite out of the headroom
+        );
+        assert_eq!(kv_cache_bytes(&llama, 0, 16), 0);
+    }
+
+    #[test]
+    fn kv_cache_participates_in_the_hbm_fit_check() {
+        let llama = LlmModel::llama2_70b();
+        let q8_5 = CompressionScheme::bf8_sparse(0.05);
+        // Weights fit with lots of headroom...
+        assert!(fits_in_hbm_with_kv(&llama, &q8_5, 4096, 16));
+        // ...but a large enough resident KV set overflows even Q8_5%.
+        let budget = max_kv_tokens(&llama, &q8_5).expect("weights fit");
+        assert!(budget > 100_000, "budget {budget}");
+        assert!(!fits_in_hbm_with_kv(&llama, &q8_5, budget as usize + 1, 1));
+        assert!(fits_in_hbm_with_kv(&llama, &q8_5, budget as usize, 1));
+
+        // Headroom is consistent with the budget: budget tokens eat it all.
+        let headroom = hbm_headroom_bytes(&llama, &q8_5);
+        let used = kv_cache_bytes(&llama, budget as usize, 1) as f64;
+        assert!(used <= headroom && headroom - used < 327_680.0);
+    }
+
+    #[test]
+    fn models_that_do_not_fit_have_no_kv_budget() {
+        let llama = LlmModel::llama2_70b();
+        assert_eq!(
+            max_kv_tokens(&llama, &CompressionScheme::bf16_dense()),
+            None
+        );
+        assert!(hbm_headroom_bytes(&llama, &CompressionScheme::bf16_dense()) < 0.0);
+        assert!(!fits_in_hbm_with_kv(
+            &llama,
+            &CompressionScheme::bf16_dense(),
+            0,
+            1
+        ));
     }
 
     #[test]

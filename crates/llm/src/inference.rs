@@ -86,6 +86,58 @@ impl NextTokenReport {
     }
 }
 
+/// Latency breakdown of the prefill (prompt-processing) phase of one
+/// sequence: the whole prompt runs through every layer at once, so the FC
+/// GeMMs have `prompt_tokens` activation rows and the TMUL — not the weight
+/// stream — can become the bound.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PrefillReport {
+    /// Model name.
+    pub model: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Engine label.
+    pub engine: String,
+    /// Functional decompression backend behind the modeled FC numbers.
+    pub decompress_engine: String,
+    /// Prompt tokens processed by this prefill.
+    pub prompt_tokens: usize,
+    /// Tokens already resident in the KV cache before the prefill (0 for a
+    /// fresh request).
+    pub context_tokens: usize,
+    /// Seconds spent in FC-layer GeMMs.
+    pub fc_seconds: f64,
+    /// Seconds spent reading/writing the KV cache during causal attention.
+    pub attention_seconds: f64,
+    /// Seconds of per-layer overhead (norms, softmax, residuals, framework).
+    pub other_seconds: f64,
+}
+
+impl PrefillReport {
+    /// Total prefill latency in seconds — the time-to-first-token
+    /// contribution of prompt processing.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.fc_seconds + self.attention_seconds + self.other_seconds
+    }
+
+    /// Total prefill latency in milliseconds.
+    #[must_use]
+    pub fn total_ms(&self) -> f64 {
+        self.total_seconds() * 1e3
+    }
+
+    /// Prompt tokens processed per second.
+    #[must_use]
+    pub fn tokens_per_second(&self) -> f64 {
+        if self.total_seconds() == 0.0 {
+            0.0
+        } else {
+            self.prompt_tokens as f64 / self.total_seconds()
+        }
+    }
+}
+
 /// Estimates next-token latency for a model/scheme/engine combination on a
 /// simulated machine.
 #[derive(Debug, Clone)]
@@ -160,9 +212,88 @@ impl InferenceEstimator {
         }
     }
 
+    /// Estimates the latency of the prefill phase: processing a
+    /// `prompt_tokens`-long prompt of one sequence whose KV cache already
+    /// holds `context_tokens` tokens.
+    ///
+    /// The weight stream is identical to a decode step (every FC weight is
+    /// read once), but each decompressed tile now feeds
+    /// `ceil(prompt_tokens / 16)` TMUL operations, so per tile the pipeline
+    /// pays the *slower* of the steady-state (memory/decompress) tile rate
+    /// and the TMUL occupancy — long prompts are compute-bound, exactly why
+    /// prefill and decode need separate models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prompt_tokens` is zero.
+    #[must_use]
+    pub fn prefill(
+        &self,
+        model: &LlmModel,
+        scheme: &CompressionScheme,
+        engine: Engine,
+        prompt_tokens: usize,
+        context_tokens: usize,
+    ) -> PrefillReport {
+        assert!(prompt_tokens > 0, "a prefill processes at least one token");
+        let run = self.executor.run(scheme, engine, prompt_tokens);
+        let stream_seconds_per_tile = run.stats.cycles_per_tile() / self.machine.frequency_hz();
+        // TMUL occupancy per weight tile: ceil(P/16) tile ops of
+        // `tmul_cycles_per_op` cycles each (the TMUL saturates at 16
+        // activation rows per op).
+        let tmul_seconds_per_tile = prompt_tokens.div_ceil(16) as f64
+            * f64::from(self.machine.tmul_cycles_per_op)
+            / self.machine.frequency_hz();
+        let seconds_per_tile = stream_seconds_per_tile.max(tmul_seconds_per_tile);
+
+        let fc_gemms = model.fc_gemms_per_token(prompt_tokens);
+        let fc_seconds: f64 = fc_gemms
+            .iter()
+            .map(|shape| self.gemm_seconds(shape, seconds_per_tile))
+            .sum::<f64>()
+            + fc_gemms.len() as f64 * GEMM_LAUNCH_BARRIER_US * 1e-6;
+
+        let attention_seconds =
+            self.prefill_attention_seconds(model, prompt_tokens, context_tokens);
+        // The elementwise per-token work (norms, rotary, residuals) scales
+        // with the prompt length; the fixed per-layer dispatch is paid once.
+        let layers = model.layers() as f64;
+        let other_seconds = layers
+            * (LAYER_OVERHEAD_US + LAYER_OVERHEAD_PER_SEQUENCE_US * prompt_tokens as f64)
+            * 1e-6;
+
+        PrefillReport {
+            model: model.name().to_string(),
+            scheme: scheme.label(),
+            engine: engine.label(),
+            decompress_engine: run.decompress_engine,
+            prompt_tokens,
+            context_tokens,
+            fc_seconds,
+            attention_seconds,
+            other_seconds,
+        }
+    }
+
     fn gemm_seconds(&self, shape: &GemmShape, seconds_per_tile: f64) -> f64 {
         let partition = Parlooper::partition(shape, self.machine.cores);
         partition.max_tiles_per_core() as f64 * seconds_per_tile
+    }
+
+    /// Causal-attention KV traffic of a prefill: token `i` of the prompt
+    /// reads the `context + i` keys/values before it, and every prompt
+    /// token appends its own.
+    fn prefill_attention_seconds(
+        &self,
+        model: &LlmModel,
+        prompt_tokens: usize,
+        context_tokens: usize,
+    ) -> f64 {
+        let p = prompt_tokens as f64;
+        let positions_read = p * context_tokens as f64 + p * (p - 1.0) / 2.0;
+        let kv_bytes = model.layer().kv_bytes_per_token() as f64;
+        let total_bytes = (positions_read + p) * kv_bytes * model.layers() as f64;
+        total_bytes / self.machine.memory_bandwidth_bytes_per_sec()
     }
 
     /// KV-cache traffic time: every layer reads the keys and values of the
@@ -263,6 +394,97 @@ mod tests {
         assert_eq!(report.batch, 4);
         assert_eq!(report.scheme, "Q4");
         assert_eq!(report.decompress_engine, "scalar");
+    }
+
+    #[test]
+    fn prefill_is_much_faster_than_token_by_token_decode() {
+        // The whole point of a prefill phase: 512 prompt tokens through the
+        // weight stream once beats 512 decode steps by a wide margin.
+        let estimator = hbm();
+        let model = LlmModel::llama2_70b();
+        let scheme = CompressionScheme::bf8_sparse(0.05);
+        let prefill = estimator.prefill(&model, &scheme, Engine::deca_default(), 512, 0);
+        let decode = estimator.next_token(&model, &scheme, Engine::deca_default(), 1, 256);
+        assert!(
+            prefill.total_seconds() < 0.25 * 512.0 * decode.total_seconds(),
+            "prefill {:.1} ms vs 512 decode steps {:.1} ms",
+            prefill.total_ms(),
+            512.0 * decode.total_ms()
+        );
+        // But a prefill is still far more work than a single decode step.
+        assert!(prefill.total_seconds() > 2.0 * decode.total_seconds());
+    }
+
+    #[test]
+    fn long_prompts_become_tmul_bound() {
+        // At short prompts the weight stream dominates (memory-bound), so
+        // doubling the prompt barely moves the FC time; at long prompts the
+        // TMUL occupancy dominates and the FC time scales linearly. The
+        // uncompressed BF16 stream is heavy enough to stay memory-bound up
+        // to a few hundred prompt tokens (highly compressed schemes flip to
+        // TMUL-bound almost immediately).
+        let estimator = hbm();
+        let model = LlmModel::llama2_70b();
+        let scheme = CompressionScheme::bf16_dense();
+        let fc = |tokens| {
+            estimator
+                .prefill(&model, &scheme, Engine::software(), tokens, 0)
+                .fc_seconds
+        };
+        let short_ratio = fc(32) / fc(16);
+        let long_ratio = fc(2048) / fc(1024);
+        assert!(short_ratio < 1.6, "short-prompt FC ratio {short_ratio:.2}");
+        assert!(long_ratio > 1.9, "long-prompt FC ratio {long_ratio:.2}");
+    }
+
+    #[test]
+    fn prefill_attention_grows_quadratically_and_with_prior_context() {
+        let estimator = hbm();
+        let model = LlmModel::opt_66b();
+        let scheme = CompressionScheme::mxfp4();
+        let short = estimator.prefill(&model, &scheme, Engine::deca_default(), 256, 0);
+        let long = estimator.prefill(&model, &scheme, Engine::deca_default(), 1024, 0);
+        // 4x the prompt, ~16x the causal KV reads.
+        let ratio = long.attention_seconds / short.attention_seconds;
+        assert!((14.0..18.0).contains(&ratio), "attention ratio {ratio:.1}");
+        let with_context = estimator.prefill(&model, &scheme, Engine::deca_default(), 256, 4096);
+        assert!(with_context.attention_seconds > 5.0 * short.attention_seconds);
+        assert_eq!(with_context.context_tokens, 4096);
+    }
+
+    #[test]
+    fn prefill_report_accessors_are_consistent() {
+        let report = hbm().prefill(
+            &LlmModel::llama2_70b(),
+            &CompressionScheme::mxfp4(),
+            Engine::deca_default(),
+            128,
+            0,
+        );
+        let total = report.fc_seconds + report.attention_seconds + report.other_seconds;
+        assert!((report.total_seconds() - total).abs() < 1e-15);
+        assert!((report.total_ms() - total * 1e3).abs() < 1e-9);
+        assert!((report.tokens_per_second() - 128.0 / total).abs() < 1e-6);
+        assert_eq!(report.prompt_tokens, 128);
+        assert_eq!(report.scheme, "Q4");
+        assert_eq!(report.decompress_engine, "scalar");
+    }
+
+    #[test]
+    fn deca_prefill_beats_software_prefill() {
+        // DECA speeds up the memory/decompress side; on short prompts that
+        // side is the bound, so the prefill advantage survives.
+        let estimator = hbm();
+        let model = LlmModel::llama2_70b();
+        let scheme = CompressionScheme::bf8_sparse(0.05);
+        let sw = estimator.prefill(&model, &scheme, Engine::software(), 64, 0);
+        let deca = estimator.prefill(&model, &scheme, Engine::deca_default(), 64, 0);
+        assert!(
+            deca.total_seconds() < sw.total_seconds(),
+            "DECA {:.1} ms vs software {:.1} ms",
+            deca.total_ms(),
+            sw.total_ms()
+        );
     }
 
     #[test]

@@ -12,7 +12,12 @@
 //!   is timed through the compressed-GeMM executor (software or DECA
 //!   engine), and the non-GeMM stages (attention over the KV cache,
 //!   normalization, residuals and framework overhead) are modelled as
-//!   bandwidth/overhead-bound work.
+//!   bandwidth/overhead-bound work,
+//! * [`InferenceEstimator::prefill`] — the prompt-processing phase: the same
+//!   weight stream as a decode step, but each decompressed tile feeds
+//!   `ceil(prompt/16)` TMUL operations, so long prompts turn compute-bound.
+//!   Time-to-first-token in the `deca-serve` serving simulator is built on
+//!   this.
 //!
 //! # Example
 //!
@@ -40,7 +45,7 @@ pub mod footprint;
 mod inference;
 mod model;
 
-pub use inference::{InferenceEstimator, NextTokenReport};
+pub use inference::{InferenceEstimator, NextTokenReport, PrefillReport};
 pub use model::{LayerGeometry, LlmModel};
 
 #[cfg(test)]

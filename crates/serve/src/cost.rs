@@ -1,0 +1,216 @@
+//! Per-step cost models: what one prefill or one decode step costs the
+//! serving engine.
+//!
+//! The scheduler only ever asks two questions — "how long to prefill a
+//! `P`-token prompt?" and "how long is one decode step for a batch of `B`
+//! sequences at context `C`?" — so the cost model is a small trait. The
+//! production implementation drives [`InferenceEstimator`] (and therefore
+//! the whole compressed-GeMM simulation stack underneath); a linear model
+//! exists for fast property tests and analytical what-ifs.
+
+use std::collections::HashMap;
+
+use deca_compress::CompressionScheme;
+use deca_kernels::Engine;
+use deca_llm::{InferenceEstimator, LlmModel};
+use deca_roofsurface::MachineConfig;
+
+/// What one engine step costs. Implementations must be deterministic: the
+/// same question always gets the same answer, so serving simulations are
+/// replayable.
+pub trait ServingCostModel {
+    /// Seconds to prefill one fresh request with `prompt_tokens` tokens.
+    /// Must be strictly positive.
+    fn prefill_seconds(&mut self, prompt_tokens: usize) -> f64;
+
+    /// Seconds of one decode step (one token for every sequence) for a
+    /// batch of `batch` sequences whose longest context is
+    /// `max_context_tokens`. Must be strictly positive.
+    fn decode_step_seconds(&mut self, batch: usize, max_context_tokens: usize) -> f64;
+}
+
+/// Contexts are bucketed (rounded up) to this granularity before hitting
+/// the estimator, so a serving run touches a bounded number of distinct
+/// latency queries regardless of trace length.
+const CONTEXT_BUCKET_TOKENS: usize = 256;
+/// Prompt lengths are bucketed (rounded up) to this granularity.
+const PROMPT_BUCKET_TOKENS: usize = 64;
+
+fn bucket_up(value: usize, bucket: usize) -> usize {
+    value.max(1).div_ceil(bucket) * bucket
+}
+
+/// The production cost model: every answer comes from
+/// [`InferenceEstimator`] (decode steps from
+/// [`InferenceEstimator::next_token`], prefills from
+/// [`InferenceEstimator::prefill`]), memoized per bucketed shape. Bucketing
+/// rounds *up*, so the model is conservative — a simulated server is never
+/// faster than the estimator says.
+#[derive(Debug, Clone)]
+pub struct EstimatorCostModel {
+    estimator: InferenceEstimator,
+    model: LlmModel,
+    scheme: CompressionScheme,
+    engine: Engine,
+    decode_cache: HashMap<(usize, usize), f64>,
+    prefill_cache: HashMap<usize, f64>,
+}
+
+impl EstimatorCostModel {
+    /// Builds the cost model for a machine/model/scheme/engine combination.
+    #[must_use]
+    pub fn new(
+        machine: MachineConfig,
+        model: LlmModel,
+        scheme: CompressionScheme,
+        engine: Engine,
+    ) -> Self {
+        EstimatorCostModel {
+            estimator: InferenceEstimator::new(machine),
+            model,
+            scheme,
+            engine,
+            decode_cache: HashMap::new(),
+            prefill_cache: HashMap::new(),
+        }
+    }
+
+    /// The LLM being served.
+    #[must_use]
+    pub fn model(&self) -> &LlmModel {
+        &self.model
+    }
+
+    /// The compression scheme of the resident weights.
+    #[must_use]
+    pub fn scheme(&self) -> &CompressionScheme {
+        &self.scheme
+    }
+
+    /// The kernel engine (software decompression or DECA).
+    #[must_use]
+    pub fn engine(&self) -> Engine {
+        self.engine
+    }
+}
+
+impl ServingCostModel for EstimatorCostModel {
+    fn prefill_seconds(&mut self, prompt_tokens: usize) -> f64 {
+        let bucketed = bucket_up(prompt_tokens, PROMPT_BUCKET_TOKENS);
+        if let Some(&seconds) = self.prefill_cache.get(&bucketed) {
+            return seconds;
+        }
+        let seconds = self
+            .estimator
+            .prefill(&self.model, &self.scheme, self.engine, bucketed, 0)
+            .total_seconds();
+        self.prefill_cache.insert(bucketed, seconds);
+        seconds
+    }
+
+    fn decode_step_seconds(&mut self, batch: usize, max_context_tokens: usize) -> f64 {
+        let batch = batch.max(1);
+        let context = bucket_up(max_context_tokens, CONTEXT_BUCKET_TOKENS);
+        if let Some(&seconds) = self.decode_cache.get(&(batch, context)) {
+            return seconds;
+        }
+        let seconds = self
+            .estimator
+            .next_token(&self.model, &self.scheme, self.engine, batch, context)
+            .total_seconds();
+        self.decode_cache.insert((batch, context), seconds);
+        seconds
+    }
+}
+
+/// A closed-form cost model for tests and quick what-ifs: prefills cost
+/// `prefill_base + prefill_per_token · P`, decode steps cost
+/// `decode_base + decode_per_sequence · B + decode_per_context_token · C`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearCostModel {
+    /// Fixed prefill launch cost in seconds.
+    pub prefill_base: f64,
+    /// Marginal prefill cost per prompt token.
+    pub prefill_per_token: f64,
+    /// Fixed decode-step cost in seconds (the weight stream).
+    pub decode_base: f64,
+    /// Marginal decode cost per sequence in the batch.
+    pub decode_per_sequence: f64,
+    /// Marginal decode cost per context token (KV-cache traffic).
+    pub decode_per_context_token: f64,
+}
+
+impl LinearCostModel {
+    /// A model with round decode/prefill numbers loosely shaped like a 70B
+    /// deployment (tens of milliseconds per step), handy in tests.
+    #[must_use]
+    pub fn default_70b() -> Self {
+        LinearCostModel {
+            prefill_base: 0.01,
+            prefill_per_token: 2e-4,
+            decode_base: 0.03,
+            decode_per_sequence: 5e-4,
+            decode_per_context_token: 2e-6,
+        }
+    }
+}
+
+impl ServingCostModel for LinearCostModel {
+    fn prefill_seconds(&mut self, prompt_tokens: usize) -> f64 {
+        self.prefill_base + self.prefill_per_token * prompt_tokens as f64
+    }
+
+    fn decode_step_seconds(&mut self, batch: usize, max_context_tokens: usize) -> f64 {
+        self.decode_base
+            + self.decode_per_sequence * batch as f64
+            + self.decode_per_context_token * max_context_tokens as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimator_model_is_deterministic_and_cached() {
+        let mut cost = EstimatorCostModel::new(
+            MachineConfig::spr_hbm(),
+            LlmModel::llama2_70b(),
+            CompressionScheme::bf8_sparse(0.05),
+            Engine::deca_default(),
+        );
+        let a = cost.decode_step_seconds(4, 300);
+        let b = cost.decode_step_seconds(4, 300);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+        // 300 and 500 land in the same 256-token bucket (both round to 512).
+        assert_eq!(a, cost.decode_step_seconds(4, 500));
+        assert!(cost.decode_step_seconds(4, 2000) > a);
+        let p = cost.prefill_seconds(100);
+        assert_eq!(p, cost.prefill_seconds(128));
+        assert!(cost.prefill_seconds(1024) > p);
+    }
+
+    #[test]
+    fn deca_steps_are_faster_than_software_steps() {
+        let build = |engine| {
+            EstimatorCostModel::new(
+                MachineConfig::spr_hbm(),
+                LlmModel::llama2_70b(),
+                CompressionScheme::bf8_sparse(0.05),
+                engine,
+            )
+        };
+        let mut sw = build(Engine::software());
+        let mut deca = build(Engine::deca_default());
+        assert!(deca.decode_step_seconds(1, 128) < sw.decode_step_seconds(1, 128));
+        assert!(deca.prefill_seconds(128) <= sw.prefill_seconds(128));
+    }
+
+    #[test]
+    fn linear_model_shapes() {
+        let mut m = LinearCostModel::default_70b();
+        assert!(m.decode_step_seconds(16, 1024) > m.decode_step_seconds(1, 0));
+        assert!(m.prefill_seconds(1000) > m.prefill_seconds(10));
+    }
+}

@@ -1,0 +1,70 @@
+//! `deca-serve`: a continuous-batching LLM serving simulator on top of the
+//! DECA latency model.
+//!
+//! The paper's evaluation (§9.4, Table 4) stops at single-batch next-token
+//! latency. This crate adds the layer above: multi-request serving under
+//! realistic load, answering fleet questions — throughput, tail latency,
+//! SLO goodput — with every per-step cost still coming from the calibrated
+//! [`deca_llm::InferenceEstimator`] (and therefore from the simulated
+//! compressed-GeMM machine underneath).
+//!
+//! The pieces:
+//!
+//! * [`workload`] — Poisson and bursty arrival processes, prompt/output
+//!   length distributions, and the replayable [`RequestTrace`],
+//! * [`cost`] — the [`ServingCostModel`] trait: prefill cost (new in
+//!   `deca-llm` for this layer) and per-step decode cost, memoized in
+//!   [`EstimatorCostModel`],
+//! * [`scheduler`] — vLLM/Orca-style continuous batching (admission at
+//!   token boundaries against an HBM-derived KV budget) and the static
+//!   run-to-completion baseline,
+//! * [`metrics`] — per-request TTFT / TPOT / end-to-end records,
+//!   percentile summaries, and SLO goodput,
+//! * [`sweep`] — multi-replica fleets and the p99-SLO capacity search that
+//!   reports requests/sec per socket for DECA versus software
+//!   decompression.
+//!
+//! # Example
+//!
+//! ```
+//! use deca_compress::CompressionScheme;
+//! use deca_kernels::Engine;
+//! use deca_llm::LlmModel;
+//! use deca_roofsurface::MachineConfig;
+//! use deca_serve::{
+//!     hbm_kv_budget_tokens, EstimatorCostModel, ServingConfig, ServingSimulator, WorkloadSpec,
+//! };
+//!
+//! let model = LlmModel::llama2_70b();
+//! let scheme = CompressionScheme::bf8_sparse(0.05);
+//! let budget = hbm_kv_budget_tokens(&model, &scheme).expect("Q8_5% fits in HBM");
+//! let cost = EstimatorCostModel::new(
+//!     MachineConfig::spr_hbm(),
+//!     model,
+//!     scheme,
+//!     Engine::deca_default(),
+//! );
+//! let mut server = ServingSimulator::new(cost, ServingConfig::continuous(16, budget));
+//! let trace = WorkloadSpec::chat(2.0, 40, 7).generate();
+//! let report = server.run(&trace);
+//! assert_eq!(report.completed() + report.rejected, 40);
+//! assert!(report.metrics().ttft.p99_s > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod metrics;
+pub mod scheduler;
+pub mod sweep;
+pub mod workload;
+
+pub use cost::{EstimatorCostModel, LinearCostModel, ServingCostModel};
+pub use metrics::{LatencySummary, RequestRecord, ServingMetrics, SloTarget};
+pub use scheduler::{SchedulerKind, ServingConfig, ServingReport, ServingSimulator};
+pub use sweep::{
+    capacity_search, hbm_kv_budget_tokens, simulate_fleet, CapacityResult, CapacitySpec,
+    FleetReport,
+};
+pub use workload::{ArrivalProcess, LengthDistribution, Request, RequestTrace, WorkloadSpec};

@@ -1,0 +1,235 @@
+//! Per-request records and fleet-level serving metrics: TTFT / TPOT /
+//! end-to-end latency percentiles, throughput, and SLO goodput.
+
+/// The lifecycle timestamps of one completed request.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RequestRecord {
+    /// Request id from the trace.
+    pub id: usize,
+    /// Arrival time (seconds from trace start).
+    pub arrival_s: f64,
+    /// When the first output token was produced (end of the prefill).
+    pub first_token_s: f64,
+    /// When the last output token was produced.
+    pub completion_s: f64,
+    /// Prompt length in tokens.
+    pub prompt_tokens: usize,
+    /// Output length in tokens.
+    pub output_tokens: usize,
+}
+
+impl RequestRecord {
+    /// Time to first token: queueing plus prefill.
+    #[must_use]
+    pub fn ttft_s(&self) -> f64 {
+        self.first_token_s - self.arrival_s
+    }
+
+    /// Mean time per output token after the first (0 for single-token
+    /// outputs, which have no decode phase).
+    #[must_use]
+    pub fn tpot_s(&self) -> f64 {
+        if self.output_tokens <= 1 {
+            0.0
+        } else {
+            (self.completion_s - self.first_token_s) / (self.output_tokens - 1) as f64
+        }
+    }
+
+    /// End-to-end latency from arrival to the last token.
+    #[must_use]
+    pub fn e2e_s(&self) -> f64 {
+        self.completion_s - self.arrival_s
+    }
+}
+
+/// A latency service-level objective. A request meets the SLO when both its
+/// TTFT and its TPOT are within bounds.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SloTarget {
+    /// Maximum acceptable time to first token, seconds.
+    pub ttft_s: f64,
+    /// Maximum acceptable time per output token, seconds.
+    pub tpot_s: f64,
+}
+
+impl SloTarget {
+    /// An interactive-chat objective: first token within 4 s, then a
+    /// sustained stream of at least ~7 tokens/s (150 ms/token) — reading
+    /// speed, with headroom for prefill interruptions from co-batched
+    /// requests.
+    #[must_use]
+    pub fn interactive() -> Self {
+        SloTarget {
+            ttft_s: 4.0,
+            tpot_s: 0.150,
+        }
+    }
+
+    /// Whether a completed request met this objective.
+    #[must_use]
+    pub fn met_by(&self, record: &RequestRecord) -> bool {
+        record.ttft_s() <= self.ttft_s && record.tpot_s() <= self.tpot_s
+    }
+}
+
+/// Nearest-rank percentile (`p` in `[0, 100]`) of an unsorted sample.
+/// Returns 0 for an empty sample.
+#[must_use]
+pub fn percentile(values: &[f64], p: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Order statistics of one latency population.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_s: f64,
+    /// 95th percentile.
+    pub p95_s: f64,
+    /// 99th percentile.
+    pub p99_s: f64,
+    /// Arithmetic mean.
+    pub mean_s: f64,
+    /// Maximum.
+    pub max_s: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a sample (all zeros for an empty one).
+    #[must_use]
+    pub fn from_sample(values: &[f64]) -> Self {
+        let mean = if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<f64>() / values.len() as f64
+        };
+        LatencySummary {
+            p50_s: percentile(values, 50.0),
+            p95_s: percentile(values, 95.0),
+            p99_s: percentile(values, 99.0),
+            mean_s: mean,
+            max_s: values.iter().fold(0.0, |a, &b| a.max(b)),
+        }
+    }
+}
+
+/// Fleet-level metrics of one serving run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServingMetrics {
+    /// Requests that completed.
+    pub completed: usize,
+    /// Requests rejected at admission (could never fit the KV budget).
+    pub rejected: usize,
+    /// Wall-clock span of the run (first arrival to last completion).
+    pub makespan_s: f64,
+    /// Completed requests per second over the makespan.
+    pub throughput_rps: f64,
+    /// Generated tokens per second over the makespan.
+    pub tokens_per_second: f64,
+    /// Time-to-first-token statistics.
+    pub ttft: LatencySummary,
+    /// Time-per-output-token statistics.
+    pub tpot: LatencySummary,
+    /// End-to-end latency statistics.
+    pub e2e: LatencySummary,
+}
+
+impl ServingMetrics {
+    /// Builds the metrics of a completed-request population.
+    #[must_use]
+    pub fn from_records(records: &[RequestRecord], rejected: usize, makespan_s: f64) -> Self {
+        let ttft: Vec<f64> = records.iter().map(RequestRecord::ttft_s).collect();
+        let tpot: Vec<f64> = records.iter().map(RequestRecord::tpot_s).collect();
+        let e2e: Vec<f64> = records.iter().map(RequestRecord::e2e_s).collect();
+        let tokens: u64 = records.iter().map(|r| r.output_tokens as u64).sum();
+        let span = makespan_s.max(f64::EPSILON);
+        ServingMetrics {
+            completed: records.len(),
+            rejected,
+            makespan_s,
+            throughput_rps: records.len() as f64 / span,
+            tokens_per_second: tokens as f64 / span,
+            ttft: LatencySummary::from_sample(&ttft),
+            tpot: LatencySummary::from_sample(&tpot),
+            e2e: LatencySummary::from_sample(&e2e),
+        }
+    }
+
+    /// Requests per second that met `slo` (goodput).
+    #[must_use]
+    pub fn goodput_rps(records: &[RequestRecord], slo: &SloTarget, makespan_s: f64) -> f64 {
+        let good = records.iter().filter(|r| slo.met_by(r)).count();
+        good as f64 / makespan_s.max(f64::EPSILON)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(arrival: f64, first: f64, done: f64, output: usize) -> RequestRecord {
+        RequestRecord {
+            id: 0,
+            arrival_s: arrival,
+            first_token_s: first,
+            completion_s: done,
+            prompt_tokens: 10,
+            output_tokens: output,
+        }
+    }
+
+    #[test]
+    fn derived_latencies() {
+        let r = record(1.0, 1.5, 2.5, 11);
+        assert!((r.ttft_s() - 0.5).abs() < 1e-12);
+        assert!((r.tpot_s() - 0.1).abs() < 1e-12);
+        assert!((r.e2e_s() - 1.5).abs() < 1e-12);
+        assert_eq!(record(0.0, 1.0, 1.0, 1).tpot_s(), 0.0);
+    }
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&values, 50.0), 50.0);
+        assert_eq!(percentile(&values, 99.0), 99.0);
+        assert_eq!(percentile(&values, 100.0), 100.0);
+        assert_eq!(percentile(&values, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn slo_requires_both_bounds() {
+        let slo = SloTarget {
+            ttft_s: 1.0,
+            tpot_s: 0.1,
+        };
+        assert!(slo.met_by(&record(0.0, 0.9, 1.8, 11)));
+        assert!(!slo.met_by(&record(0.0, 1.1, 2.0, 11))); // TTFT too slow
+        assert!(!slo.met_by(&record(0.0, 0.5, 2.5, 11))); // TPOT too slow
+    }
+
+    #[test]
+    fn metrics_aggregate_and_goodput_counts_only_good_requests() {
+        let records = vec![
+            record(0.0, 0.5, 1.2, 11), // good (TPOT 70 ms)
+            record(0.0, 5.0, 5.7, 11), // bad TTFT
+            record(1.0, 1.4, 2.1, 11), // good
+        ];
+        let metrics = ServingMetrics::from_records(&records, 2, 10.0);
+        assert_eq!(metrics.completed, 3);
+        assert_eq!(metrics.rejected, 2);
+        assert!((metrics.throughput_rps - 0.3).abs() < 1e-12);
+        assert!((metrics.tokens_per_second - 3.3).abs() < 1e-12);
+        assert!(metrics.ttft.max_s >= metrics.ttft.p50_s);
+        let goodput = ServingMetrics::goodput_rps(&records, &SloTarget::interactive(), 10.0);
+        assert!((goodput - 0.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,640 @@
+//! The serving schedulers: vLLM/Orca-style continuous batching and the
+//! classic static (run-to-completion) batching baseline.
+//!
+//! Both are discrete-event simulations at token-step granularity. The
+//! engine alternates *prefill steps* (process the prompts of newly admitted
+//! requests — prefill-prioritized, as in vLLM's default policy) and *decode
+//! steps* (one token for every running sequence). Admission reserves a
+//! request's whole KV footprint (`prompt + output` tokens) up front, so the
+//! KV-cache budget can never be exceeded and no preemption is needed.
+
+use std::collections::VecDeque;
+
+use crate::cost::ServingCostModel;
+use crate::metrics::{RequestRecord, ServingMetrics, SloTarget};
+use crate::workload::RequestTrace;
+
+/// Which admission policy the simulated server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// Continuous batching: requests join the running batch at any token
+    /// boundary and leave on completion.
+    ContinuousBatching,
+    /// Static batching: a batch is formed from the queue only when the
+    /// server is idle and runs to completion before the next admission.
+    StaticBatching,
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedulerKind::ContinuousBatching => write!(f, "continuous"),
+            SchedulerKind::StaticBatching => write!(f, "static"),
+        }
+    }
+}
+
+/// Configuration of one simulated serving replica.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServingConfig {
+    /// Maximum sequences decoded together.
+    pub max_batch: usize,
+    /// KV-cache budget in tokens (across all resident sequences), e.g. from
+    /// [`deca_llm::footprint::max_kv_tokens`].
+    pub kv_budget_tokens: usize,
+    /// Admission policy.
+    pub scheduler: SchedulerKind,
+}
+
+impl ServingConfig {
+    /// A continuous-batching replica.
+    #[must_use]
+    pub fn continuous(max_batch: usize, kv_budget_tokens: usize) -> Self {
+        ServingConfig {
+            max_batch,
+            kv_budget_tokens,
+            scheduler: SchedulerKind::ContinuousBatching,
+        }
+    }
+
+    /// A static-batching replica with the same resources.
+    #[must_use]
+    pub fn static_batching(max_batch: usize, kv_budget_tokens: usize) -> Self {
+        ServingConfig {
+            max_batch,
+            kv_budget_tokens,
+            scheduler: SchedulerKind::StaticBatching,
+        }
+    }
+
+    /// The same replica under the other admission policy.
+    #[must_use]
+    pub fn with_scheduler(self, scheduler: SchedulerKind) -> Self {
+        ServingConfig { scheduler, ..self }
+    }
+}
+
+/// A request resident in the running batch.
+#[derive(Debug, Clone, Copy)]
+struct Active {
+    /// Index into the trace's request slice.
+    idx: usize,
+    /// Whether the prompt has been processed.
+    prefilled: bool,
+    /// Time the first output token was produced (valid once prefilled).
+    first_token_s: f64,
+    /// Tokens currently in the KV cache (prompt + generated so far).
+    context_tokens: usize,
+    /// Decode tokens still to generate (the prefill emits the first).
+    remaining_decode: usize,
+    /// KV tokens reserved against the budget at admission.
+    reserved_tokens: usize,
+    /// Time the last output token was produced (set once generation
+    /// finishes; under static batching the slot may stay blocked longer).
+    done_s: Option<f64>,
+}
+
+/// Everything one serving run produced. `PartialEq` so determinism is
+/// directly assertable: two runs of the same trace compare equal.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServingReport {
+    /// The admission policy that ran.
+    pub scheduler: SchedulerKind,
+    /// Completed requests with their lifecycle timestamps.
+    pub records: Vec<RequestRecord>,
+    /// Requests admitted into the batch over the whole run.
+    pub admitted: usize,
+    /// Requests rejected at admission (their full KV footprint exceeds the
+    /// budget outright, so they could never run).
+    pub rejected: usize,
+    /// Wall-clock end of the run (last completion).
+    pub makespan_s: f64,
+    /// KV budget the run was configured with.
+    pub kv_budget_tokens: usize,
+    /// Peak KV tokens *reserved* against the budget at any instant.
+    pub peak_kv_reserved_tokens: usize,
+    /// Peak KV tokens actually resident (prompt + generated so far).
+    pub peak_kv_occupied_tokens: usize,
+    /// Time-weighted mean KV occupancy as a fraction of the budget.
+    pub mean_kv_occupancy: f64,
+    /// Largest decode batch observed.
+    pub peak_batch: usize,
+    /// Largest admission-queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Time-weighted mean admission-queue depth.
+    pub mean_queue_depth: f64,
+    /// Decode steps executed.
+    pub decode_steps: u64,
+    /// Prefill steps executed (one per admission wave).
+    pub prefill_steps: u64,
+}
+
+impl ServingReport {
+    /// Aggregated latency/throughput metrics of the run.
+    #[must_use]
+    pub fn metrics(&self) -> ServingMetrics {
+        ServingMetrics::from_records(&self.records, self.rejected, self.makespan_s)
+    }
+
+    /// Requests per second that met `slo`.
+    #[must_use]
+    pub fn goodput_rps(&self, slo: &SloTarget) -> f64 {
+        ServingMetrics::goodput_rps(&self.records, slo, self.makespan_s)
+    }
+
+    /// Completed requests.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+}
+
+/// A single serving replica: a cost model plus a scheduler configuration.
+/// Driving it over a [`RequestTrace`] is a pure function of its inputs.
+#[derive(Debug, Clone)]
+pub struct ServingSimulator<C: ServingCostModel> {
+    cost: C,
+    config: ServingConfig,
+}
+
+impl<C: ServingCostModel> ServingSimulator<C> {
+    /// Creates a replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` or the KV budget is zero.
+    #[must_use]
+    pub fn new(cost: C, config: ServingConfig) -> Self {
+        assert!(config.max_batch > 0, "max_batch must be positive");
+        assert!(config.kv_budget_tokens > 0, "KV budget must be positive");
+        ServingSimulator { cost, config }
+    }
+
+    /// The replica configuration.
+    #[must_use]
+    pub fn config(&self) -> &ServingConfig {
+        &self.config
+    }
+
+    /// Consumes the simulator and returns the cost model (with its caches
+    /// warm, ready for the next run).
+    #[must_use]
+    pub fn into_cost_model(self) -> C {
+        self.cost
+    }
+
+    /// Simulates serving the whole trace to drain: every request is either
+    /// completed or rejected when this returns, so
+    /// `admitted == completed` and `completed + rejected == trace.len()`.
+    pub fn run(&mut self, trace: &RequestTrace) -> ServingReport {
+        let mut state = RunState::new(self.config, trace.requests());
+        loop {
+            state.pull_arrivals();
+            state.admit();
+            if state.running.is_empty() {
+                // Admission is always open on an empty batch (both
+                // policies), and an empty batch can reserve against an
+                // empty budget, so the queue must have drained into
+                // admissions or rejections above.
+                debug_assert!(state.queue.is_empty());
+                if state.next_arrival >= state.requests.len() {
+                    break; // drained
+                }
+                // Idle: jump to the next arrival.
+                state.now = state.now.max(state.requests[state.next_arrival].arrival_s);
+                continue;
+            }
+            let step_seconds = state.engine_step(&mut self.cost);
+            state.account(step_seconds);
+            state.retire();
+        }
+        state.into_report(trace.duration_s())
+    }
+}
+
+/// The mutable state of one serving run.
+struct RunState<'a> {
+    config: ServingConfig,
+    requests: &'a [crate::workload::Request],
+    queue: VecDeque<usize>,
+    running: Vec<Active>,
+    records: Vec<RequestRecord>,
+    now: f64,
+    next_arrival: usize,
+    reserved: usize,
+    admitted: usize,
+    rejected: usize,
+    peak_reserved: usize,
+    peak_occupied: usize,
+    peak_batch: usize,
+    peak_queue: usize,
+    decode_steps: u64,
+    prefill_steps: u64,
+    queue_depth_integral: f64,
+    occupancy_integral: f64,
+    elapsed: f64,
+}
+
+impl<'a> RunState<'a> {
+    fn new(config: ServingConfig, requests: &'a [crate::workload::Request]) -> Self {
+        RunState {
+            config,
+            requests,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            records: Vec::new(),
+            now: 0.0,
+            next_arrival: 0,
+            reserved: 0,
+            admitted: 0,
+            rejected: 0,
+            peak_reserved: 0,
+            peak_occupied: 0,
+            peak_batch: 0,
+            peak_queue: 0,
+            decode_steps: 0,
+            prefill_steps: 0,
+            queue_depth_integral: 0.0,
+            occupancy_integral: 0.0,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Pulls every arrival up to the current time into the queue.
+    fn pull_arrivals(&mut self) {
+        while self.next_arrival < self.requests.len()
+            && self.requests[self.next_arrival].arrival_s <= self.now
+        {
+            self.queue.push_back(self.next_arrival);
+            self.next_arrival += 1;
+        }
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
+
+    /// Admission at this token boundary: FIFO, gated by the batch limit and
+    /// the KV reservation budget. Requests whose whole footprint exceeds
+    /// the budget outright are rejected (they could never run).
+    fn admit(&mut self) {
+        let admission_open = match self.config.scheduler {
+            SchedulerKind::ContinuousBatching => true,
+            SchedulerKind::StaticBatching => self.running.is_empty(),
+        };
+        if !admission_open {
+            return;
+        }
+        while self.running.len() < self.config.max_batch {
+            let Some(&head) = self.queue.front() else {
+                break;
+            };
+            let need = self.requests[head].kv_tokens_at_completion();
+            if need > self.config.kv_budget_tokens {
+                // Could never run on this replica, even alone.
+                self.queue.pop_front();
+                self.rejected += 1;
+                continue;
+            }
+            if self.reserved + need > self.config.kv_budget_tokens {
+                break; // FIFO: wait for residents to finish.
+            }
+            self.queue.pop_front();
+            self.reserved += need;
+            self.admitted += 1;
+            self.running.push(Active {
+                idx: head,
+                prefilled: false,
+                first_token_s: 0.0,
+                context_tokens: 0,
+                remaining_decode: 0,
+                reserved_tokens: need,
+                done_s: None,
+            });
+        }
+        self.peak_reserved = self.peak_reserved.max(self.reserved);
+    }
+
+    /// One engine step — prefill-prioritized, then decode. Returns the step
+    /// duration and advances per-request progress (but not the clock).
+    fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.peak_batch = self.peak_batch.max(self.running.len());
+        let pending_prefill = self.running.iter().any(|a| !a.prefilled);
+        if pending_prefill {
+            self.prefill_steps += 1;
+            // The new prompts run back to back; each request's first token
+            // appears as its own prefill finishes.
+            let mut cursor = self.now;
+            for active in self.running.iter_mut().filter(|a| !a.prefilled) {
+                let request = &self.requests[active.idx];
+                cursor += cost.prefill_seconds(request.prompt_tokens);
+                active.prefilled = true;
+                active.first_token_s = cursor;
+                active.context_tokens = request.prompt_tokens + 1;
+                // Saturating: a deserialized trace can bypass
+                // `RequestTrace::new`'s output_tokens ≥ 1 normalization, and
+                // an underflow here would spin the run loop forever.
+                active.remaining_decode = request.output_tokens.saturating_sub(1);
+            }
+            cursor - self.now
+        } else {
+            self.decode_steps += 1;
+            let batch = self.running.len();
+            let max_context = self
+                .running
+                .iter()
+                .map(|a| a.context_tokens)
+                .fold(0, usize::max);
+            let dt = cost.decode_step_seconds(batch, max_context);
+            for active in &mut self.running {
+                if active.remaining_decode > 0 {
+                    active.remaining_decode -= 1;
+                    active.context_tokens += 1;
+                }
+            }
+            dt
+        }
+    }
+
+    /// Advances the clock and the time-weighted queue/occupancy statistics
+    /// by one step.
+    fn account(&mut self, step_seconds: f64) {
+        let occupied: usize = self.running.iter().map(|a| a.context_tokens).sum();
+        self.peak_occupied = self.peak_occupied.max(occupied);
+        self.queue_depth_integral += self.queue.len() as f64 * step_seconds;
+        self.occupancy_integral +=
+            occupied as f64 / self.config.kv_budget_tokens as f64 * step_seconds;
+        self.elapsed += step_seconds;
+        self.now += step_seconds;
+    }
+
+    /// Stamps generation-finish times and retires finished sequences.
+    /// Under static batching a finished request's record closes at its own
+    /// last token, but its slot (and KV reservation) stays blocked until
+    /// the whole batch drains — the padding cost of the baseline.
+    fn retire(&mut self) {
+        // A single-token output is done at the end of its prefill,
+        // everything else at the end of the decode step that produced its
+        // last token.
+        let now = self.now;
+        for active in &mut self.running {
+            if active.prefilled && active.remaining_decode == 0 && active.done_s.is_none() {
+                let request = &self.requests[active.idx];
+                active.done_s = Some(if request.output_tokens == 1 {
+                    active.first_token_s
+                } else {
+                    now
+                });
+            }
+        }
+
+        let batch_done = self.running.iter().all(|a| a.done_s.is_some());
+        let scheduler = self.config.scheduler;
+        let requests = self.requests;
+        let records = &mut self.records;
+        let reserved = &mut self.reserved;
+        self.running.retain(|active| {
+            let release = match scheduler {
+                SchedulerKind::ContinuousBatching => active.done_s.is_some(),
+                SchedulerKind::StaticBatching => batch_done,
+            };
+            if let (true, Some(done_s)) = (release, active.done_s) {
+                let request = &requests[active.idx];
+                records.push(RequestRecord {
+                    id: request.id,
+                    arrival_s: request.arrival_s,
+                    first_token_s: active.first_token_s,
+                    completion_s: done_s,
+                    prompt_tokens: request.prompt_tokens,
+                    output_tokens: request.output_tokens,
+                });
+                *reserved -= active.reserved_tokens;
+                return false;
+            }
+            true
+        });
+    }
+
+    /// Finalizes the report once the trace has drained.
+    fn into_report(mut self, trace_duration_s: f64) -> ServingReport {
+        self.records.sort_by_key(|r| r.id);
+        let makespan = self
+            .records
+            .iter()
+            .map(|r| r.completion_s)
+            .fold(self.now.min(trace_duration_s), f64::max);
+        ServingReport {
+            scheduler: self.config.scheduler,
+            records: self.records,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            makespan_s: makespan,
+            kv_budget_tokens: self.config.kv_budget_tokens,
+            peak_kv_reserved_tokens: self.peak_reserved,
+            peak_kv_occupied_tokens: self.peak_occupied,
+            mean_kv_occupancy: if self.elapsed > 0.0 {
+                self.occupancy_integral / self.elapsed
+            } else {
+                0.0
+            },
+            peak_batch: self.peak_batch,
+            peak_queue_depth: self.peak_queue,
+            mean_queue_depth: if self.elapsed > 0.0 {
+                self.queue_depth_integral / self.elapsed
+            } else {
+                0.0
+            },
+            decode_steps: self.decode_steps,
+            prefill_steps: self.prefill_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LinearCostModel;
+    use crate::workload::{Request, WorkloadSpec};
+
+    fn sim(config: ServingConfig) -> ServingSimulator<LinearCostModel> {
+        ServingSimulator::new(LinearCostModel::default_70b(), config)
+    }
+
+    /// Regression: a replayed-log request asking for zero output tokens is
+    /// normalized to a single-token (prefill-only) request instead of
+    /// underflowing `remaining_decode` and spinning the run loop forever.
+    #[test]
+    fn zero_output_request_terminates_as_single_token() {
+        let trace = RequestTrace::new(vec![Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_tokens: 64,
+            output_tokens: 0,
+        }]);
+        assert_eq!(trace.requests()[0].output_tokens, 1);
+        let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
+        assert_eq!(report.completed(), 1);
+        let r = report.records[0];
+        assert_eq!(r.output_tokens, 1);
+        // Prefill-only: done at the first token.
+        assert_eq!(r.completion_s, r.first_token_s);
+    }
+
+    #[test]
+    fn single_request_lifecycle() {
+        let trace = RequestTrace::new(vec![Request {
+            id: 0,
+            arrival_s: 1.0,
+            prompt_tokens: 100,
+            output_tokens: 5,
+        }]);
+        let mut cost = LinearCostModel::default_70b();
+        let prefill = cost.prefill_seconds(100);
+        let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.admitted, 1);
+        assert_eq!(report.rejected, 0);
+        let r = report.records[0];
+        assert!((r.ttft_s() - prefill).abs() < 1e-12);
+        assert_eq!(report.decode_steps, 4);
+        assert_eq!(report.prefill_steps, 1);
+        assert!(r.completion_s > r.first_token_s);
+        assert_eq!(report.peak_kv_reserved_tokens, 105);
+    }
+
+    #[test]
+    fn single_token_outputs_complete_at_the_prefill() {
+        let trace = RequestTrace::new(vec![Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_tokens: 64,
+            output_tokens: 1,
+        }]);
+        let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
+        assert_eq!(report.completed(), 1);
+        let r = report.records[0];
+        assert_eq!(r.completion_s, r.first_token_s);
+        assert_eq!(r.tpot_s(), 0.0);
+        assert_eq!(report.decode_steps, 0);
+    }
+
+    #[test]
+    fn oversized_requests_are_rejected_not_wedged() {
+        let trace = RequestTrace::new(vec![
+            Request {
+                id: 0,
+                arrival_s: 0.0,
+                prompt_tokens: 5_000,
+                output_tokens: 10,
+            },
+            Request {
+                id: 1,
+                arrival_s: 0.1,
+                prompt_tokens: 50,
+                output_tokens: 10,
+            },
+        ]);
+        let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.completed(), 1);
+        assert_eq!(report.records[0].id, 1);
+        assert_eq!(report.admitted + report.rejected, 2);
+    }
+
+    #[test]
+    fn kv_budget_gates_admission() {
+        // Two requests that each need 600 tokens against a 1000-token
+        // budget: the second must wait for the first to retire.
+        let mk = |id, arrival| Request {
+            id,
+            arrival_s: arrival,
+            prompt_tokens: 590,
+            output_tokens: 10,
+        };
+        let trace = RequestTrace::new(vec![mk(0, 0.0), mk(1, 0.0)]);
+        let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
+        assert_eq!(report.completed(), 2);
+        assert!(report.peak_kv_reserved_tokens <= 1_000);
+        assert_eq!(report.peak_batch, 1);
+        // Sequential service: the second request's first token comes after
+        // the first request fully completes.
+        assert!(report.records[1].first_token_s >= report.records[0].completion_s);
+    }
+
+    #[test]
+    fn continuous_admits_mid_batch_but_static_waits() {
+        // Request 0 is long-running; request 1 arrives while 0 decodes.
+        let trace = RequestTrace::new(vec![
+            Request {
+                id: 0,
+                arrival_s: 0.0,
+                prompt_tokens: 10,
+                output_tokens: 200,
+            },
+            Request {
+                id: 1,
+                arrival_s: 0.5,
+                prompt_tokens: 10,
+                output_tokens: 5,
+            },
+        ]);
+        let continuous = sim(ServingConfig::continuous(8, 10_000)).run(&trace);
+        let static_ = sim(ServingConfig::static_batching(8, 10_000)).run(&trace);
+        // Continuous: request 1 joins while 0 is still going.
+        assert!(continuous.peak_batch == 2);
+        assert!(continuous.records[1].first_token_s < continuous.records[0].completion_s);
+        // Static: request 1 waits for the whole first batch to finish.
+        assert_eq!(static_.peak_batch, 1);
+        assert!(static_.records[1].first_token_s >= static_.records[0].completion_s);
+        // Both conserve requests.
+        for r in [&continuous, &static_] {
+            assert_eq!(r.admitted, r.completed());
+            assert_eq!(r.completed() + r.rejected, 2);
+        }
+    }
+
+    #[test]
+    fn static_batching_pads_to_the_longest_member() {
+        // Short and long request admitted together: the short one's record
+        // closes at its own last token, but the engine keeps stepping (and
+        // its slot stays occupied) until the long one drains.
+        let trace = RequestTrace::new(vec![
+            Request {
+                id: 0,
+                arrival_s: 0.0,
+                prompt_tokens: 10,
+                output_tokens: 3,
+            },
+            Request {
+                id: 1,
+                arrival_s: 0.0,
+                prompt_tokens: 10,
+                output_tokens: 50,
+            },
+        ]);
+        let report = sim(ServingConfig::static_batching(8, 10_000)).run(&trace);
+        assert_eq!(report.completed(), 2);
+        assert!(report.records[0].completion_s < report.records[1].completion_s);
+        // 49 decode steps for the long request; the short rode along.
+        assert_eq!(report.decode_steps, 49);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let trace = WorkloadSpec::chat(6.0, 150, 9).generate();
+        let config = ServingConfig::continuous(16, 50_000);
+        let a = sim(config).run(&trace);
+        let b = sim(config).run(&trace);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn drains_everything_under_overload() {
+        // Offered load far above capacity: the queue grows, but a finite
+        // trace still drains and conserves requests.
+        let trace = WorkloadSpec::chat(1000.0, 300, 21).generate();
+        let report = sim(ServingConfig::continuous(4, 4_000)).run(&trace);
+        assert_eq!(report.completed() + report.rejected, 300);
+        assert_eq!(report.admitted, report.completed());
+        assert!(report.peak_queue_depth > 4);
+        assert!(report.mean_queue_depth > 0.0);
+        assert!(report.peak_kv_reserved_tokens <= 4_000);
+    }
+}

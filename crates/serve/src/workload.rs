@@ -1,0 +1,457 @@
+//! Workload generation: request arrival processes, prompt/output-length
+//! distributions, and the replayable [`RequestTrace`] the schedulers
+//! consume.
+//!
+//! Everything is a deterministic function of a seed, so a trace can be
+//! regenerated bit-for-bit (and the whole serving simulation above it is
+//! replayable).
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One inference request: when it arrives and how much work it carries.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Stable request id (index in arrival order within the trace).
+    pub id: usize,
+    /// Arrival time in seconds from the start of the trace.
+    pub arrival_s: f64,
+    /// Prompt length in tokens (processed by the prefill phase).
+    pub prompt_tokens: usize,
+    /// Output length in tokens (the first is produced by the prefill, the
+    /// rest by decode steps). Always at least 1.
+    pub output_tokens: usize,
+}
+
+impl Request {
+    /// KV-cache tokens this request occupies once fully generated — the
+    /// amount a budget-respecting scheduler must reserve at admission.
+    #[must_use]
+    pub fn kv_tokens_at_completion(&self) -> usize {
+        self.prompt_tokens + self.output_tokens
+    }
+}
+
+/// A distribution over token counts (prompt or output lengths).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum LengthDistribution {
+    /// Every request draws the same length.
+    Fixed(usize),
+    /// Uniform over `[min, max]` inclusive.
+    Uniform {
+        /// Smallest length.
+        min: usize,
+        /// Largest length.
+        max: usize,
+    },
+    /// Chat-style mixture: mostly `short`, with a `long_fraction` of `long`
+    /// (e.g. pasted documents).
+    Bimodal {
+        /// The common (modal) length.
+        short: usize,
+        /// The rare long length.
+        long: usize,
+        /// Probability of drawing `long`, in `[0, 1]`.
+        long_fraction: f64,
+    },
+}
+
+impl LengthDistribution {
+    /// Draws one length. Lengths are clamped to at least 1 token.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let raw = match *self {
+            LengthDistribution::Fixed(len) => len,
+            LengthDistribution::Uniform { min, max } => {
+                let (lo, hi) = (min.min(max), min.max(max));
+                rng.gen_range(lo..hi + 1)
+            }
+            LengthDistribution::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => {
+                if rng.gen::<f64>() < long_fraction {
+                    long
+                } else {
+                    short
+                }
+            }
+        };
+        raw.max(1)
+    }
+
+    /// The largest length this distribution can produce (used for KV-budget
+    /// sanity checks).
+    #[must_use]
+    pub fn max_len(&self) -> usize {
+        match *self {
+            LengthDistribution::Fixed(len) => len.max(1),
+            LengthDistribution::Uniform { min, max } => min.max(max).max(1),
+            LengthDistribution::Bimodal { short, long, .. } => short.max(long).max(1),
+        }
+    }
+}
+
+/// A stochastic arrival process over continuous time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ArrivalProcess {
+    /// Memoryless arrivals at a constant rate (requests per second).
+    Poisson {
+        /// Mean arrival rate in requests per second. Must be positive.
+        rate_per_sec: f64,
+    },
+    /// On/off modulated Poisson: every `period_secs`-long cycle starts with
+    /// `burst_secs` at `burst_rate`, then drops to `base_rate` for the rest
+    /// — the bursty traffic that separates continuous from static batching.
+    Bursty {
+        /// Arrival rate outside bursts (may be 0).
+        base_rate: f64,
+        /// Arrival rate during bursts. Must be positive.
+        burst_rate: f64,
+        /// Burst duration at the start of each period.
+        burst_secs: f64,
+        /// Full cycle length. Must exceed `burst_secs`.
+        period_secs: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The instantaneous rate at time `t` and the next time the rate
+    /// changes (`f64::INFINITY` for the homogeneous process).
+    fn rate_and_boundary(&self, t: f64) -> (f64, f64) {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => (rate_per_sec, f64::INFINITY),
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                burst_secs,
+                period_secs,
+            } => {
+                let cycle = (t / period_secs).floor();
+                let phase = t - cycle * period_secs;
+                if phase < burst_secs {
+                    (burst_rate, cycle * period_secs + burst_secs)
+                } else {
+                    (base_rate, (cycle + 1.0) * period_secs)
+                }
+            }
+        }
+    }
+
+    /// Draws the next arrival strictly after `t`, exactly (piecewise-
+    /// constant rates use the memorylessness of the exponential: on a rate
+    /// change the residual clock is simply redrawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the process parameters are invalid (non-positive peak
+    /// rate, or a bursty period not exceeding its burst).
+    pub fn next_arrival<R: Rng>(&self, t: f64, rng: &mut R) -> f64 {
+        self.validate();
+        let mut t = t;
+        loop {
+            let (rate, boundary) = self.rate_and_boundary(t);
+            if rate <= 0.0 {
+                t = boundary;
+                continue;
+            }
+            let unit: f64 = rng.gen();
+            // Inverse-CDF exponential; `1 - unit` avoids ln(0).
+            let dt = -(1.0 - unit).ln() / rate;
+            if t + dt <= boundary {
+                return t + dt;
+            }
+            t = boundary;
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => {
+                assert!(rate_per_sec > 0.0, "Poisson rate must be positive");
+            }
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                burst_secs,
+                period_secs,
+            } => {
+                assert!(base_rate >= 0.0, "base rate must be non-negative");
+                assert!(burst_rate > 0.0, "burst rate must be positive");
+                assert!(
+                    burst_secs > 0.0 && period_secs > burst_secs,
+                    "period must exceed the burst"
+                );
+            }
+        }
+    }
+
+    /// Long-run average arrival rate in requests per second.
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_sec } => rate_per_sec,
+            ArrivalProcess::Bursty {
+                base_rate,
+                burst_rate,
+                burst_secs,
+                period_secs,
+            } => (burst_rate * burst_secs + base_rate * (period_secs - burst_secs)) / period_secs,
+        }
+    }
+}
+
+/// A complete workload description: arrivals × lengths × size × seed.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct WorkloadSpec {
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Prompt-length distribution.
+    pub prompt_lengths: LengthDistribution,
+    /// Output-length distribution.
+    pub output_lengths: LengthDistribution,
+    /// Number of requests to generate.
+    pub requests: usize,
+    /// RNG seed: the same spec always generates the same trace.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A chat-style workload: Poisson arrivals, mostly-short prompts with
+    /// an occasional pasted document, full-response outputs (decode-heavy,
+    /// the regime where online decompression speed shows up in capacity).
+    #[must_use]
+    pub fn chat(rate_per_sec: f64, requests: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            arrivals: ArrivalProcess::Poisson { rate_per_sec },
+            prompt_lengths: LengthDistribution::Bimodal {
+                short: 128,
+                long: 1024,
+                long_fraction: 0.1,
+            },
+            output_lengths: LengthDistribution::Uniform { min: 64, max: 224 },
+            requests,
+            seed,
+        }
+    }
+
+    /// A bursty variant of [`WorkloadSpec::chat`]: the same mean rate
+    /// delivered as 5x bursts for a fifth of every 20-second period.
+    #[must_use]
+    pub fn bursty_chat(mean_rate_per_sec: f64, requests: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            arrivals: ArrivalProcess::Bursty {
+                base_rate: 0.0,
+                burst_rate: mean_rate_per_sec * 5.0,
+                burst_secs: 4.0,
+                period_secs: 20.0,
+            },
+            ..WorkloadSpec::chat(mean_rate_per_sec, requests, seed)
+        }
+    }
+
+    /// Generates the replayable trace this spec describes.
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut t = 0.0;
+        let mut requests = Vec::with_capacity(self.requests);
+        for id in 0..self.requests {
+            t = self.arrivals.next_arrival(t, &mut rng);
+            requests.push(Request {
+                id,
+                arrival_s: t,
+                prompt_tokens: self.prompt_lengths.sample(&mut rng),
+                output_tokens: self.output_lengths.sample(&mut rng),
+            });
+        }
+        RequestTrace { requests }
+    }
+}
+
+/// An ordered, replayable list of requests. Traces can come from
+/// [`WorkloadSpec::generate`] or be constructed directly (e.g. replayed from
+/// a serialized production log).
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct RequestTrace {
+    requests: Vec<Request>,
+}
+
+impl RequestTrace {
+    /// Builds a trace from explicit requests, sorting by arrival time
+    /// (ties keep their relative order, so replays are stable) and
+    /// enforcing the [`Request::output_tokens`] ≥ 1 invariant — a replayed
+    /// log entry with a zero-length output is served as a single-token
+    /// (prefill-only) request rather than wedging the scheduler.
+    #[must_use]
+    pub fn new(mut requests: Vec<Request>) -> Self {
+        for request in &mut requests {
+            request.output_tokens = request.output_tokens.max(1);
+        }
+        requests.sort_by(|a, b| {
+            a.arrival_s
+                .partial_cmp(&b.arrival_s)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        RequestTrace { requests }
+    }
+
+    /// The requests in arrival order.
+    #[must_use]
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Number of requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// Time of the last arrival (0 for an empty trace).
+    #[must_use]
+    pub fn duration_s(&self) -> f64 {
+        self.requests.last().map_or(0.0, |r| r.arrival_s)
+    }
+
+    /// Realized offered load in requests per second.
+    #[must_use]
+    pub fn offered_rate(&self) -> f64 {
+        if self.duration_s() == 0.0 {
+            0.0
+        } else {
+            self.len() as f64 / self.duration_s()
+        }
+    }
+
+    /// Total output tokens the trace asks for.
+    #[must_use]
+    pub fn total_output_tokens(&self) -> u64 {
+        self.requests.iter().map(|r| r.output_tokens as u64).sum()
+    }
+
+    /// Splits the trace round-robin across `replicas` servers (the
+    /// front-end load balancer of a multi-replica fleet). Arrival times are
+    /// preserved; every request lands on exactly one replica.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas` is zero.
+    #[must_use]
+    pub fn split_round_robin(&self, replicas: usize) -> Vec<RequestTrace> {
+        assert!(replicas > 0, "a fleet has at least one replica");
+        let mut shards = vec![Vec::new(); replicas];
+        for (i, request) in self.requests.iter().enumerate() {
+            shards[i % replicas].push(*request);
+        }
+        shards
+            .into_iter()
+            .map(|requests| RequestTrace { requests })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_sorted() {
+        let spec = WorkloadSpec::chat(4.0, 200, 42);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a
+            .requests()
+            .windows(2)
+            .all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.requests().iter().all(|r| r.output_tokens >= 1));
+        let other_seed = WorkloadSpec::chat(4.0, 200, 43).generate();
+        assert_ne!(a, other_seed);
+    }
+
+    #[test]
+    fn poisson_rate_is_roughly_honored() {
+        let trace = WorkloadSpec::chat(8.0, 2000, 7).generate();
+        let rate = trace.offered_rate();
+        assert!((6.5..9.5).contains(&rate), "offered rate {rate:.2}");
+    }
+
+    #[test]
+    fn bursty_arrivals_cluster_in_the_burst_window() {
+        let spec = WorkloadSpec::bursty_chat(4.0, 800, 11);
+        let trace = spec.generate();
+        let ArrivalProcess::Bursty {
+            burst_secs,
+            period_secs,
+            ..
+        } = spec.arrivals
+        else {
+            panic!("bursty spec");
+        };
+        let in_burst = trace
+            .requests()
+            .iter()
+            .filter(|r| (r.arrival_s % period_secs) < burst_secs)
+            .count();
+        // base_rate = 0: every arrival must fall inside a burst window.
+        assert_eq!(in_burst, trace.len());
+        // Mean rate matches the homogeneous equivalent.
+        let mean = spec.arrivals.mean_rate();
+        assert!((mean - 4.0).abs() < 1e-12);
+        let realized = trace.offered_rate();
+        assert!((3.0..5.5).contains(&realized), "realized {realized:.2}");
+    }
+
+    #[test]
+    fn length_distributions_stay_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let uniform = LengthDistribution::Uniform { min: 10, max: 20 };
+        for _ in 0..200 {
+            let v = uniform.sample(&mut rng);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(uniform.max_len(), 20);
+        let bimodal = LengthDistribution::Bimodal {
+            short: 64,
+            long: 2048,
+            long_fraction: 0.25,
+        };
+        let longs = (0..400)
+            .filter(|_| bimodal.sample(&mut rng) == 2048)
+            .count();
+        assert!((40..170).contains(&longs), "long draws {longs}");
+        assert_eq!(LengthDistribution::Fixed(0).sample(&mut rng), 1);
+    }
+
+    #[test]
+    fn round_robin_split_conserves_requests() {
+        let trace = WorkloadSpec::chat(4.0, 101, 5).generate();
+        let shards = trace.split_round_robin(4);
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards.iter().map(RequestTrace::len).sum::<usize>(), 101);
+        let mut ids: Vec<usize> = shards
+            .iter()
+            .flat_map(|s| s.requests().iter().map(|r| r.id))
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn kv_reservation_covers_prompt_and_output() {
+        let r = Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_tokens: 100,
+            output_tokens: 28,
+        };
+        assert_eq!(r.kv_tokens_at_completion(), 128);
+    }
+}

@@ -3,11 +3,12 @@
 //! Re-exports the member crates so examples and integration tests can use a
 //! single dependency root. See the individual crates for the actual APIs:
 //! [`deca`], [`deca_roofsurface`], [`deca_sim`], [`deca_kernels`],
-//! [`deca_compress`], [`deca_numerics`], and [`deca_llm`].
+//! [`deca_compress`], [`deca_numerics`], [`deca_llm`], and [`deca_serve`].
 pub use deca;
 pub use deca_compress;
 pub use deca_kernels;
 pub use deca_llm;
 pub use deca_numerics;
 pub use deca_roofsurface;
+pub use deca_serve;
 pub use deca_sim;
