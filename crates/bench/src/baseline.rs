@@ -14,11 +14,14 @@ use deca_compress::{
     WeightMatrix,
 };
 use deca_kernels::{avx_model::software_signature, CompressedGemmExecutor, Engine};
-use deca_llm::{InferenceEstimator, LlmModel};
+use deca_llm::{
+    footprint, InferenceEstimator, InterconnectModel, LlmModel, ShardSpec, ShardedEstimator,
+};
 use deca_roofsurface::{MachineConfig, RoofSurface};
 use deca_serve::{
-    capacity_search, hbm_kv_budget_tokens, CapacityResult, CapacitySpec, EstimatorCostModel,
-    SchedulerKind, ServingConfig, ServingSimulator, SloTarget, WorkloadSpec,
+    capacity_search, hbm_kv_budget_tokens, sharding_sweep, CapacityResult, CapacitySpec,
+    EstimatorCostModel, LengthDistribution, SchedulerKind, ServingConfig, ServingSimulator,
+    ShardingPlanResult, ShardingSearchSpec, SloTarget, WorkloadSpec,
 };
 
 use crate::json::Json;
@@ -400,6 +403,251 @@ pub fn serving_results() -> Json {
     ])
 }
 
+/// Requests per simulated sharding-plan probe (shrunk in debug builds so
+/// plain `cargo test` stays fast; the committed baseline is regenerated in
+/// release mode).
+const SHARDING_REQUESTS: usize = if cfg!(debug_assertions) { 12 } else { 40 };
+/// Decode batch limit of the sharded replica.
+const SHARDING_MAX_BATCH: usize = 16;
+/// The KV working set a production deployment must hold: 16 concurrent
+/// sequences at 8 k context. This is what pushes schemes that technically
+/// fit their *weights* on one socket (e.g. Q4) past the 64 GB line.
+const SHARDING_WORKING_SET_TOKENS: usize = 16 * 8192;
+/// Context length of the TP latency-curve probe (the working-set context).
+const SHARDING_CURVE_CONTEXT: usize = 8192;
+
+/// The tensor-parallel plans the sharding experiment evaluates, cheapest
+/// first.
+fn sharding_plans() -> Vec<ShardSpec> {
+    vec![
+        ShardSpec::single(),
+        ShardSpec::tp(2),
+        ShardSpec::tp(4),
+        ShardSpec::tp(8),
+    ]
+}
+
+/// The chat workload the sharding SLO probes serve.
+fn sharding_workload() -> WorkloadSpec {
+    WorkloadSpec {
+        arrivals: deca_serve::ArrivalProcess::Poisson { rate_per_sec: 0.5 },
+        prompt_lengths: LengthDistribution::Bimodal {
+            short: 256,
+            long: 2048,
+            long_fraction: 0.1,
+        },
+        output_lengths: LengthDistribution::Uniform { min: 64, max: 192 },
+        requests: SHARDING_REQUESTS,
+        seed: 17,
+    }
+}
+
+fn sharding_plan_row(result: &ShardingPlanResult) -> Json {
+    let mut row = vec![
+        ("plan", Json::str(result.spec.to_string())),
+        ("sockets", num(result.spec.sockets() as f64)),
+        (
+            "kv_budget_tokens",
+            result
+                .kv_budget_tokens
+                .map_or(Json::Null, |b| num(b as f64)),
+        ),
+        ("servable", Json::Bool(result.servable)),
+        ("feasible", Json::Bool(result.feasible)),
+    ];
+    if result.servable {
+        row.push(("p99_ttft_s", num(result.p99_ttft_s)));
+        row.push(("p99_tpot_ms", num(result.p99_tpot_s * 1e3)));
+        row.push(("goodput_rps", num(result.goodput_rps)));
+    }
+    Json::obj(row)
+}
+
+/// One scheme's sharding row: one-socket fit, TP latency curve, per-plan
+/// SLO sweeps for software and (on compressed schemes) DECA, and — when
+/// the scheme cannot hold the working set on one socket but DECA serves it
+/// sharded — the headline sentence.
+fn sharding_scheme_row(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    interconnect: InterconnectModel,
+    plans: &[ShardSpec],
+    search: &ShardingSearchSpec,
+) -> (Json, Option<String>) {
+    // One-socket view: do the weights fit at all, and does the working set
+    // fit on top of them?
+    let fits_working_set =
+        footprint::fits_in_hbm_with_kv(model, scheme, SHARDING_CURVE_CONTEXT, SHARDING_MAX_BATCH);
+    let one_socket = Json::obj(vec![
+        (
+            "fits_weights",
+            Json::Bool(footprint::fits_in_hbm(model, scheme)),
+        ),
+        (
+            "kv_budget_tokens",
+            footprint::max_kv_tokens(model, scheme).map_or(Json::Null, |b| num(b as f64)),
+        ),
+        ("fits_working_set", Json::Bool(fits_working_set)),
+    ]);
+
+    let deca_applies = !scheme.is_uncompressed();
+    let curve = plans
+        .iter()
+        .map(|&spec| sharding_curve_point(machine, model, scheme, spec, interconnect, deca_applies))
+        .collect();
+
+    // Minimum sockets holding the working set and meeting the p99 SLO.
+    // (`min_sockets_for_slo` is the same selection over the same sweep, so
+    // the winner is picked from the already-simulated plans.)
+    let sweep =
+        |engine| sharding_sweep(machine, model, scheme, engine, interconnect, plans, search);
+    let min = |results: &[ShardingPlanResult]| {
+        results
+            .iter()
+            .filter(|r| r.feasible)
+            .min_by_key(|r| r.spec.sockets())
+            .copied()
+    };
+    let sw_plans = sweep(Engine::software());
+    let mut row = vec![
+        ("scheme", Json::str(scheme.label())),
+        ("one_socket", one_socket),
+        ("tp_curve", Json::Arr(curve)),
+        (
+            "software_plans",
+            Json::Arr(sw_plans.iter().map(sharding_plan_row).collect()),
+        ),
+        (
+            "software_min_sockets",
+            min(&sw_plans).map_or(Json::Null, |r| num(r.spec.sockets() as f64)),
+        ),
+    ];
+    let mut headline = None;
+    if deca_applies {
+        let deca_plans = sweep(Engine::deca_default());
+        let deca_min = min(&deca_plans);
+        // The headline sentence claims the weights fit on one socket, so
+        // it only applies to schemes where that is actually true (Q4, not
+        // dense Q8, whose weights alone overflow the 64 GB).
+        let weights_fit_one_socket = footprint::fits_in_hbm(model, scheme);
+        if let (true, false, Some(win)) = (weights_fit_one_socket, fits_working_set, &deca_min) {
+            headline = Some(format!(
+                "{} {} fits its weights on one socket but cannot hold the \
+                 {SHARDING_WORKING_SET_TOKENS}-token KV working set there; with DECA it holds \
+                 the working set and meets the interactive p99 SLO at {} ({} sockets, p99 TPOT \
+                 {:.0} ms)",
+                model.name(),
+                scheme.label(),
+                win.spec,
+                win.spec.sockets(),
+                win.p99_tpot_s * 1e3
+            ));
+        }
+        row.push((
+            "deca_plans",
+            Json::Arr(deca_plans.iter().map(sharding_plan_row).collect()),
+        ));
+        row.push((
+            "deca_min_sockets",
+            deca_min.map_or(Json::Null, |r| num(r.spec.sockets() as f64)),
+        ));
+    }
+    (Json::obj(row), headline)
+}
+
+/// One point of the TP latency curve: the decode step at the working-set
+/// context for software and (when it applies) DECA.
+fn sharding_curve_point(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    spec: ShardSpec,
+    interconnect: InterconnectModel,
+    deca_applies: bool,
+) -> Json {
+    let estimator = ShardedEstimator::new(machine.clone(), spec, interconnect);
+    let sw = estimator.next_token(
+        model,
+        scheme,
+        Engine::software(),
+        SHARDING_MAX_BATCH,
+        SHARDING_CURVE_CONTEXT,
+    );
+    let mut point = vec![
+        ("plan", Json::str(spec.to_string())),
+        ("software_ms", num(sw.total_ms())),
+    ];
+    if deca_applies {
+        let deca = estimator.next_token(
+            model,
+            scheme,
+            Engine::deca_default(),
+            SHARDING_MAX_BATCH,
+            SHARDING_CURVE_CONTEXT,
+        );
+        point.push(("deca_ms", num(deca.total_ms())));
+        point.push(("deca_comm_fraction", num(deca.comm_fraction())));
+    }
+    Json::obj(point)
+}
+
+/// The sharding experiment (`bench_sharding`): for Table 4 schemes that
+/// stop fitting one socket — outright (BF16, dense Q8) or once the KV
+/// working set grows (Q4) — the TP scaling curve of the decode latency and
+/// the minimum socket count that holds the working set *and* meets the
+/// interactive p99 SLO, software decompression versus DECA, over a
+/// UPI-class interconnect. Fully deterministic (only `wall_ms` is
+/// volatile).
+#[must_use]
+pub fn sharding_results() -> Json {
+    let machine = MachineConfig::spr_hbm();
+    let model = LlmModel::llama2_70b();
+    let interconnect = InterconnectModel::spr_upi();
+    let slo = SloTarget::interactive();
+    let plans = sharding_plans();
+    let search = ShardingSearchSpec {
+        slo,
+        workload: sharding_workload(),
+        max_batch: SHARDING_MAX_BATCH,
+        required_kv_tokens: SHARDING_WORKING_SET_TOKENS,
+    };
+
+    let mut scheme_rows = Vec::new();
+    let mut headline = String::new();
+    for scheme in [
+        CompressionScheme::bf16_dense(),
+        CompressionScheme::bf8_dense(),
+        CompressionScheme::mxfp4(),
+    ] {
+        let (row, scheme_headline) =
+            sharding_scheme_row(&machine, &model, &scheme, interconnect, &plans, &search);
+        if scheme == CompressionScheme::mxfp4() {
+            if let Some(line) = scheme_headline {
+                headline = line;
+            }
+        }
+        scheme_rows.push(row);
+    }
+
+    Json::obj(vec![
+        ("machine", Json::str(machine.name.clone())),
+        ("model", Json::str(model.name().to_string())),
+        ("interconnect_gbps", num(interconnect.link_bandwidth_gbps)),
+        ("interconnect_latency_us", num(interconnect.link_latency_us)),
+        (
+            "working_set_tokens",
+            num(SHARDING_WORKING_SET_TOKENS as f64),
+        ),
+        ("max_batch", num(SHARDING_MAX_BATCH as f64)),
+        ("slo_ttft_s", num(slo.ttft_s)),
+        ("slo_tpot_ms", num(slo.tpot_s * 1e3)),
+        ("probe_requests", num(SHARDING_REQUESTS as f64)),
+        ("schemes", Json::Arr(scheme_rows)),
+        ("headline", Json::str(headline)),
+    ])
+}
+
 /// Runs every baseline experiment, recording wall time per experiment, and
 /// assembles the full document.
 #[must_use]
@@ -411,6 +659,7 @@ pub fn collect() -> Json {
         ("llm_latency", llm_latency_results),
         ("bench_engines", engine_results),
         ("bench_serving", serving_results),
+        ("bench_sharding", sharding_results),
     ];
     let mut records = Vec::new();
     for (name, run) in experiments {
@@ -467,7 +716,8 @@ mod tests {
                 "pipeline",
                 "llm_latency",
                 "bench_engines",
-                "bench_serving"
+                "bench_serving",
+                "bench_sharding"
             ]
         );
         for experiment in experiments {
@@ -571,6 +821,49 @@ mod tests {
         match find(&serving, "continuous_vs_static_goodput") {
             Json::Num(ratio) => assert!(*ratio > 1.0, "continuous vs static goodput {ratio}"),
             other => panic!("goodput ratio must be a number, got {other:?}"),
+        }
+    }
+
+    /// The sharding experiment's acceptance shape: at least one Table 4
+    /// scheme fails the one-socket HBM fit with its KV working set but
+    /// meets the interactive p99 SLO at TP ≥ 2 with DECA.
+    #[test]
+    fn sharding_results_show_a_scheme_served_only_by_sharding() {
+        let sharding = sharding_results();
+        let Json::Arr(schemes) = find(&sharding, "schemes") else {
+            panic!("schemes must be an array");
+        };
+        assert_eq!(schemes.len(), 3);
+        let mut criterion_met = false;
+        for row in schemes {
+            let one_socket = find(row, "one_socket");
+            let Json::Bool(fits_working_set) = find(one_socket, "fits_working_set") else {
+                panic!("fits_working_set must be a bool");
+            };
+            let deca_min = try_find(row, "deca_min_sockets");
+            if let (false, Some(Json::Num(sockets))) = (*fits_working_set, deca_min) {
+                assert!(*sockets >= 2.0, "sharding must take at least 2 sockets");
+                criterion_met = true;
+            }
+            // Every scheme reports a full TP curve with positive latencies.
+            let Json::Arr(curve) = find(row, "tp_curve") else {
+                panic!("tp_curve must be an array");
+            };
+            assert_eq!(curve.len(), 4);
+            for point in curve {
+                match find(point, "software_ms") {
+                    Json::Num(ms) => assert!(ms.is_finite() && *ms > 0.0),
+                    other => panic!("software_ms must be a number, got {other:?}"),
+                }
+            }
+        }
+        assert!(
+            criterion_met,
+            "some Table 4 scheme must fail one socket but serve at TP >= 2 with DECA"
+        );
+        match find(&sharding, "headline") {
+            Json::Str(s) => assert!(s.contains("sockets"), "{s}"),
+            other => panic!("headline must be a string, got {other:?}"),
         }
     }
 

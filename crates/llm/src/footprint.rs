@@ -72,6 +72,11 @@ pub fn fits_in_hbm_with_kv(
 /// sequences) the HBM headroom sustains, or `None` when the weights alone do
 /// not fit. This is the KV budget the serving scheduler in `deca-serve`
 /// admits against.
+///
+/// Degenerate models with zero per-token KV cost (zero layers, or zero KV
+/// heads via [`LlmModel::new`]) also return `None`: dividing the headroom
+/// by `0.0` would produce `inf`, which a `u64` cast saturates into a bogus
+/// "unbounded" scheduler budget.
 #[must_use]
 pub fn max_kv_tokens(model: &LlmModel, scheme: &CompressionScheme) -> Option<u64> {
     let headroom = hbm_headroom_bytes(model, scheme);
@@ -79,6 +84,9 @@ pub fn max_kv_tokens(model: &LlmModel, scheme: &CompressionScheme) -> Option<u64
         return None;
     }
     let per_token = (model.layers() * model.layer().kv_bytes_per_token()) as f64;
+    if per_token <= 0.0 {
+        return None;
+    }
     Some((headroom / per_token) as u64)
 }
 
@@ -156,6 +164,19 @@ mod tests {
             0,
             1
         ));
+    }
+
+    /// Regression: a degenerate zero-layer model has zero per-token KV
+    /// cost; before the guard, `headroom / 0.0 == inf` and the `u64` cast
+    /// saturated it into a bogus "unbounded" scheduler budget.
+    #[test]
+    fn degenerate_models_with_zero_kv_cost_have_no_budget() {
+        let zero_layers = LlmModel::new("degenerate", 0, *LlmModel::llama2_70b().layer(), 32_000);
+        let scheme = CompressionScheme::bf8_sparse(0.05);
+        // The (tiny) footprint fits, so the headroom is positive...
+        assert!(hbm_headroom_bytes(&zero_layers, &scheme) > 0.0);
+        // ...but the per-token KV cost is zero: no meaningful budget exists.
+        assert_eq!(max_kv_tokens(&zero_layers, &scheme), None);
     }
 
     #[test]

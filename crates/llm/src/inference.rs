@@ -183,27 +183,16 @@ impl InferenceEstimator {
         // One steady-state simulation gives the per-tile rate for this
         // (scheme, engine, batch); every FC GeMM then contributes its own
         // worst-loaded-core tile count at that rate.
-        let run = self.executor.run(scheme, engine, batch);
-        let cycles_per_tile = run.stats.cycles_per_tile();
-        let seconds_per_tile = cycles_per_tile / self.machine.frequency_hz();
-
-        let fc_gemms = model.fc_gemms_per_token(batch);
-        let fc_seconds: f64 = fc_gemms
-            .iter()
-            .map(|shape| self.gemm_seconds(shape, seconds_per_tile))
-            .sum::<f64>()
-            + fc_gemms.len() as f64 * GEMM_LAUNCH_BARRIER_US * 1e-6;
-
+        let (seconds_per_tile, decompress_engine) = self.decode_tile_seconds(scheme, engine, batch);
+        let fc_seconds = self.fc_seconds_for(&model.fc_gemms_per_token(batch), seconds_per_tile);
         let attention_seconds = self.attention_seconds(model, batch, context_tokens);
-        let layers = model.layers() as f64;
-        let other_seconds =
-            layers * (LAYER_OVERHEAD_US + LAYER_OVERHEAD_PER_SEQUENCE_US * batch as f64) * 1e-6;
+        let other_seconds = Self::overhead_seconds(model.layers(), batch);
 
         NextTokenReport {
             model: model.name().to_string(),
             scheme: scheme.label(),
             engine: engine.label(),
-            decompress_engine: run.decompress_engine,
+            decompress_engine,
             batch,
             context_tokens,
             fc_seconds,
@@ -236,37 +225,21 @@ impl InferenceEstimator {
         context_tokens: usize,
     ) -> PrefillReport {
         assert!(prompt_tokens > 0, "a prefill processes at least one token");
-        let run = self.executor.run(scheme, engine, prompt_tokens);
-        let stream_seconds_per_tile = run.stats.cycles_per_tile() / self.machine.frequency_hz();
-        // TMUL occupancy per weight tile: ceil(P/16) tile ops of
-        // `tmul_cycles_per_op` cycles each (the TMUL saturates at 16
-        // activation rows per op).
-        let tmul_seconds_per_tile = prompt_tokens.div_ceil(16) as f64
-            * f64::from(self.machine.tmul_cycles_per_op)
-            / self.machine.frequency_hz();
-        let seconds_per_tile = stream_seconds_per_tile.max(tmul_seconds_per_tile);
-
-        let fc_gemms = model.fc_gemms_per_token(prompt_tokens);
-        let fc_seconds: f64 = fc_gemms
-            .iter()
-            .map(|shape| self.gemm_seconds(shape, seconds_per_tile))
-            .sum::<f64>()
-            + fc_gemms.len() as f64 * GEMM_LAUNCH_BARRIER_US * 1e-6;
-
+        let (seconds_per_tile, decompress_engine) =
+            self.prefill_tile_seconds(scheme, engine, prompt_tokens);
+        let fc_seconds =
+            self.fc_seconds_for(&model.fc_gemms_per_token(prompt_tokens), seconds_per_tile);
         let attention_seconds =
             self.prefill_attention_seconds(model, prompt_tokens, context_tokens);
         // The elementwise per-token work (norms, rotary, residuals) scales
         // with the prompt length; the fixed per-layer dispatch is paid once.
-        let layers = model.layers() as f64;
-        let other_seconds = layers
-            * (LAYER_OVERHEAD_US + LAYER_OVERHEAD_PER_SEQUENCE_US * prompt_tokens as f64)
-            * 1e-6;
+        let other_seconds = Self::overhead_seconds(model.layers(), prompt_tokens);
 
         PrefillReport {
             model: model.name().to_string(),
             scheme: scheme.label(),
             engine: engine.label(),
-            decompress_engine: run.decompress_engine,
+            decompress_engine,
             prompt_tokens,
             context_tokens,
             fc_seconds,
@@ -280,31 +253,114 @@ impl InferenceEstimator {
         partition.max_tiles_per_core() as f64 * seconds_per_tile
     }
 
+    /// Steady-state decode tile rate for a (scheme, engine, batch) point,
+    /// plus the functional decompression backend's label. Shared with the
+    /// sharded estimator (`crate::parallel`) so both views price a tile
+    /// identically.
+    pub(crate) fn decode_tile_seconds(
+        &self,
+        scheme: &CompressionScheme,
+        engine: Engine,
+        batch: usize,
+    ) -> (f64, String) {
+        let run = self.executor.run(scheme, engine, batch);
+        let seconds_per_tile = run.stats.cycles_per_tile() / self.machine.frequency_hz();
+        (seconds_per_tile, run.decompress_engine)
+    }
+
+    /// Per-tile prefill rate: the slower of the steady-state stream rate and
+    /// the TMUL occupancy — ceil(P/16) tile ops of `tmul_cycles_per_op`
+    /// cycles each (the TMUL saturates at 16 activation rows per op).
+    pub(crate) fn prefill_tile_seconds(
+        &self,
+        scheme: &CompressionScheme,
+        engine: Engine,
+        prompt_tokens: usize,
+    ) -> (f64, String) {
+        let run = self.executor.run(scheme, engine, prompt_tokens);
+        let stream_seconds_per_tile = run.stats.cycles_per_tile() / self.machine.frequency_hz();
+        let tmul_seconds_per_tile = prompt_tokens.div_ceil(16) as f64
+            * f64::from(self.machine.tmul_cycles_per_op)
+            / self.machine.frequency_hz();
+        (
+            stream_seconds_per_tile.max(tmul_seconds_per_tile),
+            run.decompress_engine,
+        )
+    }
+
+    /// Total FC time of a list of GeMMs at a fixed per-tile rate: each GeMM
+    /// pays its worst-loaded-core tile count plus the launch/barrier cost.
+    pub(crate) fn fc_seconds_for(&self, shapes: &[GemmShape], seconds_per_tile: f64) -> f64 {
+        shapes
+            .iter()
+            .map(|shape| self.gemm_seconds(shape, seconds_per_tile))
+            .sum::<f64>()
+            + shapes.len() as f64 * GEMM_LAUNCH_BARRIER_US * 1e-6
+    }
+
+    /// Decode-step KV traffic time for `layers` layers whose per-token KV
+    /// cost is `kv_bytes_per_token`: every layer reads the keys and values
+    /// of the whole context for every sequence in the batch, and appends
+    /// the new token's keys/values.
+    pub(crate) fn kv_traffic_seconds(
+        &self,
+        kv_bytes_per_token: usize,
+        layers: usize,
+        batch: usize,
+        context_tokens: usize,
+    ) -> f64 {
+        let per_layer_read = kv_bytes_per_token as f64 * context_tokens as f64 * batch as f64;
+        let per_layer_write = kv_bytes_per_token as f64 * batch as f64;
+        let total_bytes = (per_layer_read + per_layer_write) * layers as f64;
+        total_bytes / self.machine.memory_bandwidth_bytes_per_sec()
+    }
+
     /// Causal-attention KV traffic of a prefill: token `i` of the prompt
     /// reads the `context + i` keys/values before it, and every prompt
     /// token appends its own.
+    pub(crate) fn prefill_kv_traffic_seconds(
+        &self,
+        kv_bytes_per_token: usize,
+        layers: usize,
+        prompt_tokens: usize,
+        context_tokens: usize,
+    ) -> f64 {
+        let p = prompt_tokens as f64;
+        let positions_read = p * context_tokens as f64 + p * (p - 1.0) / 2.0;
+        let kv_bytes = kv_bytes_per_token as f64;
+        let total_bytes = (positions_read + p) * kv_bytes * layers as f64;
+        total_bytes / self.machine.memory_bandwidth_bytes_per_sec()
+    }
+
+    /// Per-layer overhead (norms, softmax, residuals, framework dispatch)
+    /// for `layers` layers processing `sequences` token rows.
+    pub(crate) fn overhead_seconds(layers: usize, sequences: usize) -> f64 {
+        layers as f64
+            * (LAYER_OVERHEAD_US + LAYER_OVERHEAD_PER_SEQUENCE_US * sequences as f64)
+            * 1e-6
+    }
+
     fn prefill_attention_seconds(
         &self,
         model: &LlmModel,
         prompt_tokens: usize,
         context_tokens: usize,
     ) -> f64 {
-        let p = prompt_tokens as f64;
-        let positions_read = p * context_tokens as f64 + p * (p - 1.0) / 2.0;
-        let kv_bytes = model.layer().kv_bytes_per_token() as f64;
-        let total_bytes = (positions_read + p) * kv_bytes * model.layers() as f64;
-        total_bytes / self.machine.memory_bandwidth_bytes_per_sec()
+        self.prefill_kv_traffic_seconds(
+            model.layer().kv_bytes_per_token(),
+            model.layers(),
+            prompt_tokens,
+            context_tokens,
+        )
     }
 
-    /// KV-cache traffic time: every layer reads the keys and values of the
-    /// whole context for every sequence in the batch, and appends the new
-    /// token's keys/values.
     fn attention_seconds(&self, model: &LlmModel, batch: usize, context_tokens: usize) -> f64 {
-        let per_layer_read =
-            model.layer().kv_bytes_per_token() as f64 * context_tokens as f64 * batch as f64;
-        let per_layer_write = model.layer().kv_bytes_per_token() as f64 * batch as f64;
-        let total_bytes = (per_layer_read + per_layer_write) * model.layers() as f64;
-        total_bytes / self.machine.memory_bandwidth_bytes_per_sec()
+        self.kv_traffic_seconds(
+            model.layer().kv_bytes_per_token(),
+            model.layers(),
+            batch,
+            context_tokens,
+        )
     }
 }
 

@@ -17,7 +17,12 @@
 //!   weight stream as a decode step, but each decompressed tile feeds
 //!   `ceil(prompt/16)` TMUL operations, so long prompts turn compute-bound.
 //!   Time-to-first-token in the `deca-serve` serving simulator is built on
-//!   this.
+//!   this,
+//! * [`parallel`] — multi-socket sharded inference: [`ShardSpec`]
+//!   (tensor/pipeline parallelism), [`InterconnectModel`] (ring all-reduce
+//!   per TP GeMM, point-to-point transfer per pipeline boundary) and
+//!   [`ShardedEstimator`], which makes schemes that overflow one socket's
+//!   HBM servable at TP ≥ 2 and prices the interconnect they pay for it.
 //!
 //! # Example
 //!
@@ -44,9 +49,13 @@
 pub mod footprint;
 mod inference;
 mod model;
+pub mod parallel;
 
 pub use inference::{InferenceEstimator, NextTokenReport, PrefillReport};
 pub use model::{LayerGeometry, LlmModel};
+pub use parallel::{
+    InterconnectModel, ShardSpec, ShardedEstimator, ShardedNextTokenReport, ShardedPrefillReport,
+};
 
 #[cfg(test)]
 mod tests {

@@ -111,6 +111,23 @@ pub struct LlmModel {
 }
 
 impl LlmModel {
+    /// Builds a model from an explicit geometry. The stock inventories
+    /// ([`LlmModel::llama2_70b`], [`LlmModel::opt_66b`]) cover the paper's
+    /// evaluation; this constructor exists for sharded per-socket views
+    /// (`deca_llm::parallel`), what-if geometries and degenerate-input
+    /// tests. No validation is performed here — a zero-layer or
+    /// zero-KV-head model is representable, and downstream consumers
+    /// (e.g. [`crate::footprint::max_kv_tokens`]) must guard against it.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: usize, layer: LayerGeometry, vocab: usize) -> Self {
+        LlmModel {
+            name: name.into(),
+            layers,
+            layer,
+            vocab,
+        }
+    }
+
     /// Llama2-70B: 80 layers, 8192 hidden, 28672 FFN, 64 heads with 8 KV
     /// heads (GQA), 32 k vocabulary.
     #[must_use]

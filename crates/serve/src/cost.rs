@@ -4,15 +4,17 @@
 //! The scheduler only ever asks two questions — "how long to prefill a
 //! `P`-token prompt?" and "how long is one decode step for a batch of `B`
 //! sequences at context `C`?" — so the cost model is a small trait. The
-//! production implementation drives [`InferenceEstimator`] (and therefore
-//! the whole compressed-GeMM simulation stack underneath); a linear model
-//! exists for fast property tests and analytical what-ifs.
+//! production implementation drives [`ShardedEstimator`] (and therefore
+//! [`deca_llm::InferenceEstimator`] and the whole compressed-GeMM
+//! simulation stack underneath), for single-socket replicas and TP/PP
+//! sharded ones alike; a linear model exists for fast property tests and
+//! analytical what-ifs.
 
 use std::collections::HashMap;
 
 use deca_compress::CompressionScheme;
 use deca_kernels::Engine;
-use deca_llm::{InferenceEstimator, LlmModel};
+use deca_llm::{InterconnectModel, LlmModel, ShardSpec, ShardedEstimator};
 use deca_roofsurface::MachineConfig;
 
 /// What one engine step costs. Implementations must be deterministic: the
@@ -40,15 +42,20 @@ fn bucket_up(value: usize, bucket: usize) -> usize {
     value.max(1).div_ceil(bucket) * bucket
 }
 
-/// The production cost model: every answer comes from
-/// [`InferenceEstimator`] (decode steps from
-/// [`InferenceEstimator::next_token`], prefills from
-/// [`InferenceEstimator::prefill`]), memoized per bucketed shape. Bucketing
+/// The production cost model: every answer comes from the sharded
+/// estimator (`deca_llm::parallel`) — decode steps from
+/// [`ShardedEstimator::next_token`], prefills from
+/// [`ShardedEstimator::prefill`] — memoized per bucketed shape. Bucketing
 /// rounds *up*, so the model is conservative — a simulated server is never
 /// faster than the estimator says.
+///
+/// [`EstimatorCostModel::new`] builds the single-socket view; because a
+/// `TP=1 × PP=1` plan over a zero-cost interconnect reproduces
+/// [`deca_llm::InferenceEstimator`] bit for bit, the unsharded serving
+/// numbers are unchanged by the sharding axis.
 #[derive(Debug, Clone)]
 pub struct EstimatorCostModel {
-    estimator: InferenceEstimator,
+    estimator: ShardedEstimator,
     model: LlmModel,
     scheme: CompressionScheme,
     engine: Engine,
@@ -57,7 +64,8 @@ pub struct EstimatorCostModel {
 }
 
 impl EstimatorCostModel {
-    /// Builds the cost model for a machine/model/scheme/engine combination.
+    /// Builds the single-socket cost model for a machine/model/scheme/engine
+    /// combination.
     #[must_use]
     pub fn new(
         machine: MachineConfig,
@@ -65,8 +73,30 @@ impl EstimatorCostModel {
         scheme: CompressionScheme,
         engine: Engine,
     ) -> Self {
+        Self::sharded(
+            machine,
+            model,
+            scheme,
+            engine,
+            ShardSpec::single(),
+            InterconnectModel::zero_cost(),
+        )
+    }
+
+    /// Builds the cost model of one sharded replica: `spec.sockets()`
+    /// machines serving the model together, paying `interconnect` for every
+    /// tensor-parallel all-reduce and pipeline-boundary transfer.
+    #[must_use]
+    pub fn sharded(
+        machine: MachineConfig,
+        model: LlmModel,
+        scheme: CompressionScheme,
+        engine: Engine,
+        spec: ShardSpec,
+        interconnect: InterconnectModel,
+    ) -> Self {
         EstimatorCostModel {
-            estimator: InferenceEstimator::new(machine),
+            estimator: ShardedEstimator::new(machine, spec, interconnect),
             model,
             scheme,
             engine,
@@ -79,6 +109,12 @@ impl EstimatorCostModel {
     #[must_use]
     pub fn model(&self) -> &LlmModel {
         &self.model
+    }
+
+    /// The sharding plan of this replica.
+    #[must_use]
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.estimator.spec()
     }
 
     /// The compression scheme of the resident weights.
@@ -205,6 +241,43 @@ mod tests {
         let mut deca = build(Engine::deca_default());
         assert!(deca.decode_step_seconds(1, 128) < sw.decode_step_seconds(1, 128));
         assert!(deca.prefill_seconds(128) <= sw.prefill_seconds(128));
+    }
+
+    #[test]
+    fn sharded_replicas_price_the_plan() {
+        let build = |spec, interconnect| {
+            EstimatorCostModel::sharded(
+                MachineConfig::spr_hbm(),
+                LlmModel::llama2_70b(),
+                CompressionScheme::bf8_sparse(0.05),
+                Engine::deca_default(),
+                spec,
+                interconnect,
+            )
+        };
+        // The single-socket plan over a free interconnect is the unsharded
+        // model, bit for bit.
+        let mut single = build(ShardSpec::single(), InterconnectModel::zero_cost());
+        let mut unsharded = EstimatorCostModel::new(
+            MachineConfig::spr_hbm(),
+            LlmModel::llama2_70b(),
+            CompressionScheme::bf8_sparse(0.05),
+            Engine::deca_default(),
+        );
+        assert_eq!(
+            single.decode_step_seconds(4, 1000).to_bits(),
+            unsharded.decode_step_seconds(4, 1000).to_bits()
+        );
+        assert_eq!(
+            single.prefill_seconds(512).to_bits(),
+            unsharded.prefill_seconds(512).to_bits()
+        );
+        assert_eq!(single.shard_spec(), ShardSpec::single());
+        // A TP2 replica over a real interconnect still beats one socket on
+        // the weight-stream-bound decode step.
+        let mut tp2 = build(ShardSpec::tp(2), InterconnectModel::spr_upi());
+        assert_eq!(tp2.shard_spec().sockets(), 2);
+        assert!(tp2.decode_step_seconds(4, 1000) < unsharded.decode_step_seconds(4, 1000));
     }
 
     #[test]

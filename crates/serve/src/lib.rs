@@ -20,9 +20,12 @@
 //!   run-to-completion baseline,
 //! * [`metrics`] — per-request TTFT / TPOT / end-to-end records,
 //!   percentile summaries, and SLO goodput,
-//! * [`sweep`] — multi-replica fleets and the p99-SLO capacity search that
+//! * [`sweep`] — multi-replica fleets, the p99-SLO capacity search that
 //!   reports requests/sec per socket for DECA versus software
-//!   decompression.
+//!   decompression, and the sharding sweep (`deca_llm::parallel` TP/PP
+//!   plans over an interconnect model) that finds the minimum socket count
+//!   holding a KV working set while meeting the p99 SLO — making schemes
+//!   that overflow one socket's HBM servable at TP ≥ 2.
 //!
 //! # Example
 //!
@@ -64,7 +67,8 @@ pub use cost::{EstimatorCostModel, LinearCostModel, ServingCostModel};
 pub use metrics::{LatencySummary, RequestRecord, ServingMetrics, SloTarget};
 pub use scheduler::{SchedulerKind, ServingConfig, ServingReport, ServingSimulator};
 pub use sweep::{
-    capacity_search, hbm_kv_budget_tokens, simulate_fleet, CapacityResult, CapacitySpec,
-    FleetReport,
+    capacity_search, hbm_kv_budget_tokens, min_sockets_for_slo, sharded_kv_budget_tokens,
+    sharding_sweep, simulate_fleet, simulate_fleet_with, CapacityResult, CapacitySpec, FleetReport,
+    ShardingPlanResult, ShardingSearchSpec,
 };
 pub use workload::{ArrivalProcess, LengthDistribution, Request, RequestTrace, WorkloadSpec};

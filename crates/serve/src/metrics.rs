@@ -75,13 +75,27 @@ impl SloTarget {
 
 /// Nearest-rank percentile (`p` in `[0, 100]`) of an unsorted sample.
 /// Returns 0 for an empty sample.
+///
+/// The sort order is total even when the sample contains NaNs, and every
+/// NaN — regardless of its sign bit — ranks above every finite value, so
+/// NaNs can only surface at the top percentiles instead of silently
+/// scrambling the order (a comparator that treats NaN as equal to
+/// everything leaves `sort_by`'s output unspecified, corrupting p50/p99
+/// for the *finite* latencies too; bare `f64::total_cmp` would put
+/// negative-signed NaNs — what `0.0 / 0.0` produces on x86-64 — *below*
+/// the finite values, making the tail optimistic instead of conservative).
 #[must_use]
 pub fn percentile(values: &[f64], p: f64) -> f64 {
     if values.is_empty() {
         return 0.0;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| match (a.is_nan(), b.is_nan()) {
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => a.total_cmp(b),
+    });
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
@@ -203,6 +217,27 @@ mod tests {
         assert_eq!(percentile(&values, 1.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
         assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    /// Regression: a single NaN used to leave the sort order unspecified
+    /// (`partial_cmp(..).unwrap_or(Equal)` is not a total order), so the
+    /// *finite* percentiles silently corrupted. Now the finite ranks are
+    /// exact and NaN — of either sign — is confined to the very top.
+    #[test]
+    fn nan_latencies_do_not_corrupt_finite_percentiles() {
+        // Runtime NaNs (e.g. 0.0/0.0 on x86-64) are negative-signed; they
+        // must rank above the finite values exactly like the positive
+        // constant (bare `total_cmp` would sort them *below* everything).
+        let negative_nan = -f64::NAN;
+        assert!(negative_nan.is_sign_negative());
+        let values = [5.0, negative_nan, 1.0, 4.0, f64::NAN, 2.0, 3.0];
+        // Ranks 1..=5 are the finite values in order; the NaNs sort last.
+        assert_eq!(percentile(&values, 1.0), 1.0);
+        assert_eq!(percentile(&values, 50.0), 4.0);
+        assert_eq!(percentile(&values, 5.0 / 7.0 * 100.0), 5.0);
+        assert!(percentile(&values, 100.0).is_nan());
+        // A NaN-free sample is untouched by the comparator change.
+        assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
     }
 
     #[test]

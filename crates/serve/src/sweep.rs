@@ -1,10 +1,12 @@
-//! Fleet-level sweeps: multi-replica simulation and the SLO capacity
-//! search that turns "DECA vs software decompression" into "requests/sec
-//! per socket at a p99 SLO".
+//! Fleet-level sweeps: multi-replica simulation, the SLO capacity search
+//! that turns "DECA vs software decompression" into "requests/sec per
+//! socket at a p99 SLO", and the sharding sweep that answers "how many
+//! sockets does a scheme need to hold its KV working set *and* hit the p99
+//! SLO?".
 
 use deca_compress::CompressionScheme;
 use deca_kernels::Engine;
-use deca_llm::{footprint, LlmModel};
+use deca_llm::{footprint, parallel, InterconnectModel, LlmModel, ShardSpec};
 use deca_roofsurface::MachineConfig;
 
 use crate::cost::EstimatorCostModel;
@@ -19,6 +21,134 @@ use crate::workload::{RequestTrace, WorkloadSpec};
 #[must_use]
 pub fn hbm_kv_budget_tokens(model: &LlmModel, scheme: &CompressionScheme) -> Option<usize> {
     footprint::max_kv_tokens(model, scheme).map(|tokens| tokens as usize)
+}
+
+/// The KV budget (tokens) of one *sharded* replica — the minimum over
+/// pipeline stages of the post-weights headroom divided by the per-token
+/// sharded KV cost — or `None` when some socket's weight shard does not
+/// fit. With [`ShardSpec::single`] this is exactly
+/// [`hbm_kv_budget_tokens`].
+#[must_use]
+pub fn sharded_kv_budget_tokens(
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    spec: &ShardSpec,
+) -> Option<usize> {
+    parallel::sharded_max_kv_tokens(model, scheme, spec).map(|tokens| tokens as usize)
+}
+
+/// What a sharding sweep demands of every candidate plan: hold a KV
+/// working set of `required_kv_tokens` and serve `workload` within `slo`
+/// at the 99th percentile.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardingSearchSpec {
+    /// The p99 objective a feasible plan must meet.
+    pub slo: SloTarget,
+    /// The workload simulated against every servable plan.
+    pub workload: WorkloadSpec,
+    /// Decode batch limit of the sharded replica.
+    pub max_batch: usize,
+    /// KV-token working set the plan must be able to hold (e.g. target
+    /// concurrent sequences × target context). Plans whose sharded KV
+    /// budget falls short are unservable and skip the simulation.
+    pub required_kv_tokens: usize,
+}
+
+/// The outcome of one sharding plan under a [`ShardingSearchSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ShardingPlanResult {
+    /// The plan.
+    pub spec: ShardSpec,
+    /// The plan's sharded KV budget (`None`: weights don't fit).
+    pub kv_budget_tokens: Option<usize>,
+    /// Whether the plan fits the weights *and* the required KV working set
+    /// (only servable plans are simulated).
+    pub servable: bool,
+    /// Whether the simulated p99 TTFT/TPOT met the SLO with no rejections.
+    pub feasible: bool,
+    /// p99 TTFT of the simulated run, seconds (0 when not simulated).
+    pub p99_ttft_s: f64,
+    /// p99 TPOT of the simulated run, seconds (0 when not simulated).
+    pub p99_tpot_s: f64,
+    /// SLO goodput of the simulated run, requests/sec (0 when not
+    /// simulated).
+    pub goodput_rps: f64,
+}
+
+/// Evaluates every candidate sharding plan against the search spec: the
+/// sharded KV budget gates servability, and servable plans run the full
+/// serving simulation (sharded cost model, continuous batching) to check
+/// the p99 SLO. Deterministic: the same inputs always produce the same
+/// results.
+#[must_use]
+pub fn sharding_sweep(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    engine: Engine,
+    interconnect: InterconnectModel,
+    plans: &[ShardSpec],
+    search: &ShardingSearchSpec,
+) -> Vec<ShardingPlanResult> {
+    let trace = search.workload.generate();
+    plans
+        .iter()
+        .map(|&spec| {
+            let kv_budget_tokens = sharded_kv_budget_tokens(model, scheme, &spec);
+            let servable = kv_budget_tokens.is_some_and(|b| b >= search.required_kv_tokens);
+            let mut result = ShardingPlanResult {
+                spec,
+                kv_budget_tokens,
+                servable,
+                feasible: false,
+                p99_ttft_s: 0.0,
+                p99_tpot_s: 0.0,
+                goodput_rps: 0.0,
+            };
+            if !servable {
+                return result;
+            }
+            let budget = kv_budget_tokens.expect("servable implies a budget");
+            let cost = EstimatorCostModel::sharded(
+                machine.clone(),
+                model.clone(),
+                *scheme,
+                engine,
+                spec,
+                interconnect,
+            );
+            let config = ServingConfig::continuous(search.max_batch, budget);
+            let report = ServingSimulator::new(cost, config).run(&trace);
+            let ttft: Vec<f64> = report.records.iter().map(RequestRecord::ttft_s).collect();
+            let tpot: Vec<f64> = report.records.iter().map(RequestRecord::tpot_s).collect();
+            result.p99_ttft_s = percentile(&ttft, 99.0);
+            result.p99_tpot_s = percentile(&tpot, 99.0);
+            result.goodput_rps = report.goodput_rps(&search.slo);
+            result.feasible = report.rejected == 0
+                && result.p99_ttft_s <= search.slo.ttft_s
+                && result.p99_tpot_s <= search.slo.tpot_s;
+            result
+        })
+        .collect()
+}
+
+/// The cheapest feasible plan of a sharding sweep: fewest sockets first
+/// (ties broken by candidate order), or `None` when no candidate meets the
+/// search spec.
+#[must_use]
+pub fn min_sockets_for_slo(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    engine: Engine,
+    interconnect: InterconnectModel,
+    plans: &[ShardSpec],
+    search: &ShardingSearchSpec,
+) -> Option<ShardingPlanResult> {
+    sharding_sweep(machine, model, scheme, engine, interconnect, plans, search)
+        .into_iter()
+        .filter(|r| r.feasible)
+        .min_by_key(|r| r.spec.sockets())
 }
 
 /// One replica's share plus its report, and the fleet aggregate.
@@ -72,6 +202,33 @@ impl FleetReport {
 }
 
 /// Simulates a fleet of identical replicas behind a round-robin load
+/// balancer, with one cost model per replica drawn from `cost`. The trace
+/// is split round-robin across the replicas; every request lands on
+/// exactly one, so a fleet run conserves the trace.
+///
+/// # Panics
+///
+/// Panics if `replicas` is zero.
+pub fn simulate_fleet_with<C, F>(
+    mut cost: F,
+    config: &ServingConfig,
+    replicas: usize,
+    trace: &RequestTrace,
+) -> FleetReport
+where
+    C: crate::cost::ServingCostModel,
+    F: FnMut() -> C,
+{
+    let shards = trace.split_round_robin(replicas);
+    let mut reports = Vec::with_capacity(replicas);
+    for shard in &shards {
+        let mut simulator = ServingSimulator::new(cost(), *config);
+        reports.push(simulator.run(shard));
+    }
+    FleetReport { replicas, reports }
+}
+
+/// Simulates a fleet of identical replicas behind a round-robin load
 /// balancer. Each replica runs the same machine/model/scheme/engine and
 /// `config`; the trace is split round-robin across them.
 #[must_use]
@@ -84,14 +241,12 @@ pub fn simulate_fleet(
     replicas: usize,
     trace: &RequestTrace,
 ) -> FleetReport {
-    let shards = trace.split_round_robin(replicas);
-    let mut reports = Vec::with_capacity(replicas);
-    for shard in &shards {
-        let cost = EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine);
-        let mut simulator = ServingSimulator::new(cost, *config);
-        reports.push(simulator.run(shard));
-    }
-    FleetReport { replicas, reports }
+    simulate_fleet_with(
+        || EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine),
+        config,
+        replicas,
+        trace,
+    )
 }
 
 /// Parameters of an SLO capacity search on one replica.
@@ -248,6 +403,69 @@ mod tests {
         // Tighter compression leaves more KV headroom.
         assert!(q8_5 > q4);
         assert!(q4 > 10_000);
+    }
+
+    #[test]
+    fn sharded_budget_reduces_to_the_unsharded_one_on_a_single_socket() {
+        let model = LlmModel::llama2_70b();
+        for scheme in [
+            CompressionScheme::mxfp4(),
+            CompressionScheme::bf8_sparse(0.05),
+            CompressionScheme::bf16_dense(),
+        ] {
+            assert_eq!(
+                sharded_kv_budget_tokens(&model, &scheme, &ShardSpec::single()),
+                hbm_kv_budget_tokens(&model, &scheme)
+            );
+        }
+        // Dense Q8 overflows one socket but gains a budget at TP2.
+        let q8 = CompressionScheme::bf8_dense();
+        assert_eq!(
+            sharded_kv_budget_tokens(&model, &q8, &ShardSpec::single()),
+            None
+        );
+        assert!(sharded_kv_budget_tokens(&model, &q8, &ShardSpec::tp(2)).unwrap() > 0);
+    }
+
+    #[test]
+    fn sharding_sweep_skips_unservable_plans_and_finds_the_min_sockets() {
+        let model = LlmModel::llama2_70b();
+        let q8 = CompressionScheme::bf8_dense();
+        let search = ShardingSearchSpec {
+            slo: SloTarget::interactive(),
+            workload: WorkloadSpec::chat(0.4, 12, 11),
+            max_batch: 8,
+            required_kv_tokens: 10_000,
+        };
+        let plans = [ShardSpec::single(), ShardSpec::tp(2), ShardSpec::tp(4)];
+        let results = sharding_sweep(
+            &MachineConfig::spr_hbm(),
+            &model,
+            &q8,
+            Engine::deca_default(),
+            InterconnectModel::spr_upi(),
+            &plans,
+            &search,
+        );
+        assert_eq!(results.len(), 3);
+        // One socket cannot even hold the Q8-dense weights: not simulated.
+        assert!(!results[0].servable && !results[0].feasible);
+        assert_eq!(results[0].kv_budget_tokens, None);
+        assert_eq!(results[0].p99_ttft_s, 0.0);
+        // TP2 fits and (at this trickle load) meets the SLO.
+        assert!(results[1].servable);
+        let min = min_sockets_for_slo(
+            &MachineConfig::spr_hbm(),
+            &model,
+            &q8,
+            Engine::deca_default(),
+            InterconnectModel::spr_upi(),
+            &plans,
+            &search,
+        )
+        .expect("some plan is feasible");
+        assert!(min.spec.sockets() >= 2, "Q8 dense needs sharding");
+        assert!(min.feasible && min.p99_ttft_s > 0.0);
     }
 
     #[test]

@@ -154,9 +154,7 @@ impl ArrivalProcess {
                 t = boundary;
                 continue;
             }
-            let unit: f64 = rng.gen();
-            // Inverse-CDF exponential; `1 - unit` avoids ln(0).
-            let dt = -(1.0 - unit).ln() / rate;
+            let dt = exponential_gap(rng.gen(), rate);
             if t + dt <= boundary {
                 return t + dt;
             }
@@ -198,6 +196,26 @@ impl ArrivalProcess {
             } => (burst_rate * burst_secs + base_rate * (period_secs - burst_secs)) / period_secs,
         }
     }
+}
+
+/// Inverse-CDF exponential inter-arrival gap at `rate` from a unit draw.
+///
+/// The transform needs `unit < 1.0` strictly: at exactly 1.0,
+/// `ln(1 − unit) = ln(0) = −inf` turns the gap infinite and every later
+/// timestamp NaN. `Rng::gen` contracts to the half-open `[0, 1)`, but that
+/// invariant lives in a different crate (and other `Rng` sources — e.g. a
+/// replayed unit stream — may include the endpoint), so it is enforced
+/// here by clamping the draw into the interval the transform tolerates
+/// (`max` then `min` rather than `f64::clamp`, which passes NaN through —
+/// `max(NaN, 0.0)` resolves to `0.0`). The returned gap is therefore
+/// always finite and non-negative for a positive, finite `rate`, whatever
+/// the draw.
+// Not `f64::clamp`: the whole point of max-then-min here is its NaN
+// behavior, which `clamp` does not share.
+#[allow(clippy::manual_clamp)]
+fn exponential_gap(unit: f64, rate: f64) -> f64 {
+    let unit = unit.max(0.0).min(1.0 - f64::EPSILON);
+    -(1.0 - unit).ln() / rate
 }
 
 /// A complete workload description: arrivals × lengths × size × seed.
@@ -374,6 +392,31 @@ mod tests {
         assert!(a.requests().iter().all(|r| r.output_tokens >= 1));
         let other_seed = WorkloadSpec::chat(4.0, 200, 43).generate();
         assert_ne!(a, other_seed);
+    }
+
+    /// Regression: a unit draw of exactly 1.0 used to hit `ln(0) = -inf`,
+    /// producing an infinite inter-arrival gap (and NaN timestamps after
+    /// it). The clamp keeps the transform finite over the whole closed
+    /// unit interval.
+    #[test]
+    fn exponential_gap_is_finite_over_the_closed_unit_interval() {
+        for rate in [1e-6, 1.0, 1e6] {
+            for unit in [0.0, 0.5, 1.0 - f64::EPSILON, 1.0] {
+                let gap = exponential_gap(unit, rate);
+                assert!(gap.is_finite() && gap >= 0.0, "gap({unit}, {rate}) = {gap}");
+            }
+        }
+        assert_eq!(exponential_gap(0.0, 4.0), 0.0);
+        // The endpoint is clamped, not special-cased: it matches the
+        // largest representable sub-1.0 draw.
+        assert_eq!(
+            exponential_gap(1.0, 4.0),
+            exponential_gap(1.0 - f64::EPSILON, 4.0)
+        );
+        // Even a NaN draw (a corrupted replayed unit stream) resolves to a
+        // finite gap instead of poisoning every later timestamp.
+        let nan_gap = exponential_gap(f64::NAN, 4.0);
+        assert!(nan_gap.is_finite() && nan_gap >= 0.0, "gap {nan_gap}");
     }
 
     #[test]

@@ -14,8 +14,8 @@
 //! static batching's tail latency is no better than continuous batching's.
 
 use deca_serve::{
-    ArrivalProcess, LengthDistribution, LinearCostModel, RequestRecord, SchedulerKind,
-    ServingConfig, ServingSimulator, SloTarget, WorkloadSpec,
+    simulate_fleet_with, ArrivalProcess, LengthDistribution, LinearCostModel, RequestRecord,
+    SchedulerKind, ServingConfig, ServingSimulator, SloTarget, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -99,6 +99,73 @@ proptest! {
 
         let mut again = ServingSimulator::new(LinearCostModel::default_70b(), config);
         prop_assert_eq!(again.run(&trace), report);
+    }
+
+    /// Regression companion to the `exponential_gap` clamp: generated
+    /// traces are physically sane for extreme seeds and rates — every
+    /// timestamp is finite and non-negative, timestamps are monotone, and
+    /// every inter-arrival gap is finite and non-negative.
+    #[test]
+    fn traces_have_finite_monotone_timestamps(
+        seed in 0u64..u64::MAX,
+        rate_exp in 0u32..10,
+        bursty in proptest::prop::bool::ANY,
+    ) {
+        // Rates from 1e-3 to 1e6 requests/sec: trickle to absurd overload.
+        let rate = 10f64.powi(i32::try_from(rate_exp).unwrap() - 3);
+        let arrivals = if bursty {
+            ArrivalProcess::Bursty {
+                base_rate: 0.0,
+                burst_rate: rate * 5.0,
+                burst_secs: 0.125,
+                period_secs: 60.0,
+            }
+        } else {
+            ArrivalProcess::Poisson { rate_per_sec: rate }
+        };
+        let trace = WorkloadSpec {
+            arrivals,
+            prompt_lengths: LengthDistribution::Fixed(32),
+            output_lengths: LengthDistribution::Fixed(8),
+            requests: 64,
+            seed,
+        }
+        .generate();
+        prop_assert_eq!(trace.len(), 64);
+        let mut previous = 0.0f64;
+        for request in trace.requests() {
+            let t = request.arrival_s;
+            prop_assert!(t.is_finite() && t >= 0.0, "timestamp {t}");
+            let gap = t - previous;
+            prop_assert!(gap.is_finite() && gap >= 0.0, "gap {gap}");
+            previous = t;
+        }
+    }
+
+    /// Round-robin fleet runs conserve the trace: with a budget that
+    /// rejects nothing, every request completes on exactly one replica
+    /// (`records().len() == trace.len()`), for any replica count.
+    #[test]
+    fn fleet_runs_conserve_requests(
+        seed in 0u64..10_000,
+        replicas in 1usize..9,
+        requests in 1usize..100,
+    ) {
+        let trace = workload(seed, 25, requests, false).generate();
+        let config = ServingConfig::continuous(8, 1_000_000);
+        let fleet = simulate_fleet_with(
+            LinearCostModel::default_70b,
+            &config,
+            replicas,
+            &trace,
+        );
+        prop_assert_eq!(fleet.rejected(), 0);
+        let records = fleet.records();
+        prop_assert_eq!(records.len(), trace.len());
+        // The union of replica records is exactly the trace's id set.
+        let mut ids: Vec<usize> = records.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..requests).collect::<Vec<_>>());
     }
 
     /// Rejection happens exactly when a request's whole KV footprint
