@@ -19,9 +19,10 @@ use deca_llm::{
 };
 use deca_roofsurface::{MachineConfig, RoofSurface};
 use deca_serve::{
-    capacity_search, hbm_kv_budget_tokens, sharding_sweep, CapacityResult, CapacitySpec,
-    EstimatorCostModel, LengthDistribution, SchedulerKind, ServingConfig, ServingSimulator,
-    ShardingPlanResult, ShardingSearchSpec, SloTarget, WorkloadSpec,
+    capacity_search, capacity_search_warm, hbm_kv_budget_tokens, sharded_kv_budget_tokens,
+    sharding_sweep, CapacityResult, CapacitySpec, EstimatorCostModel, LengthDistribution,
+    SchedulerKind, ServingConfig, ServingReport, ServingSimulator, ShardingPlanResult,
+    ShardingSearchSpec, SharedPrefixChatSpec, SloTarget, WorkloadSpec,
 };
 
 use crate::json::Json;
@@ -648,6 +649,280 @@ pub fn sharding_results() -> Json {
     ])
 }
 
+/// Sessions of the shared-prefix capacity trace (shrunk in debug builds so
+/// plain `cargo test` stays fast; the committed baseline is regenerated in
+/// release mode).
+const PAGED_SESSIONS: usize = if cfg!(debug_assertions) { 10 } else { 24 };
+/// Turns per conversation of the shared-prefix trace.
+const PAGED_TURNS: usize = 3;
+/// Tokens per KV block of the paged policies.
+const PAGED_BLOCK_SIZE: usize = 32;
+/// Bisection refinements of the paged capacity searches.
+const PAGED_SEARCH_ITERATIONS: usize = if cfg!(debug_assertions) { 3 } else { 6 };
+/// Decode batch limit of the paged experiment's replica.
+const PAGED_MAX_BATCH: usize = 16;
+/// Session rate of the fixed-load policy comparison (sessions/sec).
+const PAGED_DETAIL_RATE: f64 = 0.25;
+/// KV-token pool of the deliberately overloaded preemption scenario —
+/// small enough that even with the 512-token system prompt shared, the
+/// concurrent turn-1 wave cannot fit its private suffixes.
+const PAGED_OVERLOAD_BUDGET_TOKENS: usize = 2_048;
+/// Session rate of the overload scenario (far beyond its tiny pool).
+const PAGED_OVERLOAD_RATE: f64 = 4.0;
+
+/// The shared-prefix conversation workload of `bench_paged` (the rate is
+/// substituted per capacity probe).
+fn paged_workload() -> SharedPrefixChatSpec {
+    SharedPrefixChatSpec {
+        turns_per_session: PAGED_TURNS,
+        ..SharedPrefixChatSpec::fleet(1.0, PAGED_SESSIONS, 29)
+    }
+}
+
+/// The three admission policies `bench_paged` compares on one replica.
+fn paged_policies(budget: usize) -> [(&'static str, ServingConfig); 3] {
+    let reserve = ServingConfig::continuous(PAGED_MAX_BATCH, budget);
+    let paged = ServingConfig::paged(PAGED_MAX_BATCH, budget, PAGED_BLOCK_SIZE);
+    [
+        ("reserve", reserve),
+        ("paged", paged),
+        ("paged+prefix", paged.with_prefix_sharing(true)),
+    ]
+}
+
+/// One serving run of the shared-prefix trace under `config`, for the
+/// fixed-load and overload rows.
+fn paged_detail_run(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    engine: Engine,
+    config: &ServingConfig,
+    rate: f64,
+) -> ServingReport {
+    let trace = paged_workload().with_rate(rate).generate();
+    let cost = EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine);
+    ServingSimulator::new(cost, *config).run(&trace)
+}
+
+/// The JSON row of one fixed-load policy run, including the paged-KV
+/// counters when the policy has them.
+fn paged_detail_row(label: &str, slo: &SloTarget, report: &ServingReport) -> Json {
+    let metrics = report.metrics();
+    let mut row = vec![
+        ("policy", Json::str(label)),
+        ("completed", num(report.completed() as f64)),
+        ("rejected", num(report.rejected as f64)),
+        ("goodput_rps", num(report.goodput_rps(slo))),
+        ("p99_ttft_s", num(metrics.ttft.p99_s)),
+        ("p99_tpot_ms", num(metrics.tpot.p99_s * 1e3)),
+        ("mean_kv_occupancy", num(report.mean_kv_occupancy)),
+        (
+            "peak_kv_occupied_tokens",
+            num(report.peak_kv_occupied_tokens as f64),
+        ),
+    ];
+    if let Some(paged) = &report.paged {
+        row.push(("prefix_hit_rate", num(paged.prefix_hit_rate())));
+        row.push(("preemptions", num(paged.preemptions as f64)));
+        row.push(("mean_block_utilization", num(paged.mean_block_utilization)));
+        row.push((
+            "mean_internal_fragmentation",
+            num(paged.mean_internal_fragmentation),
+        ));
+    }
+    Json::obj(row)
+}
+
+/// The capacity matrix of `bench_paged` — shard plan × engine × policy —
+/// plus the headline sentence for the (TP1, DECA) cell.
+fn paged_capacity_matrix(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    slo: &SloTarget,
+) -> (Vec<Json>, String) {
+    let spec = CapacitySpec {
+        slo: *slo,
+        requests: PAGED_SESSIONS * PAGED_TURNS,
+        seed: 29,
+        min_rate: 0.05,
+        max_rate: 16.0,
+        iterations: PAGED_SEARCH_ITERATIONS,
+    };
+    let workload = paged_workload();
+    let mut shard_rows = Vec::new();
+    let mut headline = String::new();
+    for (shard_label, shard, interconnect) in [
+        ("TP1", ShardSpec::single(), InterconnectModel::zero_cost()),
+        ("TP2", ShardSpec::tp(2), InterconnectModel::spr_upi()),
+    ] {
+        let budget =
+            sharded_kv_budget_tokens(model, scheme, &shard).expect("Q8_5% fits every probed plan");
+        let mut engine_rows = Vec::new();
+        for (engine_label, engine) in [
+            ("software", Engine::software()),
+            ("deca", Engine::deca_default()),
+        ] {
+            let mut policy_rows = Vec::new();
+            let mut capacities = Vec::new();
+            // One warm cost model across the three policy searches: its
+            // latencies are pure functions of (batch, context), so the
+            // memoized estimator queries are shared, not re-derived.
+            let mut cost = EstimatorCostModel::sharded(
+                machine.clone(),
+                model.clone(),
+                *scheme,
+                engine,
+                shard,
+                interconnect,
+            );
+            for (policy_label, config) in paged_policies(budget) {
+                let result = capacity_search_warm(&mut cost, &config, &spec, |rate| {
+                    workload.with_rate(rate).generate()
+                });
+                capacities.push(result.max_rate_rps);
+                policy_rows.push(Json::obj(vec![
+                    ("policy", Json::str(policy_label)),
+                    ("sessions_per_sec", num(result.max_rate_rps)),
+                    ("p99_ttft_s", num(result.p99_ttft_s)),
+                    ("p99_tpot_ms", num(result.p99_tpot_s * 1e3)),
+                    ("goodput_rps", num(result.goodput_rps)),
+                ]));
+            }
+            if shard_label == "TP1" && engine_label == "deca" {
+                headline = format!(
+                    "on a shared-prefix chat trace at the interactive p99 SLO, paged+prefix \
+                     admission serves {:.2}x the sessions/sec of reserve-up-front on one DECA \
+                     socket ({:.2} vs {:.2} sessions/s, {} Q8_5%)",
+                    capacities[2] / capacities[0].max(1e-9),
+                    capacities[2],
+                    capacities[0],
+                    model.name(),
+                );
+            }
+            let mut engine_row = vec![
+                ("engine", Json::str(engine_label)),
+                ("policies", Json::Arr(policy_rows)),
+            ];
+            // Reserve-up-front may fail the SLO at every probed rate (the
+            // software engine cannot prefill whole conversations fast
+            // enough); mirror Table 4's empty cell instead of a
+            // divide-by-zero ratio.
+            if capacities[0] > 0.0 {
+                engine_row.push((
+                    "paged_prefix_vs_reserve",
+                    num(capacities[2] / capacities[0]),
+                ));
+            }
+            engine_rows.push(Json::obj(engine_row));
+        }
+        shard_rows.push(Json::obj(vec![
+            ("plan", Json::str(shard_label)),
+            ("kv_budget_tokens", num(budget as f64)),
+            ("total_blocks", num((budget / PAGED_BLOCK_SIZE) as f64)),
+            ("engines", Json::Arr(engine_rows)),
+        ]));
+    }
+    (shard_rows, headline)
+}
+
+/// The overload row of `bench_paged`: a deliberately tiny pool under a
+/// high session rate forces allocation failures, so preemption-by-
+/// recompute (and prefix-cache eviction) must fire — and the run must
+/// still conserve the trace.
+fn paged_overload_row(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+) -> Json {
+    let config = ServingConfig::paged(
+        PAGED_MAX_BATCH,
+        PAGED_OVERLOAD_BUDGET_TOKENS,
+        PAGED_BLOCK_SIZE,
+    )
+    .with_prefix_sharing(true);
+    let overload = paged_detail_run(
+        machine,
+        model,
+        scheme,
+        Engine::deca_default(),
+        &config,
+        PAGED_OVERLOAD_RATE,
+    );
+    let paged = overload.paged.expect("paged run");
+    Json::obj(vec![
+        ("kv_budget_tokens", num(PAGED_OVERLOAD_BUDGET_TOKENS as f64)),
+        ("sessions_per_sec", num(PAGED_OVERLOAD_RATE)),
+        ("offered", num((PAGED_SESSIONS * PAGED_TURNS) as f64)),
+        ("completed", num(overload.completed() as f64)),
+        ("rejected", num(overload.rejected as f64)),
+        ("preemptions", num(paged.preemptions as f64)),
+        ("cache_evictions", num(paged.cache_evictions as f64)),
+        ("prefix_hit_rate", num(paged.prefix_hit_rate())),
+        (
+            "peak_allocated_blocks",
+            num(paged.peak_allocated_blocks as f64),
+        ),
+    ])
+}
+
+/// The paged-KV experiment (`bench_paged`): on a shared-prefix
+/// conversation trace, the session rate one replica sustains at the
+/// interactive p99 SLO under reserve-up-front vs paged vs paged+prefix
+/// admission — software decompression and DECA, single-socket and TP2 —
+/// plus a fixed-load utilization/hit-rate comparison and a deliberately
+/// overloaded small-pool scenario that exercises preemption-by-recompute.
+/// Fully deterministic (only the surrounding `wall_ms` is volatile).
+#[must_use]
+pub fn paged_results() -> Json {
+    let machine = MachineConfig::spr_hbm();
+    let model = LlmModel::llama2_70b();
+    let scheme = CompressionScheme::bf8_sparse(0.05);
+    let slo = SloTarget::interactive();
+    let (shard_rows, headline) = paged_capacity_matrix(&machine, &model, &scheme, &slo);
+
+    // Fixed-load comparison (DECA, single socket): utilization, prefix hit
+    // rate, and tail latency of the three policies at the same rate.
+    let budget = hbm_kv_budget_tokens(&model, &scheme).expect("Q8_5% fits");
+    let detail_rows: Vec<Json> = paged_policies(budget)
+        .iter()
+        .map(|(label, config)| {
+            let report = paged_detail_run(
+                &machine,
+                &model,
+                &scheme,
+                Engine::deca_default(),
+                config,
+                PAGED_DETAIL_RATE,
+            );
+            paged_detail_row(label, &slo, &report)
+        })
+        .collect();
+    let overload_row = paged_overload_row(&machine, &model, &scheme);
+
+    Json::obj(vec![
+        ("machine", Json::str(machine.name.clone())),
+        ("model", Json::str(model.name().to_string())),
+        ("scheme", Json::str(scheme.label())),
+        ("block_size", num(PAGED_BLOCK_SIZE as f64)),
+        ("max_batch", num(PAGED_MAX_BATCH as f64)),
+        ("slo_ttft_s", num(slo.ttft_s)),
+        ("slo_tpot_ms", num(slo.tpot_s * 1e3)),
+        ("sessions", num(PAGED_SESSIONS as f64)),
+        ("turns_per_session", num(PAGED_TURNS as f64)),
+        (
+            "system_prompt_tokens",
+            num(paged_workload().system_prompt_tokens as f64),
+        ),
+        ("capacity", Json::Arr(shard_rows)),
+        ("headline", Json::str(headline)),
+        ("detail_rate_sessions_per_sec", num(PAGED_DETAIL_RATE)),
+        ("detail", Json::Arr(detail_rows)),
+        ("overload", overload_row),
+    ])
+}
+
 /// Runs every baseline experiment, recording wall time per experiment, and
 /// assembles the full document.
 #[must_use]
@@ -660,6 +935,7 @@ pub fn collect() -> Json {
         ("bench_engines", engine_results),
         ("bench_serving", serving_results),
         ("bench_sharding", sharding_results),
+        ("bench_paged", paged_results),
     ];
     let mut records = Vec::new();
     for (name, run) in experiments {
@@ -717,7 +993,8 @@ mod tests {
                 "llm_latency",
                 "bench_engines",
                 "bench_serving",
-                "bench_sharding"
+                "bench_sharding",
+                "bench_paged"
             ]
         );
         for experiment in experiments {
@@ -865,6 +1142,88 @@ mod tests {
             Json::Str(s) => assert!(s.contains("sockets"), "{s}"),
             other => panic!("headline must be a string, got {other:?}"),
         }
+    }
+
+    /// The paged experiment's acceptance shape: paged+prefix serves
+    /// strictly more sessions/sec at the p99 SLO than reserve-up-front on
+    /// the shared-prefix trace (every engine × sharding cell), the prefix
+    /// hit rate is positive, and the overload scenario exercises the
+    /// preemption counters while conserving the trace.
+    #[test]
+    fn paged_results_show_the_paged_prefix_capacity_win() {
+        let paged = paged_results();
+        let Json::Arr(shards) = find(&paged, "capacity") else {
+            panic!("capacity must be an array");
+        };
+        assert_eq!(shards.len(), 2, "TP1 and TP2");
+        for shard in shards {
+            let Json::Arr(engines) = find(shard, "engines") else {
+                panic!("engines must be an array");
+            };
+            assert_eq!(engines.len(), 2, "software and DECA");
+            for engine_row in engines {
+                let Json::Arr(policies) = find(engine_row, "policies") else {
+                    panic!("policies must be an array");
+                };
+                assert_eq!(policies.len(), 3);
+                let rate = |row: &Json| match find(row, "sessions_per_sec") {
+                    Json::Num(v) => *v,
+                    other => panic!("sessions_per_sec must be a number, got {other:?}"),
+                };
+                let reserve = rate(&policies[0]);
+                let paged_only = rate(&policies[1]);
+                let paged_prefix = rate(&policies[2]);
+                assert!(
+                    paged_prefix > reserve,
+                    "paged+prefix ({paged_prefix}) must beat reserve ({reserve})"
+                );
+                assert!(
+                    paged_only >= reserve,
+                    "paged ({paged_only}) must not lose to reserve ({reserve})"
+                );
+                // The ratio is present exactly when reserve-up-front met
+                // the SLO at all, and is then strictly above 1.
+                match (
+                    reserve > 0.0,
+                    try_find(engine_row, "paged_prefix_vs_reserve"),
+                ) {
+                    (true, Some(Json::Num(ratio))) => assert!(*ratio > 1.0, "ratio {ratio}"),
+                    (false, None) => {}
+                    (present, ratio) => {
+                        panic!("reserve>0 = {present} inconsistent with ratio {ratio:?}")
+                    }
+                }
+            }
+        }
+        match find(&paged, "headline") {
+            Json::Str(s) => assert!(s.contains("paged+prefix"), "{s}"),
+            other => panic!("headline must be a string, got {other:?}"),
+        }
+        // The fixed-load detail reports a positive hit rate for the
+        // prefix-sharing policy (and only for it).
+        let Json::Arr(detail) = find(&paged, "detail") else {
+            panic!("detail must be an array");
+        };
+        assert_eq!(detail.len(), 3);
+        match find(&detail[2], "prefix_hit_rate") {
+            Json::Num(rate) => assert!(*rate > 0.0, "hit rate {rate}"),
+            other => panic!("prefix_hit_rate must be a number, got {other:?}"),
+        }
+        match find(&detail[1], "prefix_hit_rate") {
+            Json::Num(rate) => assert_eq!(*rate, 0.0, "no sharing, no hits"),
+            other => panic!("prefix_hit_rate must be a number, got {other:?}"),
+        }
+        // Overload: preemptions fired and the trace is conserved.
+        let overload = find(&paged, "overload");
+        match find(overload, "preemptions") {
+            Json::Num(n) => assert!(*n > 0.0, "preemptions {n}"),
+            other => panic!("preemptions must be a number, got {other:?}"),
+        }
+        let count = |key: &str| match find(overload, key) {
+            Json::Num(v) => *v,
+            other => panic!("{key} must be a number, got {other:?}"),
+        };
+        assert_eq!(count("completed") + count("rejected"), count("offered"));
     }
 
     #[test]

@@ -90,6 +90,24 @@ pub fn max_kv_tokens(model: &LlmModel, scheme: &CompressionScheme) -> Option<u64
     Some((headroom / per_token) as u64)
 }
 
+/// The number of whole KV-cache *blocks* of `block_size` tokens the HBM
+/// headroom sustains — the pool size of `deca-serve`'s paged allocator —
+/// or `None` when the weights alone do not fit. Rounds down: a partial
+/// block cannot be allocated.
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+#[must_use]
+pub fn max_kv_blocks(
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    block_size: usize,
+) -> Option<u64> {
+    assert!(block_size > 0, "block size must be positive");
+    max_kv_tokens(model, scheme).map(|tokens| tokens / block_size as u64)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +195,22 @@ mod tests {
         assert!(hbm_headroom_bytes(&zero_layers, &scheme) > 0.0);
         // ...but the per-token KV cost is zero: no meaningful budget exists.
         assert_eq!(max_kv_tokens(&zero_layers, &scheme), None);
+    }
+
+    #[test]
+    fn block_budget_is_the_token_budget_in_whole_blocks() {
+        let llama = LlmModel::llama2_70b();
+        let q8_5 = CompressionScheme::bf8_sparse(0.05);
+        let tokens = max_kv_tokens(&llama, &q8_5).expect("fits");
+        let blocks = max_kv_blocks(&llama, &q8_5, 16).expect("fits");
+        assert_eq!(blocks, tokens / 16);
+        // Block size 1 degenerates to the token budget.
+        assert_eq!(max_kv_blocks(&llama, &q8_5, 1), Some(tokens));
+        // No weights fit ⇒ no block pool either.
+        assert_eq!(
+            max_kv_blocks(&llama, &CompressionScheme::bf16_dense(), 16),
+            None
+        );
     }
 
     #[test]

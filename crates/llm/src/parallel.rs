@@ -638,6 +638,25 @@ pub fn sharded_max_kv_tokens(
     Some(budget)
 }
 
+/// The fleet-wide KV-cache *block* budget under a plan (the paged
+/// allocator's pool size for a sharded replica): the sharded token budget
+/// in whole blocks of `block_size` tokens, rounded down. `None` exactly
+/// when [`sharded_max_kv_tokens`] is `None`.
+///
+/// # Panics
+///
+/// Panics if `block_size` is zero.
+#[must_use]
+pub fn sharded_max_kv_blocks(
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    spec: &ShardSpec,
+    block_size: usize,
+) -> Option<u64> {
+    assert!(block_size > 0, "block size must be positive");
+    sharded_max_kv_tokens(model, scheme, spec).map(|tokens| tokens / block_size as u64)
+}
+
 /// Whether the weight shards *and* the sharded KV cache of `batch`
 /// sequences at `context_tokens` fit on every socket of the plan.
 #[must_use]
@@ -724,6 +743,29 @@ mod tests {
                 base_p.total_seconds().to_bits()
             );
         }
+    }
+
+    #[test]
+    fn sharded_block_budget_is_the_sharded_token_budget_in_whole_blocks() {
+        let model = LlmModel::llama2_70b();
+        let q8 = CompressionScheme::bf8_dense();
+        // Dense Q8 does not fit one socket: no tokens, no blocks.
+        assert_eq!(
+            sharded_max_kv_blocks(&model, &q8, &ShardSpec::single(), 16),
+            None
+        );
+        let tp2 = ShardSpec::tp(2);
+        let tokens = sharded_max_kv_tokens(&model, &q8, &tp2).expect("TP2 fits");
+        assert_eq!(
+            sharded_max_kv_blocks(&model, &q8, &tp2, 16),
+            Some(tokens / 16)
+        );
+        // Single socket + block size 1 reduces to the unsharded token budget.
+        let q8_5 = CompressionScheme::bf8_sparse(0.05);
+        assert_eq!(
+            sharded_max_kv_blocks(&model, &q8_5, &ShardSpec::single(), 1),
+            footprint::max_kv_tokens(&model, &q8_5)
+        );
     }
 
     #[test]

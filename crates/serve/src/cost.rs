@@ -29,6 +29,19 @@ pub trait ServingCostModel {
     /// batch of `batch` sequences whose longest context is
     /// `max_context_tokens`. Must be strictly positive.
     fn decode_step_seconds(&mut self, batch: usize, max_context_tokens: usize) -> f64;
+
+    /// Seconds to prefill a `prompt_tokens`-token prompt whose first
+    /// `cached_prefix_tokens` tokens are already resident in the KV cache
+    /// (a paged-scheduler prefix hit): only the uncached suffix is
+    /// processed. The default prices the suffix as a *fresh* prompt, which
+    /// under-prices it — a real cached-prefix prefill still attends over
+    /// the cached context — so implementations that can express prior
+    /// context should override it, as [`EstimatorCostModel`] does to
+    /// charge the suffix's attention against the cached tokens too.
+    fn prefill_seconds_cached(&mut self, prompt_tokens: usize, cached_prefix_tokens: usize) -> f64 {
+        let uncached = prompt_tokens.saturating_sub(cached_prefix_tokens);
+        self.prefill_seconds(uncached)
+    }
 }
 
 /// Contexts are bucketed (rounded up) to this granularity before hitting
@@ -61,6 +74,7 @@ pub struct EstimatorCostModel {
     engine: Engine,
     decode_cache: HashMap<(usize, usize), f64>,
     prefill_cache: HashMap<usize, f64>,
+    cached_prefill_cache: HashMap<(usize, usize), f64>,
 }
 
 impl EstimatorCostModel {
@@ -102,6 +116,7 @@ impl EstimatorCostModel {
             engine,
             decode_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
+            cached_prefill_cache: HashMap::new(),
         }
     }
 
@@ -155,6 +170,27 @@ impl ServingCostModel for EstimatorCostModel {
             .next_token(&self.model, &self.scheme, self.engine, batch, context)
             .total_seconds();
         self.decode_cache.insert((batch, context), seconds);
+        seconds
+    }
+
+    fn prefill_seconds_cached(&mut self, prompt_tokens: usize, cached_prefix_tokens: usize) -> f64 {
+        let cached = cached_prefix_tokens.min(prompt_tokens.saturating_sub(1));
+        if cached == 0 {
+            return self.prefill_seconds(prompt_tokens);
+        }
+        // Only the uncached suffix streams through the FC GeMMs, but its
+        // attention still reads the cached context — the estimator's
+        // `context_tokens` argument prices exactly that.
+        let suffix = bucket_up(prompt_tokens - cached, PROMPT_BUCKET_TOKENS);
+        let context = bucket_up(cached, CONTEXT_BUCKET_TOKENS);
+        if let Some(&seconds) = self.cached_prefill_cache.get(&(suffix, context)) {
+            return seconds;
+        }
+        let seconds = self
+            .estimator
+            .prefill(&self.model, &self.scheme, self.engine, suffix, context)
+            .total_seconds();
+        self.cached_prefill_cache.insert((suffix, context), seconds);
         seconds
     }
 }

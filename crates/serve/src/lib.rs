@@ -11,18 +11,33 @@
 //! The pieces:
 //!
 //! * [`workload`] — Poisson and bursty arrival processes, prompt/output
-//!   length distributions, and the replayable [`RequestTrace`],
+//!   length distributions, the replayable [`RequestTrace`], deterministic
+//!   per-request [`TokenStream`] token ids, and the shared-prefix chat
+//!   workload ([`SharedPrefixChatSpec`]) whose conversations share system
+//!   prompts and carry their transcripts forward,
 //! * [`cost`] — the [`ServingCostModel`] trait: prefill cost (new in
-//!   `deca-llm` for this layer) and per-step decode cost, memoized in
-//!   [`EstimatorCostModel`],
+//!   `deca-llm` for this layer), per-step decode cost, and the
+//!   cached-prefix prefill query that prices only a prompt's uncached
+//!   suffix, memoized in [`EstimatorCostModel`],
+//! * [`kv`] — the paged KV-cache layer: a fixed-pool, ref-counted
+//!   [`BlockAllocator`] of block-granular token slots (alloc/free/fork and
+//!   copy-on-write), sized from [`deca_llm::footprint::max_kv_tokens`],
+//! * [`prefix`] — a radix-tree [`PrefixCache`] over token-id prefixes with
+//!   copy-on-write block sharing and LRU eviction of unreferenced blocks,
 //! * [`scheduler`] — vLLM/Orca-style continuous batching (admission at
-//!   token boundaries against an HBM-derived KV budget) and the static
-//!   run-to-completion baseline,
+//!   token boundaries against an HBM-derived KV budget), the static
+//!   run-to-completion baseline, and the paged policy
+//!   ([`SchedulerKind::PagedContinuous`]): admission on *current* need,
+//!   on-demand block allocation per decode step, prefix-hit prefill
+//!   skipping, and preempt-by-recompute when the pool runs dry — with
+//!   preemption/eviction/hit-rate counters in [`PagedStats`],
 //! * [`metrics`] — per-request TTFT / TPOT / end-to-end records,
 //!   percentile summaries, and SLO goodput,
 //! * [`sweep`] — multi-replica fleets, the p99-SLO capacity search that
 //!   reports requests/sec per socket for DECA versus software
-//!   decompression, and the sharding sweep (`deca_llm::parallel` TP/PP
+//!   decompression (generalized by [`capacity_search_with`] to any cost
+//!   model, any admission policy — including the paged one — and any
+//!   workload family), and the sharding sweep (`deca_llm::parallel` TP/PP
 //!   plans over an interconnect model) that finds the minimum socket count
 //!   holding a KV working set while meeting the p99 SLO — making schemes
 //!   that overflow one socket's HBM servable at TP ≥ 2.
@@ -58,17 +73,27 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod kv;
 pub mod metrics;
+pub mod prefix;
 pub mod scheduler;
 pub mod sweep;
 pub mod workload;
 
 pub use cost::{EstimatorCostModel, LinearCostModel, ServingCostModel};
+pub use kv::{AllocatorStats, BlockAllocator, BlockId};
 pub use metrics::{LatencySummary, RequestRecord, ServingMetrics, SloTarget};
-pub use scheduler::{SchedulerKind, ServingConfig, ServingReport, ServingSimulator};
-pub use sweep::{
-    capacity_search, hbm_kv_budget_tokens, min_sockets_for_slo, sharded_kv_budget_tokens,
-    sharding_sweep, simulate_fleet, simulate_fleet_with, CapacityResult, CapacitySpec, FleetReport,
-    ShardingPlanResult, ShardingSearchSpec,
+pub use prefix::{PrefixCache, PrefixCacheStats};
+pub use scheduler::{
+    PagedStats, SchedulerKind, ServingConfig, ServingReport, ServingSimulator, DEFAULT_BLOCK_SIZE,
 };
-pub use workload::{ArrivalProcess, LengthDistribution, Request, RequestTrace, WorkloadSpec};
+pub use sweep::{
+    capacity_search, capacity_search_warm, capacity_search_with, hbm_kv_budget_tokens,
+    min_sockets_for_slo, sharded_kv_budget_tokens, sharding_sweep, simulate_fleet,
+    simulate_fleet_with, CapacityResult, CapacitySpec, FleetReport, ShardingPlanResult,
+    ShardingSearchSpec,
+};
+pub use workload::{
+    ArrivalProcess, LengthDistribution, Request, RequestTrace, SharedPrefixChatSpec, TokenStream,
+    WorkloadSpec,
+};

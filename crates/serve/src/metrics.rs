@@ -155,15 +155,29 @@ pub struct ServingMetrics {
     pub e2e: LatencySummary,
 }
 
+/// The divisor rate metrics use for a run of `makespan_s` seconds: a
+/// degenerate makespan — zero (an all-rejected or empty run completes no
+/// request and never advances the clock), negative, or non-finite — is
+/// replaced by `EPSILON` so throughput and goodput stay finite (and, with
+/// an empty numerator, exactly zero) instead of going NaN or infinite.
+fn positive_span(makespan_s: f64) -> f64 {
+    if makespan_s.is_finite() && makespan_s > 0.0 {
+        makespan_s
+    } else {
+        f64::EPSILON
+    }
+}
+
 impl ServingMetrics {
-    /// Builds the metrics of a completed-request population.
+    /// Builds the metrics of a completed-request population. Guaranteed
+    /// finite even for the all-rejected/empty case (zero makespan).
     #[must_use]
     pub fn from_records(records: &[RequestRecord], rejected: usize, makespan_s: f64) -> Self {
         let ttft: Vec<f64> = records.iter().map(RequestRecord::ttft_s).collect();
         let tpot: Vec<f64> = records.iter().map(RequestRecord::tpot_s).collect();
         let e2e: Vec<f64> = records.iter().map(RequestRecord::e2e_s).collect();
         let tokens: u64 = records.iter().map(|r| r.output_tokens as u64).sum();
-        let span = makespan_s.max(f64::EPSILON);
+        let span = positive_span(makespan_s);
         ServingMetrics {
             completed: records.len(),
             rejected,
@@ -176,11 +190,12 @@ impl ServingMetrics {
         }
     }
 
-    /// Requests per second that met `slo` (goodput).
+    /// Requests per second that met `slo` (goodput). Finite for any
+    /// makespan, zero for an empty population.
     #[must_use]
     pub fn goodput_rps(records: &[RequestRecord], slo: &SloTarget, makespan_s: f64) -> f64 {
         let good = records.iter().filter(|r| slo.met_by(r)).count();
-        good as f64 / makespan_s.max(f64::EPSILON)
+        good as f64 / positive_span(makespan_s)
     }
 }
 
@@ -238,6 +253,29 @@ mod tests {
         assert!(percentile(&values, 100.0).is_nan());
         // A NaN-free sample is untouched by the comparator change.
         assert_eq!(percentile(&[5.0, 1.0, 3.0], 50.0), 3.0);
+    }
+
+    /// Regression: an all-rejected (or empty) run has no records and a
+    /// degenerate makespan; every derived metric must stay finite — zero
+    /// throughput/goodput, not NaN or infinity.
+    #[test]
+    fn all_rejected_runs_produce_finite_metrics() {
+        for makespan in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let metrics = ServingMetrics::from_records(&[], 5, makespan);
+            assert_eq!(metrics.completed, 0);
+            assert_eq!(metrics.rejected, 5);
+            assert!(
+                metrics.throughput_rps.is_finite() && metrics.throughput_rps == 0.0,
+                "throughput {} for makespan {makespan}",
+                metrics.throughput_rps
+            );
+            assert!(metrics.tokens_per_second.is_finite() && metrics.tokens_per_second == 0.0);
+            for summary in [&metrics.ttft, &metrics.tpot, &metrics.e2e] {
+                assert!(summary.p50_s.is_finite() && summary.mean_s.is_finite());
+            }
+            let goodput = ServingMetrics::goodput_rps(&[], &SloTarget::interactive(), makespan);
+            assert!(goodput.is_finite() && goodput == 0.0, "goodput {goodput}");
+        }
     }
 
     #[test]

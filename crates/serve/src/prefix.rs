@@ -1,0 +1,414 @@
+//! Radix-tree prefix cache over token-id prefixes, with block-granular
+//! copy-on-write sharing and LRU eviction of unreferenced blocks.
+//!
+//! SGLang's RadixAttention idea on top of the [`crate::kv`] allocator: the
+//! cache is a radix tree whose edges are whole KV blocks
+//! ([`BlockAllocator::block_size`] token ids each). A request's prompt is
+//! matched block by block from the root; every matched block is shared with
+//! the requesting sequence ([`BlockAllocator::fork`] — refcount sharing is
+//! the copy-on-write mechanism, writers go through
+//! [`BlockAllocator::cow`]), so the prefill only has to process the
+//! *uncached suffix*. After a prefill (and again on completion, when the
+//! generated tokens are known) the sequence's full blocks are inserted, so
+//! later same-session turns and same-system-prompt sessions hit.
+//!
+//! Only *full* blocks enter the tree: partial trailing blocks stay private
+//! to their sequence, which keeps every shared block immutable (sequence
+//! growth always appends at a block boundary or inside a private block).
+//!
+//! # Invariants (enforced by `crates/serve/tests/property_serving.rs`)
+//!
+//! * The cache holds exactly one reference per resident node; a lookup
+//!   hands the *caller* one additional reference per matched block.
+//! * Eviction only touches leaf nodes whose block the cache is the sole
+//!   owner of (`ref_count == 1`): blocks still referenced by a running
+//!   sequence are never reclaimed under it.
+//! * [`PrefixCache::flush`] releases every resident block, so after the
+//!   sequences retire too, the allocator drains to `allocated == 0` and
+//!   all ref-counts return to zero.
+//! * Determinism: ties in the LRU order break on the smaller node id, and
+//!   the eviction scan walks the arena in index order.
+
+use std::collections::HashMap;
+
+use crate::kv::{BlockAllocator, BlockId};
+
+/// Arena index of one radix-tree node.
+type NodeId = usize;
+
+/// The root occupies arena slot 0 and holds no block.
+const ROOT: NodeId = 0;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Token ids of this node's block (the edge label from the parent);
+    /// empty for the root.
+    key: Vec<u64>,
+    /// The KV block backing this node (unused by the root).
+    block: BlockId,
+    parent: NodeId,
+    children: HashMap<Vec<u64>, NodeId>,
+    /// Logical LRU timestamp of the last lookup that traversed this node.
+    last_use: u64,
+}
+
+/// Counters of one cache's lifetime, for [`crate::scheduler::PagedStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PrefixCacheStats {
+    /// Blocks currently resident in the tree.
+    pub resident_blocks: usize,
+    /// Largest resident-block count observed.
+    pub peak_resident_blocks: usize,
+    /// Blocks evicted over the cache's lifetime.
+    pub evictions: u64,
+    /// Blocks inserted over the cache's lifetime.
+    pub insertions: u64,
+}
+
+/// A radix tree of cached KV blocks keyed by token-id prefixes.
+#[derive(Debug, Clone)]
+pub struct PrefixCache {
+    block_size: usize,
+    nodes: Vec<Option<Node>>,
+    recycled: Vec<NodeId>,
+    clock: u64,
+    resident: usize,
+    peak_resident: usize,
+    evictions: u64,
+    insertions: u64,
+}
+
+impl PrefixCache {
+    /// Creates an empty cache over blocks of `block_size` token ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_size` is zero.
+    #[must_use]
+    pub fn new(block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        PrefixCache {
+            block_size,
+            nodes: vec![Some(Node {
+                key: Vec::new(),
+                block: 0,
+                parent: ROOT,
+                children: HashMap::new(),
+                last_use: 0,
+            })],
+            recycled: Vec::new(),
+            clock: 0,
+            resident: 0,
+            peak_resident: 0,
+            evictions: 0,
+            insertions: 0,
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id].as_ref().expect("live node")
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id].as_mut().expect("live node")
+    }
+
+    /// Blocks currently resident in the tree.
+    #[must_use]
+    pub fn resident_blocks(&self) -> usize {
+        self.resident
+    }
+
+    /// Blocks that repeated [`PrefixCache::evict_lru`] calls could free
+    /// right now: the resident blocks the cache is the sole owner of.
+    /// (Sequences hold contiguous root-anchored paths, so a sole-owner
+    /// node can never have a sequence-shared descendant — the sole-owner
+    /// set is exactly the cascade-evictable set.) Lets a caller check an
+    /// allocation is satisfiable *before* sacrificing cache residency.
+    #[must_use]
+    pub fn evictable_blocks(&self, allocator: &BlockAllocator) -> usize {
+        self.nodes[1..]
+            .iter()
+            .flatten()
+            .filter(|node| allocator.ref_count(node.block) == 1)
+            .count()
+    }
+
+    /// Snapshot of the lifetime counters.
+    #[must_use]
+    pub fn stats(&self) -> PrefixCacheStats {
+        PrefixCacheStats {
+            resident_blocks: self.resident,
+            peak_resident_blocks: self.peak_resident,
+            evictions: self.evictions,
+            insertions: self.insertions,
+        }
+    }
+
+    /// Matches the longest cached block-aligned prefix of `tokens` and
+    /// shares every matched block with the caller: each returned block has
+    /// been [`BlockAllocator::fork`]ed once, and the caller owns that
+    /// reference (releases it with [`BlockAllocator::free`]). The cached
+    /// prefix length in tokens is `result.len() * block_size`.
+    pub fn lookup(&mut self, tokens: &[u64], allocator: &mut BlockAllocator) -> Vec<BlockId> {
+        self.clock += 1;
+        let now = self.clock;
+        let mut node = ROOT;
+        let mut matched = Vec::new();
+        for chunk in tokens.chunks_exact(self.block_size) {
+            let Some(&child) = self.node(node).children.get(chunk) else {
+                break;
+            };
+            allocator.fork(self.node(child).block);
+            matched.push(self.node(child).block);
+            self.node_mut(child).last_use = now;
+            node = child;
+        }
+        matched
+    }
+
+    /// Inserts the full blocks of `tokens` (a sequence's prompt, or its
+    /// prompt plus generated output on completion) into the tree. `blocks`
+    /// is the sequence's block list covering at least those tokens. Each
+    /// *newly created* node takes its own reference on the sequence's block
+    /// (the cache's ownership share); blocks whose prefix is already
+    /// resident are left untouched, so duplicates are deduplicated in favor
+    /// of the first writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `blocks` does not cover the full blocks of `tokens`.
+    pub fn insert(&mut self, tokens: &[u64], blocks: &[BlockId], allocator: &mut BlockAllocator) {
+        let full_blocks = tokens.len() / self.block_size;
+        assert!(
+            blocks.len() >= full_blocks,
+            "sequence holds {} blocks but {} full blocks of tokens were offered",
+            blocks.len(),
+            full_blocks
+        );
+        self.clock += 1;
+        let now = self.clock;
+        let mut node = ROOT;
+        for (i, chunk) in tokens.chunks_exact(self.block_size).enumerate() {
+            if let Some(&child) = self.node(node).children.get(chunk) {
+                self.node_mut(child).last_use = now;
+                node = child;
+                continue;
+            }
+            allocator.fork(blocks[i]);
+            let fresh = self.new_node(Node {
+                key: chunk.to_vec(),
+                block: blocks[i],
+                parent: node,
+                children: HashMap::new(),
+                last_use: now,
+            });
+            self.node_mut(node).children.insert(chunk.to_vec(), fresh);
+            self.resident += 1;
+            self.peak_resident = self.peak_resident.max(self.resident);
+            self.insertions += 1;
+            node = fresh;
+        }
+    }
+
+    fn new_node(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.recycled.pop() {
+            self.nodes[id] = Some(node);
+            id
+        } else {
+            self.nodes.push(Some(node));
+            self.nodes.len() - 1
+        }
+    }
+
+    /// Evicts the least-recently-used *evictable* block — a leaf node whose
+    /// block the cache is the sole owner of — freeing it back to the
+    /// allocator. Returns `false` when nothing is evictable (every resident
+    /// block is still shared with a running sequence, or the tree is
+    /// empty).
+    pub fn evict_lru(&mut self, allocator: &mut BlockAllocator) -> bool {
+        let mut victim: Option<(u64, NodeId)> = None;
+        // Arena-order scan: deterministic, and O(nodes) is cheap at
+        // simulation scale.
+        for id in 1..self.nodes.len() {
+            let Some(node) = self.nodes[id].as_ref() else {
+                continue;
+            };
+            if !node.children.is_empty() || allocator.ref_count(node.block) != 1 {
+                continue;
+            }
+            let candidate = (node.last_use, id);
+            if victim.is_none_or(|best| candidate < best) {
+                victim = Some(candidate);
+            }
+        }
+        let Some((_, id)) = victim else {
+            return false;
+        };
+        let node = self.nodes[id].take().expect("victim is live");
+        self.node_mut(node.parent).children.remove(&node.key);
+        allocator.free(node.block);
+        self.recycled.push(id);
+        self.resident -= 1;
+        self.evictions += 1;
+        true
+    }
+
+    /// Releases every resident block the cache is the sole owner of (leaf
+    /// first, so whole chains drain). Blocks still shared with running
+    /// sequences stay resident.
+    pub fn flush(&mut self, allocator: &mut BlockAllocator) {
+        while self.evict_lru(allocator) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(range: std::ops::Range<u64>) -> Vec<u64> {
+        range.collect()
+    }
+
+    /// Allocates `n` private blocks for a sequence.
+    fn seq_blocks(pool: &mut BlockAllocator, n: usize) -> Vec<BlockId> {
+        (0..n).map(|_| pool.alloc().unwrap()).collect()
+    }
+
+    #[test]
+    fn lookup_misses_then_hits_after_insert() {
+        let mut pool = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new(4);
+        let tokens = ids(0..10); // 2 full blocks + 2 trailing tokens
+        assert!(cache.lookup(&tokens, &mut pool).is_empty());
+
+        let blocks = seq_blocks(&mut pool, 3);
+        cache.insert(&tokens, &blocks, &mut pool);
+        assert_eq!(cache.resident_blocks(), 2, "only full blocks are cached");
+        // The cache holds one extra ref on each inserted block.
+        assert_eq!(pool.ref_count(blocks[0]), 2);
+        assert_eq!(pool.ref_count(blocks[2]), 1, "partial block stays private");
+
+        let matched = cache.lookup(&tokens, &mut pool);
+        assert_eq!(matched, vec![blocks[0], blocks[1]]);
+        // The lookup handed us one more reference per matched block.
+        assert_eq!(pool.ref_count(blocks[0]), 3);
+        for block in matched {
+            pool.free(block);
+        }
+    }
+
+    #[test]
+    fn divergent_suffixes_share_the_common_prefix_only() {
+        let mut pool = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new(4);
+        let a: Vec<u64> = [0, 1, 2, 3, 10, 11, 12, 13].to_vec();
+        let b: Vec<u64> = [0, 1, 2, 3, 20, 21, 22, 23].to_vec();
+        let blocks_a = seq_blocks(&mut pool, 2);
+        cache.insert(&a, &blocks_a, &mut pool);
+        let blocks_b = seq_blocks(&mut pool, 2);
+        cache.insert(&b, &blocks_b, &mut pool);
+        // b's first block duplicated a's resident prefix: not re-inserted.
+        assert_eq!(cache.resident_blocks(), 3);
+        assert_eq!(pool.ref_count(blocks_b[0]), 1, "duplicate stays private");
+
+        let matched = cache.lookup(&b, &mut pool);
+        assert_eq!(matched, vec![blocks_a[0], blocks_b[1]]);
+        for block in matched {
+            pool.free(block);
+        }
+    }
+
+    #[test]
+    fn eviction_is_lru_leaf_first_and_spares_shared_blocks() {
+        let mut pool = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new(4);
+        let chain = ids(0..8); // parent block + child block
+        let blocks = seq_blocks(&mut pool, 2);
+        cache.insert(&chain, &blocks, &mut pool);
+        // Release the sequence's own refs: cache is the sole owner.
+        pool.free(blocks[0]);
+        pool.free(blocks[1]);
+        assert_eq!(pool.allocated_blocks(), 2);
+
+        // The parent is not a leaf: the child must go first.
+        assert!(cache.evict_lru(&mut pool));
+        assert_eq!(cache.resident_blocks(), 1);
+        assert_eq!(pool.ref_count(blocks[1]), 0);
+        assert_eq!(pool.ref_count(blocks[0]), 1, "parent still cached");
+
+        // A block shared with a "running sequence" is not evictable.
+        pool.fork(blocks[0]);
+        assert!(!cache.evict_lru(&mut pool));
+        pool.free(blocks[0]);
+        assert!(cache.evict_lru(&mut pool));
+        assert_eq!(pool.allocated_blocks(), 0);
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn lru_order_follows_lookups() {
+        let mut pool = BlockAllocator::new(2, 16);
+        let mut cache = PrefixCache::new(2);
+        let a: Vec<u64> = vec![1, 2];
+        let b: Vec<u64> = vec![3, 4];
+        let blocks_a = seq_blocks(&mut pool, 1);
+        cache.insert(&a, &blocks_a, &mut pool);
+        let blocks_b = seq_blocks(&mut pool, 1);
+        cache.insert(&b, &blocks_b, &mut pool);
+        pool.free(blocks_a[0]);
+        pool.free(blocks_b[0]);
+        // Touch `a`: `b` becomes the LRU victim.
+        for block in cache.lookup(&a, &mut pool) {
+            pool.free(block);
+        }
+        assert!(cache.evict_lru(&mut pool));
+        assert_eq!(pool.ref_count(blocks_b[0]), 0, "b evicted first");
+        assert_eq!(pool.ref_count(blocks_a[0]), 1);
+    }
+
+    #[test]
+    fn evictable_blocks_counts_exactly_the_sole_owner_residents() {
+        let mut pool = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new(4);
+        let tokens = ids(0..12); // 3 full blocks in a chain
+        let blocks = seq_blocks(&mut pool, 3);
+        cache.insert(&tokens, &blocks, &mut pool);
+        // The sequence still holds all three: nothing is evictable.
+        assert_eq!(cache.evictable_blocks(&pool), 0);
+        // Sequence releases its path: the whole chain becomes evictable
+        // (the count is the cascade total, not just current leaves).
+        for &block in &blocks {
+            pool.free(block);
+        }
+        assert_eq!(cache.evictable_blocks(&pool), 3);
+        // A sequence re-sharing a prefix pins that path again.
+        let matched = cache.lookup(&ids(0..8), &mut pool);
+        assert_eq!(matched.len(), 2);
+        assert_eq!(cache.evictable_blocks(&pool), 1);
+        // And the count is exactly what eviction can deliver.
+        assert!(cache.evict_lru(&mut pool));
+        assert!(!cache.evict_lru(&mut pool));
+        for block in matched {
+            pool.free(block);
+        }
+    }
+
+    #[test]
+    fn flush_drains_everything_unshared() {
+        let mut pool = BlockAllocator::new(4, 32);
+        let mut cache = PrefixCache::new(4);
+        for stream in 0..4u64 {
+            let tokens: Vec<u64> = (0..12).map(|p| stream * 100 + p).collect();
+            let blocks = seq_blocks(&mut pool, 3);
+            cache.insert(&tokens, &blocks, &mut pool);
+            for block in blocks {
+                pool.free(block);
+            }
+        }
+        assert_eq!(cache.resident_blocks(), 12);
+        cache.flush(&mut pool);
+        assert_eq!(cache.resident_blocks(), 0);
+        assert_eq!(pool.allocated_blocks(), 0);
+    }
+}

@@ -1,28 +1,40 @@
-//! The serving schedulers: vLLM/Orca-style continuous batching and the
-//! classic static (run-to-completion) batching baseline.
+//! The serving schedulers: vLLM/Orca-style continuous batching, the paged
+//! (PagedAttention-style) variant on the block allocator, and the classic
+//! static (run-to-completion) batching baseline.
 //!
-//! Both are discrete-event simulations at token-step granularity. The
+//! All are discrete-event simulations at token-step granularity. The
 //! engine alternates *prefill steps* (process the prompts of newly admitted
 //! requests — prefill-prioritized, as in vLLM's default policy) and *decode
-//! steps* (one token for every running sequence). Admission reserves a
-//! request's whole KV footprint (`prompt + output` tokens) up front, so the
-//! KV-cache budget can never be exceeded and no preemption is needed.
+//! steps* (one token for every running sequence). The reserve-up-front
+//! policies admit against a request's whole `prompt + output` footprint, so
+//! the KV-cache budget can never be exceeded and no preemption is needed;
+//! [`SchedulerKind::PagedContinuous`] admits on *current* need, allocates
+//! [`crate::kv`] blocks on demand as sequences grow, shares prompt
+//! prefixes through the [`crate::prefix`] radix cache, and preempts by
+//! recompute when the pool runs dry.
 
 use std::collections::VecDeque;
 
 use crate::cost::ServingCostModel;
+use crate::kv::{BlockAllocator, BlockId};
 use crate::metrics::{RequestRecord, ServingMetrics, SloTarget};
+use crate::prefix::PrefixCache;
 use crate::workload::RequestTrace;
 
 /// Which admission policy the simulated server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SchedulerKind {
     /// Continuous batching: requests join the running batch at any token
-    /// boundary and leave on completion.
+    /// boundary and leave on completion. Admission reserves the whole
+    /// `prompt + output` KV footprint up front.
     ContinuousBatching,
     /// Static batching: a batch is formed from the queue only when the
     /// server is idle and runs to completion before the next admission.
     StaticBatching,
+    /// Paged continuous batching: admission on current need, block-granular
+    /// on-demand KV allocation, optional radix-tree prefix sharing, and
+    /// preempt-by-recompute when allocation fails.
+    PagedContinuous,
 }
 
 impl std::fmt::Display for SchedulerKind {
@@ -30,9 +42,13 @@ impl std::fmt::Display for SchedulerKind {
         match self {
             SchedulerKind::ContinuousBatching => write!(f, "continuous"),
             SchedulerKind::StaticBatching => write!(f, "static"),
+            SchedulerKind::PagedContinuous => write!(f, "paged"),
         }
     }
 }
+
+/// Default tokens per KV block of the paged policy (vLLM's default).
+pub const DEFAULT_BLOCK_SIZE: usize = 16;
 
 /// Configuration of one simulated serving replica.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -40,10 +56,17 @@ pub struct ServingConfig {
     /// Maximum sequences decoded together.
     pub max_batch: usize,
     /// KV-cache budget in tokens (across all resident sequences), e.g. from
-    /// [`deca_llm::footprint::max_kv_tokens`].
+    /// [`deca_llm::footprint::max_kv_tokens`]. The paged policy carves this
+    /// into `kv_budget_tokens / block_size` whole blocks.
     pub kv_budget_tokens: usize,
     /// Admission policy.
     pub scheduler: SchedulerKind,
+    /// Tokens per KV block ([`SchedulerKind::PagedContinuous`] only;
+    /// ignored by the reserve-up-front policies).
+    pub block_size: usize,
+    /// Whether the paged policy shares prompt prefixes through the radix
+    /// cache (ignored by the reserve-up-front policies).
+    pub prefix_sharing: bool,
 }
 
 impl ServingConfig {
@@ -54,6 +77,8 @@ impl ServingConfig {
             max_batch,
             kv_budget_tokens,
             scheduler: SchedulerKind::ContinuousBatching,
+            block_size: DEFAULT_BLOCK_SIZE,
+            prefix_sharing: false,
         }
     }
 
@@ -61,9 +86,21 @@ impl ServingConfig {
     #[must_use]
     pub fn static_batching(max_batch: usize, kv_budget_tokens: usize) -> Self {
         ServingConfig {
+            scheduler: SchedulerKind::StaticBatching,
+            ..ServingConfig::continuous(max_batch, kv_budget_tokens)
+        }
+    }
+
+    /// A paged continuous-batching replica (prefix sharing off; enable it
+    /// with [`ServingConfig::with_prefix_sharing`]).
+    #[must_use]
+    pub fn paged(max_batch: usize, kv_budget_tokens: usize, block_size: usize) -> Self {
+        ServingConfig {
             max_batch,
             kv_budget_tokens,
-            scheduler: SchedulerKind::StaticBatching,
+            scheduler: SchedulerKind::PagedContinuous,
+            block_size,
+            prefix_sharing: false,
         }
     }
 
@@ -71,6 +108,57 @@ impl ServingConfig {
     #[must_use]
     pub fn with_scheduler(self, scheduler: SchedulerKind) -> Self {
         ServingConfig { scheduler, ..self }
+    }
+
+    /// The same replica with prefix sharing switched on or off.
+    #[must_use]
+    pub fn with_prefix_sharing(self, prefix_sharing: bool) -> Self {
+        ServingConfig {
+            prefix_sharing,
+            ..self
+        }
+    }
+}
+
+/// Paged-KV counters of one [`SchedulerKind::PagedContinuous`] run.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PagedStats {
+    /// Tokens per block.
+    pub block_size: usize,
+    /// Blocks in the pool (`kv_budget_tokens / block_size`).
+    pub total_blocks: usize,
+    /// Largest allocated-block count observed.
+    pub peak_allocated_blocks: usize,
+    /// Time-weighted mean fraction of the pool allocated.
+    pub mean_block_utilization: f64,
+    /// Time-weighted mean fraction of *sequence-held* block slots not
+    /// backing a resident token — the waste of block-granular rounding.
+    /// (Blocks held only by the prefix cache are full of cached tokens and
+    /// are not waste, so they are excluded; a block shared by N sequences
+    /// contributes its slots and its tokens N times, which cancels.)
+    pub mean_internal_fragmentation: f64,
+    /// Sequences preempted (blocks freed, request re-queued for recompute).
+    pub preemptions: u64,
+    /// Blocks evicted from the prefix cache to satisfy allocations.
+    pub cache_evictions: u64,
+    /// Largest prefix-cache residency observed, in blocks.
+    pub cache_peak_resident_blocks: usize,
+    /// Prompt tokens served from the prefix cache (prefill skipped).
+    pub prefix_hit_tokens: u64,
+    /// Prompt tokens actually prefilled (the uncached suffixes).
+    pub prefix_uncached_tokens: u64,
+}
+
+impl PagedStats {
+    /// Fraction of prompt tokens served from the prefix cache.
+    #[must_use]
+    pub fn prefix_hit_rate(&self) -> f64 {
+        let total = self.prefix_hit_tokens + self.prefix_uncached_tokens;
+        if total == 0 {
+            0.0
+        } else {
+            self.prefix_hit_tokens as f64 / total as f64
+        }
     }
 }
 
@@ -127,6 +215,8 @@ pub struct ServingReport {
     pub decode_steps: u64,
     /// Prefill steps executed (one per admission wave).
     pub prefill_steps: u64,
+    /// Paged-KV counters (`None` for the reserve-up-front policies).
+    pub paged: Option<PagedStats>,
 }
 
 impl ServingReport {
@@ -162,11 +252,19 @@ impl<C: ServingCostModel> ServingSimulator<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `max_batch` or the KV budget is zero.
+    /// Panics if `max_batch` or the KV budget is zero, or — for the paged
+    /// policy — if the budget does not hold at least one whole block.
     #[must_use]
     pub fn new(cost: C, config: ServingConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.kv_budget_tokens > 0, "KV budget must be positive");
+        if config.scheduler == SchedulerKind::PagedContinuous {
+            assert!(config.block_size > 0, "block size must be positive");
+            assert!(
+                config.kv_budget_tokens >= config.block_size,
+                "the KV budget must hold at least one whole block"
+            );
+        }
         ServingSimulator { cost, config }
     }
 
@@ -187,6 +285,9 @@ impl<C: ServingCostModel> ServingSimulator<C> {
     /// completed or rejected when this returns, so
     /// `admitted == completed` and `completed + rejected == trace.len()`.
     pub fn run(&mut self, trace: &RequestTrace) -> ServingReport {
+        if self.config.scheduler == SchedulerKind::PagedContinuous {
+            return self.run_paged(trace);
+        }
         let mut state = RunState::new(self.config, trace.requests());
         loop {
             state.pull_arrivals();
@@ -201,6 +302,33 @@ impl<C: ServingCostModel> ServingSimulator<C> {
                     break; // drained
                 }
                 // Idle: jump to the next arrival.
+                state.now = state.now.max(state.requests[state.next_arrival].arrival_s);
+                continue;
+            }
+            let step_seconds = state.engine_step(&mut self.cost);
+            state.account(step_seconds);
+            state.retire();
+        }
+        state.into_report(trace.duration_s())
+    }
+
+    /// The paged engine loop: same alternation of prefill and decode steps,
+    /// but KV blocks are allocated on demand and exhaustion resolves by
+    /// prefix-cache eviction first, preempt-by-recompute second.
+    fn run_paged(&mut self, trace: &RequestTrace) -> ServingReport {
+        let mut state = PagedRunState::new(self.config, trace.requests());
+        loop {
+            state.pull_arrivals();
+            state.admit();
+            if state.running.is_empty() {
+                // With no sequences running, every resident block belongs
+                // solely to the prefix cache, so admission can always evict
+                // its way to room for the queue head (whose footprint fits
+                // the pool outright, or it was rejected above).
+                debug_assert!(state.queue.is_empty());
+                if state.next_arrival >= state.requests.len() {
+                    break; // drained
+                }
                 state.now = state.now.max(state.requests[state.next_arrival].arrival_s);
                 continue;
             }
@@ -276,7 +404,9 @@ impl<'a> RunState<'a> {
     /// the budget outright are rejected (they could never run).
     fn admit(&mut self) {
         let admission_open = match self.config.scheduler {
-            SchedulerKind::ContinuousBatching => true,
+            // The paged policy has its own run loop; this state machine
+            // only ever sees the reserve-up-front kinds.
+            SchedulerKind::ContinuousBatching | SchedulerKind::PagedContinuous => true,
             SchedulerKind::StaticBatching => self.running.is_empty(),
         };
         if !admission_open {
@@ -392,7 +522,9 @@ impl<'a> RunState<'a> {
         let reserved = &mut self.reserved;
         self.running.retain(|active| {
             let release = match scheduler {
-                SchedulerKind::ContinuousBatching => active.done_s.is_some(),
+                SchedulerKind::ContinuousBatching | SchedulerKind::PagedContinuous => {
+                    active.done_s.is_some()
+                }
                 SchedulerKind::StaticBatching => batch_done,
             };
             if let (true, Some(done_s)) = (release, active.done_s) {
@@ -443,6 +575,451 @@ impl<'a> RunState<'a> {
             },
             decode_steps: self.decode_steps,
             prefill_steps: self.prefill_steps,
+            paged: None,
+        }
+    }
+}
+
+/// A sequence resident in the paged running batch.
+#[derive(Debug, Clone)]
+struct PagedActive {
+    /// Index into the trace's request slice.
+    idx: usize,
+    /// Whether the (possibly resumed) prompt has been processed.
+    prefilled: bool,
+    /// Tokens currently resident (prompt + generated so far).
+    context_tokens: usize,
+    /// Decode tokens still to generate in this residency.
+    remaining_decode: usize,
+    /// Prompt tokens served from the prefix cache at admission.
+    cached_prefix_tokens: usize,
+    /// KV blocks this sequence holds a reference to, in sequence order.
+    blocks: Vec<BlockId>,
+    /// Time the last output token was produced (set once generation
+    /// finishes).
+    done_s: Option<f64>,
+}
+
+/// The mutable state of one paged serving run.
+///
+/// Per-request side state (`first_token`, `generated_before`) survives
+/// preemption: a victim's blocks are freed and it re-queues at the front,
+/// but its first-token timestamp is stamped only once (the token was
+/// already streamed) and its re-prefill resumes from `prompt + generated`
+/// tokens — the recompute includes everything it had produced.
+struct PagedRunState<'a> {
+    config: ServingConfig,
+    requests: &'a [crate::workload::Request],
+    queue: VecDeque<usize>,
+    running: Vec<PagedActive>,
+    records: Vec<RequestRecord>,
+    allocator: BlockAllocator,
+    cache: Option<PrefixCache>,
+    now: f64,
+    next_arrival: usize,
+    admitted: usize,
+    rejected: usize,
+    /// Per-request: time of the first output token (survives preemption).
+    first_token: Vec<Option<f64>>,
+    /// Per-request: tokens generated before the latest preemption — the
+    /// recompute prefill covers `prompt + generated_before` tokens.
+    generated_before: Vec<usize>,
+    /// Per-request: whether it was ever admitted (re-admissions after
+    /// preemption do not count twice).
+    was_admitted: Vec<bool>,
+    preemptions: u64,
+    prefix_hit_tokens: u64,
+    prefix_uncached_tokens: u64,
+    peak_occupied: usize,
+    peak_batch: usize,
+    peak_queue: usize,
+    decode_steps: u64,
+    prefill_steps: u64,
+    queue_depth_integral: f64,
+    occupancy_integral: f64,
+    block_util_integral: f64,
+    fragmentation_integral: f64,
+    elapsed: f64,
+}
+
+impl<'a> PagedRunState<'a> {
+    fn new(config: ServingConfig, requests: &'a [crate::workload::Request]) -> Self {
+        let allocator =
+            BlockAllocator::from_token_budget(config.block_size, config.kv_budget_tokens);
+        let cache = config
+            .prefix_sharing
+            .then(|| PrefixCache::new(config.block_size));
+        PagedRunState {
+            config,
+            requests,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            records: Vec::new(),
+            allocator,
+            cache,
+            now: 0.0,
+            next_arrival: 0,
+            admitted: 0,
+            rejected: 0,
+            first_token: vec![None; requests.len()],
+            generated_before: vec![0; requests.len()],
+            was_admitted: vec![false; requests.len()],
+            preemptions: 0,
+            prefix_hit_tokens: 0,
+            prefix_uncached_tokens: 0,
+            peak_occupied: 0,
+            peak_batch: 0,
+            peak_queue: 0,
+            decode_steps: 0,
+            prefill_steps: 0,
+            queue_depth_integral: 0.0,
+            occupancy_integral: 0.0,
+            block_util_integral: 0.0,
+            fragmentation_integral: 0.0,
+            elapsed: 0.0,
+        }
+    }
+
+    /// The prompt a (possibly resumed) request must prefill: its original
+    /// prompt plus everything it had generated before preemption.
+    fn effective_prompt(&self, idx: usize) -> usize {
+        self.requests[idx].prompt_tokens + self.generated_before[idx]
+    }
+
+    /// Pulls every arrival up to the current time into the queue.
+    fn pull_arrivals(&mut self) {
+        while self.next_arrival < self.requests.len()
+            && self.requests[self.next_arrival].arrival_s <= self.now
+        {
+            self.queue.push_back(self.next_arrival);
+            self.next_arrival += 1;
+        }
+        self.peak_queue = self.peak_queue.max(self.queue.len());
+    }
+
+    /// Paged admission: FIFO, gated by the batch limit and by *current*
+    /// need — enough free blocks for the prompt and the first output token,
+    /// after prefix-cache hits and cold-block eviction — instead of the
+    /// whole lifetime footprint. Requests whose completed footprint exceeds
+    /// the entire pool are rejected outright (they could never run, even
+    /// alone with the cache flushed).
+    fn admit(&mut self) {
+        while self.running.len() < self.config.max_batch {
+            let Some(&head) = self.queue.front() else {
+                break;
+            };
+            let request = &self.requests[head];
+            let full_need = self
+                .allocator
+                .blocks_for_tokens(request.kv_tokens_at_completion());
+            if full_need > self.allocator.total_blocks() {
+                self.queue.pop_front();
+                self.rejected += 1;
+                continue;
+            }
+            let prompt = self.effective_prompt(head);
+            // At least one prompt token must be prefilled to produce the
+            // next output token, so the lookup stops one short of the
+            // prompt end.
+            let matched = match &mut self.cache {
+                Some(cache) => {
+                    let ids = request.stream.token_ids(prompt.saturating_sub(1));
+                    cache.lookup(&ids, &mut self.allocator)
+                }
+                None => Vec::new(),
+            };
+            let cached_tokens = matched.len() * self.config.block_size;
+            // Blocks for the post-prefill context (prompt + first token).
+            let target = self.allocator.blocks_for_tokens(prompt + 1);
+            let need_now = target - matched.len();
+            // Check feasibility *before* evicting: a head request that
+            // cannot be admitted even with the cache fully drained must
+            // not flush resident blocks for nothing (later same-prefix
+            // arrivals would lose their hits to a failed admission).
+            let evictable = self
+                .cache
+                .as_ref()
+                .map_or(0, |cache| cache.evictable_blocks(&self.allocator));
+            if self.allocator.free_blocks() + evictable < need_now {
+                // Head-of-line wait: hand the shared references back.
+                for block in matched {
+                    self.allocator.free(block);
+                }
+                break;
+            }
+            while self.allocator.free_blocks() < need_now {
+                let evicted = self.evict_one();
+                debug_assert!(evicted, "feasibility was checked above");
+            }
+            self.queue.pop_front();
+            let mut blocks = matched;
+            for _ in 0..need_now {
+                blocks.push(self.allocator.alloc().expect("free blocks checked"));
+            }
+            if !self.was_admitted[head] {
+                self.was_admitted[head] = true;
+                self.admitted += 1;
+            }
+            self.running.push(PagedActive {
+                idx: head,
+                prefilled: false,
+                context_tokens: 0,
+                remaining_decode: 0,
+                cached_prefix_tokens: cached_tokens,
+                blocks,
+                done_s: None,
+            });
+        }
+    }
+
+    /// Evicts one cold prefix-cache block; `false` when nothing is
+    /// evictable (no cache, or every resident block is still shared).
+    fn evict_one(&mut self) -> bool {
+        self.cache
+            .as_mut()
+            .is_some_and(|cache| cache.evict_lru(&mut self.allocator))
+    }
+
+    /// One engine step — prefill-prioritized, then decode.
+    fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.peak_batch = self.peak_batch.max(self.running.len());
+        let pending_prefill = self.running.iter().any(|a| !a.prefilled);
+        if pending_prefill {
+            self.prefill_step(cost)
+        } else {
+            self.decode_step(cost)
+        }
+    }
+
+    /// Prefills every newly admitted (or resumed) sequence back to back,
+    /// pricing only the uncached suffix, and publishes the prompt's full
+    /// blocks into the prefix cache so concurrent and later same-prefix
+    /// requests hit.
+    fn prefill_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.prefill_steps += 1;
+        let mut cursor = self.now;
+        for active in self.running.iter_mut().filter(|a| !a.prefilled) {
+            let request = &self.requests[active.idx];
+            let prompt = request.prompt_tokens + self.generated_before[active.idx];
+            let cached = active.cached_prefix_tokens;
+            cursor += cost.prefill_seconds_cached(prompt, cached);
+            active.prefilled = true;
+            active.context_tokens = prompt + 1;
+            // Saturating for the same reason as the reserve-up-front path:
+            // a denormalized zero-output request must not underflow.
+            active.remaining_decode = request
+                .output_tokens
+                .saturating_sub(1 + self.generated_before[active.idx]);
+            if self.first_token[active.idx].is_none() {
+                self.first_token[active.idx] = Some(cursor);
+            }
+            if active.remaining_decode == 0 {
+                // The prefill produced the final token (single-token
+                // output, or a resume that had one token left).
+                active.done_s = Some(cursor);
+            }
+            self.prefix_hit_tokens += cached as u64;
+            self.prefix_uncached_tokens += (prompt - cached) as u64;
+            if let Some(cache) = &mut self.cache {
+                let ids = request.stream.token_ids(prompt);
+                cache.insert(&ids, &active.blocks, &mut self.allocator);
+            }
+        }
+        cursor - self.now
+    }
+
+    /// One decode step: every running sequence gains a token, allocating a
+    /// fresh block at each block boundary. Allocation failure resolves by
+    /// evicting cold cache blocks first and preempting the latest-admitted
+    /// sequence (recompute) second.
+    fn decode_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.decode_steps += 1;
+        let batch = self.running.len();
+        let max_context = self
+            .running
+            .iter()
+            .map(|a| a.context_tokens)
+            .fold(0, usize::max);
+        let dt = cost.decode_step_seconds(batch, max_context);
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].remaining_decode == 0 {
+                i += 1;
+                continue;
+            }
+            let active = &self.running[i];
+            let needs_block =
+                self.allocator.blocks_for_tokens(active.context_tokens + 1) > active.blocks.len();
+            if needs_block {
+                match self.grow(i) {
+                    Some(at) => i = at,
+                    None => continue, // self-preempted; `i` now names the next sequence
+                }
+            }
+            let active = &mut self.running[i];
+            active.context_tokens += 1;
+            active.remaining_decode -= 1;
+            i += 1;
+        }
+        dt
+    }
+
+    /// Obtains one more block for the sequence at `i`, evicting and then
+    /// preempting as needed. Returns the sequence's (possibly shifted)
+    /// index, or `None` if the sequence had to preempt itself.
+    fn grow(&mut self, mut i: usize) -> Option<usize> {
+        loop {
+            if let Some(block) = self.allocator.alloc() {
+                self.running[i].blocks.push(block);
+                return Some(i);
+            }
+            if self.evict_one() {
+                continue;
+            }
+            // Preempt the latest-admitted sequence that is still decoding
+            // (sequences that just finished retire at the end of this step
+            // and release their blocks then).
+            let victim = (0..self.running.len())
+                .rev()
+                .find(|&j| j != i && self.running[j].remaining_decode > 0);
+            let Some(j) = victim else {
+                self.preempt(i);
+                return None;
+            };
+            self.preempt(j);
+            if j < i {
+                i -= 1;
+            }
+        }
+    }
+
+    /// Preempt-by-recompute: frees every block the victim holds, records
+    /// how far it had generated, and re-queues it at the *front* (preempted
+    /// work outranks new arrivals; successive victims re-queue in their
+    /// original admission order because later victims are preempted
+    /// first). Its prefill is re-priced on resume.
+    fn preempt(&mut self, j: usize) {
+        let victim = self.running.remove(j);
+        let request = &self.requests[victim.idx];
+        debug_assert!(victim.prefilled);
+        self.generated_before[victim.idx] = victim.context_tokens - request.prompt_tokens;
+        for block in victim.blocks {
+            self.allocator.free(block);
+        }
+        self.queue.push_front(victim.idx);
+        self.preemptions += 1;
+    }
+
+    /// Advances the clock and the time-weighted statistics by one step.
+    fn account(&mut self, step_seconds: f64) {
+        let occupied: usize = self.running.iter().map(|a| a.context_tokens).sum();
+        self.peak_occupied = self.peak_occupied.max(occupied);
+        self.queue_depth_integral += self.queue.len() as f64 * step_seconds;
+        self.occupancy_integral +=
+            occupied as f64 / self.allocator.total_tokens() as f64 * step_seconds;
+        self.block_util_integral += self.allocator.utilization() * step_seconds;
+        // Internal fragmentation over the sequence-held slots only (cache-
+        // only blocks are full of cached tokens, not rounding waste).
+        let seq_slots: usize = self
+            .running
+            .iter()
+            .map(|a| a.blocks.len() * self.config.block_size)
+            .sum();
+        if seq_slots > 0 {
+            self.fragmentation_integral +=
+                (1.0 - occupied as f64 / seq_slots as f64) * step_seconds;
+        }
+        self.elapsed += step_seconds;
+        self.now += step_seconds;
+    }
+
+    /// Retires finished sequences: publishes their full blocks (prompt +
+    /// output) into the prefix cache so later conversation turns hit, then
+    /// releases every block reference.
+    fn retire(&mut self) {
+        let now = self.now;
+        for active in &mut self.running {
+            if active.prefilled && active.remaining_decode == 0 && active.done_s.is_none() {
+                active.done_s = Some(now);
+            }
+        }
+        let requests = self.requests;
+        let records = &mut self.records;
+        let allocator = &mut self.allocator;
+        let cache = &mut self.cache;
+        let first_token = &self.first_token;
+        self.running.retain(|active| {
+            let Some(done_s) = active.done_s else {
+                return true;
+            };
+            let request = &requests[active.idx];
+            if let Some(cache) = cache {
+                let ids = request.stream.token_ids(active.context_tokens);
+                cache.insert(&ids, &active.blocks, allocator);
+            }
+            for &block in &active.blocks {
+                allocator.free(block);
+            }
+            records.push(RequestRecord {
+                id: request.id,
+                arrival_s: request.arrival_s,
+                first_token_s: first_token[active.idx].expect("prefilled"),
+                completion_s: done_s,
+                prompt_tokens: request.prompt_tokens,
+                output_tokens: request.output_tokens,
+            });
+            false
+        });
+    }
+
+    /// Finalizes the report once the trace has drained.
+    fn into_report(mut self, trace_duration_s: f64) -> ServingReport {
+        self.records.sort_by_key(|r| r.id);
+        let makespan = self
+            .records
+            .iter()
+            .map(|r| r.completion_s)
+            .fold(self.now.min(trace_duration_s), f64::max);
+        let allocator_stats = self.allocator.stats();
+        let cache_stats = self
+            .cache
+            .as_ref()
+            .map(PrefixCache::stats)
+            .unwrap_or_default();
+        let normalize = |integral: f64| {
+            if self.elapsed > 0.0 {
+                integral / self.elapsed
+            } else {
+                0.0
+            }
+        };
+        ServingReport {
+            scheduler: self.config.scheduler,
+            records: self.records,
+            admitted: self.admitted,
+            rejected: self.rejected,
+            makespan_s: makespan,
+            kv_budget_tokens: self.allocator.total_tokens(),
+            peak_kv_reserved_tokens: allocator_stats.peak_allocated_blocks * self.config.block_size,
+            peak_kv_occupied_tokens: self.peak_occupied,
+            mean_kv_occupancy: normalize(self.occupancy_integral),
+            peak_batch: self.peak_batch,
+            peak_queue_depth: self.peak_queue,
+            mean_queue_depth: normalize(self.queue_depth_integral),
+            decode_steps: self.decode_steps,
+            prefill_steps: self.prefill_steps,
+            paged: Some(PagedStats {
+                block_size: self.config.block_size,
+                total_blocks: allocator_stats.total_blocks,
+                peak_allocated_blocks: allocator_stats.peak_allocated_blocks,
+                mean_block_utilization: normalize(self.block_util_integral),
+                mean_internal_fragmentation: normalize(self.fragmentation_integral),
+                preemptions: self.preemptions,
+                cache_evictions: cache_stats.evictions,
+                cache_peak_resident_blocks: cache_stats.peak_resident_blocks,
+                prefix_hit_tokens: self.prefix_hit_tokens,
+                prefix_uncached_tokens: self.prefix_uncached_tokens,
+            }),
         }
     }
 }
@@ -451,10 +1028,20 @@ impl<'a> RunState<'a> {
 mod tests {
     use super::*;
     use crate::cost::LinearCostModel;
-    use crate::workload::{Request, WorkloadSpec};
+    use crate::workload::{Request, SharedPrefixChatSpec, TokenStream, WorkloadSpec};
 
     fn sim(config: ServingConfig) -> ServingSimulator<LinearCostModel> {
         ServingSimulator::new(LinearCostModel::default_70b(), config)
+    }
+
+    fn req(id: usize, arrival_s: f64, prompt_tokens: usize, output_tokens: usize) -> Request {
+        Request {
+            id,
+            arrival_s,
+            prompt_tokens,
+            output_tokens,
+            stream: TokenStream::unique(id),
+        }
     }
 
     /// Regression: a replayed-log request asking for zero output tokens is
@@ -462,12 +1049,7 @@ mod tests {
     /// underflowing `remaining_decode` and spinning the run loop forever.
     #[test]
     fn zero_output_request_terminates_as_single_token() {
-        let trace = RequestTrace::new(vec![Request {
-            id: 0,
-            arrival_s: 0.0,
-            prompt_tokens: 64,
-            output_tokens: 0,
-        }]);
+        let trace = RequestTrace::new(vec![req(0, 0.0, 64, 0)]);
         assert_eq!(trace.requests()[0].output_tokens, 1);
         let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
         assert_eq!(report.completed(), 1);
@@ -477,14 +1059,35 @@ mod tests {
         assert_eq!(r.completion_s, r.first_token_s);
     }
 
+    /// Regression companion to the saturating `kv_tokens_at_completion`:
+    /// a fuzzed request whose lengths sum past `usize::MAX` is rejected at
+    /// admission (its footprint exceeds any budget) on every policy,
+    /// instead of overflowing in debug builds.
+    #[test]
+    fn overflowing_footprints_are_rejected_not_panicking() {
+        let huge = Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_tokens: usize::MAX - 4,
+            output_tokens: 64,
+            stream: TokenStream::unique(0),
+        };
+        let trace = RequestTrace::new(vec![huge, req(1, 0.1, 32, 4)]);
+        for config in [
+            ServingConfig::continuous(8, 1_000),
+            ServingConfig::static_batching(8, 1_000),
+            ServingConfig::paged(8, 1_000, 16).with_prefix_sharing(true),
+        ] {
+            let report = sim(config).run(&trace);
+            assert_eq!(report.rejected, 1, "{}", config.scheduler);
+            assert_eq!(report.completed(), 1);
+            assert_eq!(report.records[0].id, 1);
+        }
+    }
+
     #[test]
     fn single_request_lifecycle() {
-        let trace = RequestTrace::new(vec![Request {
-            id: 0,
-            arrival_s: 1.0,
-            prompt_tokens: 100,
-            output_tokens: 5,
-        }]);
+        let trace = RequestTrace::new(vec![req(0, 1.0, 100, 5)]);
         let mut cost = LinearCostModel::default_70b();
         let prefill = cost.prefill_seconds(100);
         let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
@@ -501,12 +1104,7 @@ mod tests {
 
     #[test]
     fn single_token_outputs_complete_at_the_prefill() {
-        let trace = RequestTrace::new(vec![Request {
-            id: 0,
-            arrival_s: 0.0,
-            prompt_tokens: 64,
-            output_tokens: 1,
-        }]);
+        let trace = RequestTrace::new(vec![req(0, 0.0, 64, 1)]);
         let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
         assert_eq!(report.completed(), 1);
         let r = report.records[0];
@@ -517,20 +1115,7 @@ mod tests {
 
     #[test]
     fn oversized_requests_are_rejected_not_wedged() {
-        let trace = RequestTrace::new(vec![
-            Request {
-                id: 0,
-                arrival_s: 0.0,
-                prompt_tokens: 5_000,
-                output_tokens: 10,
-            },
-            Request {
-                id: 1,
-                arrival_s: 0.1,
-                prompt_tokens: 50,
-                output_tokens: 10,
-            },
-        ]);
+        let trace = RequestTrace::new(vec![req(0, 0.0, 5_000, 10), req(1, 0.1, 50, 10)]);
         let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
         assert_eq!(report.rejected, 1);
         assert_eq!(report.completed(), 1);
@@ -542,13 +1127,7 @@ mod tests {
     fn kv_budget_gates_admission() {
         // Two requests that each need 600 tokens against a 1000-token
         // budget: the second must wait for the first to retire.
-        let mk = |id, arrival| Request {
-            id,
-            arrival_s: arrival,
-            prompt_tokens: 590,
-            output_tokens: 10,
-        };
-        let trace = RequestTrace::new(vec![mk(0, 0.0), mk(1, 0.0)]);
+        let trace = RequestTrace::new(vec![req(0, 0.0, 590, 10), req(1, 0.0, 590, 10)]);
         let report = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
         assert_eq!(report.completed(), 2);
         assert!(report.peak_kv_reserved_tokens <= 1_000);
@@ -561,20 +1140,7 @@ mod tests {
     #[test]
     fn continuous_admits_mid_batch_but_static_waits() {
         // Request 0 is long-running; request 1 arrives while 0 decodes.
-        let trace = RequestTrace::new(vec![
-            Request {
-                id: 0,
-                arrival_s: 0.0,
-                prompt_tokens: 10,
-                output_tokens: 200,
-            },
-            Request {
-                id: 1,
-                arrival_s: 0.5,
-                prompt_tokens: 10,
-                output_tokens: 5,
-            },
-        ]);
+        let trace = RequestTrace::new(vec![req(0, 0.0, 10, 200), req(1, 0.5, 10, 5)]);
         let continuous = sim(ServingConfig::continuous(8, 10_000)).run(&trace);
         let static_ = sim(ServingConfig::static_batching(8, 10_000)).run(&trace);
         // Continuous: request 1 joins while 0 is still going.
@@ -595,20 +1161,7 @@ mod tests {
         // Short and long request admitted together: the short one's record
         // closes at its own last token, but the engine keeps stepping (and
         // its slot stays occupied) until the long one drains.
-        let trace = RequestTrace::new(vec![
-            Request {
-                id: 0,
-                arrival_s: 0.0,
-                prompt_tokens: 10,
-                output_tokens: 3,
-            },
-            Request {
-                id: 1,
-                arrival_s: 0.0,
-                prompt_tokens: 10,
-                output_tokens: 50,
-            },
-        ]);
+        let trace = RequestTrace::new(vec![req(0, 0.0, 10, 3), req(1, 0.0, 10, 50)]);
         let report = sim(ServingConfig::static_batching(8, 10_000)).run(&trace);
         assert_eq!(report.completed(), 2);
         assert!(report.records[0].completion_s < report.records[1].completion_s);
@@ -636,5 +1189,114 @@ mod tests {
         assert!(report.peak_queue_depth > 4);
         assert!(report.mean_queue_depth > 0.0);
         assert!(report.peak_kv_reserved_tokens <= 4_000);
+    }
+
+    #[test]
+    fn paged_single_request_allocates_blocks_on_demand() {
+        let trace = RequestTrace::new(vec![req(0, 0.0, 33, 40)]);
+        let report = sim(ServingConfig::paged(8, 1_600, 16)).run(&trace);
+        assert_eq!(report.completed(), 1);
+        let paged = report.paged.expect("paged stats");
+        assert_eq!(paged.block_size, 16);
+        assert_eq!(paged.total_blocks, 100);
+        // Final context = 73 tokens = 5 blocks; on-demand growth never
+        // allocated more than that (no lifetime reservation).
+        assert_eq!(paged.peak_allocated_blocks, 5);
+        assert_eq!(report.peak_kv_reserved_tokens, 80);
+        assert_eq!(paged.preemptions, 0);
+        assert_eq!(report.kv_budget_tokens, 1_600);
+        assert!(paged.mean_internal_fragmentation > 0.0);
+    }
+
+    #[test]
+    fn paged_admits_what_reserve_up_front_must_queue() {
+        // Two requests, each with a 600-token *lifetime* footprint against
+        // a 1000-token budget, but prompts of only 90 tokens: reserve-up-
+        // front serializes them, paged runs them together.
+        let trace = RequestTrace::new(vec![req(0, 0.0, 90, 510), req(1, 0.0, 90, 510)]);
+        let reserve = sim(ServingConfig::continuous(8, 1_000)).run(&trace);
+        assert_eq!(reserve.peak_batch, 1, "reserve-up-front serializes");
+        let paged = sim(ServingConfig::paged(8, 1_000, 16)).run(&trace);
+        assert_eq!(paged.peak_batch, 2, "paged co-runs on current need");
+        assert!(
+            paged.records[1].first_token_s < reserve.records[1].first_token_s,
+            "the queued request starts much earlier under paging"
+        );
+        // Both runs complete everything; paged preempts one sequence near
+        // the end when the pool truly runs out (1200 > 1000 final tokens).
+        assert_eq!(paged.completed(), 2);
+        assert!(paged.paged.unwrap().preemptions > 0);
+    }
+
+    #[test]
+    fn paged_preemption_recomputes_and_conserves() {
+        // Far more concurrent lifetime demand than the pool holds: heavy
+        // preemption, yet every request completes exactly once and the
+        // pool is never over-allocated.
+        let requests: Vec<Request> = (0..12).map(|id| req(id, 0.0, 64, 200)).collect();
+        let trace = RequestTrace::new(requests);
+        let report = sim(ServingConfig::paged(12, 1_024, 16)).run(&trace);
+        assert_eq!(report.completed(), 12);
+        assert_eq!(report.rejected, 0);
+        let paged = report.paged.expect("paged stats");
+        assert!(paged.preemptions > 0, "the pool must have run dry");
+        assert!(paged.peak_allocated_blocks <= paged.total_blocks);
+        // Records stay physically sane through preemption.
+        for r in &report.records {
+            assert!(r.first_token_s > r.arrival_s);
+            assert!(r.completion_s >= r.first_token_s);
+        }
+    }
+
+    #[test]
+    fn prefix_sharing_skips_cached_prefill_and_reports_hits() {
+        // Same-session turns: the second turn's prompt extends the first
+        // turn's prompt + output, so after turn 1 completes, turn 2 hits.
+        let stream = TokenStream::session(99, 32);
+        let turn1 = Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_tokens: 64,
+            output_tokens: 32,
+            stream,
+        };
+        let turn2 = Request {
+            id: 1,
+            arrival_s: 100.0, // long after turn 1 drains
+            prompt_tokens: 64 + 32 + 16,
+            output_tokens: 8,
+            stream,
+        };
+        let trace = RequestTrace::new(vec![turn1, turn2]);
+        let config = ServingConfig::paged(8, 4_096, 16).with_prefix_sharing(true);
+        let report = sim(config).run(&trace);
+        assert_eq!(report.completed(), 2);
+        let paged = report.paged.expect("paged stats");
+        // Turn 1 inserted 6 full blocks (96 tokens); turn 2's 112-token
+        // prompt hits all of them.
+        assert_eq!(paged.prefix_hit_tokens, 96);
+        assert!(paged.prefix_hit_rate() > 0.5, "{}", paged.prefix_hit_rate());
+        assert!(paged.cache_peak_resident_blocks >= 6);
+        // The cached prefill is cheaper: TTFT of turn 2 (112-token prompt)
+        // beats turn 1's (64-token prompt) despite the longer prompt.
+        assert!(report.records[1].ttft_s() < report.records[0].ttft_s());
+
+        // Without sharing, the same trace prefills every token.
+        let cold = sim(ServingConfig::paged(8, 4_096, 16)).run(&trace);
+        let cold_paged = cold.paged.expect("paged stats");
+        assert_eq!(cold_paged.prefix_hit_tokens, 0);
+        assert_eq!(cold_paged.prefix_hit_rate(), 0.0);
+        assert!(report.records[1].ttft_s() < cold.records[1].ttft_s());
+    }
+
+    #[test]
+    fn paged_runs_are_deterministic() {
+        let trace = SharedPrefixChatSpec::fleet(2.0, 24, 17).generate();
+        let config = ServingConfig::paged(16, 20_000, 16).with_prefix_sharing(true);
+        let a = sim(config).run(&trace);
+        let b = sim(config).run(&trace);
+        assert_eq!(a, b);
+        assert_eq!(a.completed() + a.rejected, trace.len());
+        assert!(a.paged.unwrap().prefix_hit_tokens > 0);
     }
 }

@@ -300,18 +300,19 @@ pub struct CapacityResult {
 /// One replica under test: reuses a single memoized cost model across all
 /// probed rates (its latencies are pure functions of (batch, context),
 /// independent of the arrival rate).
-struct CapacityProbe {
-    cost: EstimatorCostModel,
+struct CapacityProbe<'a, F> {
+    cost: &'a mut EstimatorCostModel,
     config: ServingConfig,
     spec: CapacitySpec,
+    trace_for_rate: F,
 }
 
-impl CapacityProbe {
+impl<F: FnMut(f64) -> RequestTrace> CapacityProbe<'_, F> {
     fn run(&mut self, rate: f64) -> (bool, CapacityResult) {
-        let trace = WorkloadSpec::chat(rate, self.spec.requests, self.spec.seed).generate();
+        let trace = (self.trace_for_rate)(rate);
         let mut simulator = ServingSimulator::new(self.cost.clone(), self.config);
         let report = simulator.run(&trace);
-        self.cost = simulator.into_cost_model();
+        *self.cost = simulator.into_cost_model();
 
         let ttft: Vec<f64> = report.records.iter().map(RequestRecord::ttft_s).collect();
         let tpot: Vec<f64> = report.records.iter().map(RequestRecord::tpot_s).collect();
@@ -343,10 +344,50 @@ pub fn capacity_search(
     config: &ServingConfig,
     spec: &CapacitySpec,
 ) -> CapacityResult {
+    let requests = spec.requests;
+    let seed = spec.seed;
+    capacity_search_with(
+        EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine),
+        config,
+        spec,
+        move |rate| WorkloadSpec::chat(rate, requests, seed).generate(),
+    )
+}
+
+/// The general capacity search: any replica cost model (single-socket or
+/// sharded), any admission policy (including
+/// [`crate::SchedulerKind::PagedContinuous`]), and any workload family —
+/// `trace_for_rate` maps a probed arrival rate to the trace offered at
+/// that rate (e.g. [`crate::SharedPrefixChatSpec::with_rate`], so paged +
+/// prefix-sharing replicas are searched on the shared-prefix workload they
+/// exist for). Same bracketing/bisection as [`capacity_search`].
+#[must_use]
+pub fn capacity_search_with<F: FnMut(f64) -> RequestTrace>(
+    mut cost: EstimatorCostModel,
+    config: &ServingConfig,
+    spec: &CapacitySpec,
+    trace_for_rate: F,
+) -> CapacityResult {
+    capacity_search_warm(&mut cost, config, spec, trace_for_rate)
+}
+
+/// [`capacity_search_with`], but borrowing the cost model and leaving its
+/// memoized latency caches warm — the shape for sweeping several
+/// configurations of the *same* replica (e.g. the three admission policies
+/// of `bench_paged`), where every search asks the estimator the same
+/// (batch, context) questions.
+#[must_use]
+pub fn capacity_search_warm<F: FnMut(f64) -> RequestTrace>(
+    cost: &mut EstimatorCostModel,
+    config: &ServingConfig,
+    spec: &CapacitySpec,
+    trace_for_rate: F,
+) -> CapacityResult {
     let mut probe = CapacityProbe {
-        cost: EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine),
+        cost,
         config: *config,
         spec: *spec,
+        trace_for_rate,
     };
     let mut run = |rate: f64| probe.run(rate);
 

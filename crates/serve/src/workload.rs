@@ -8,6 +8,81 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+/// `splitmix64`: the token-id mixer behind [`TokenStream`]. Cheap, and a
+/// bijection on `u64`, so distinct (stream, position) pairs essentially
+/// never collide into equal block keys.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The stream key every session's shared system prompt draws from.
+const SYSTEM_STREAM: u64 = 0x5953_5445_4d5f_5052; // "SYSTEM_PR"
+
+/// Salt distinguishing per-request unique streams from session streams.
+const UNIQUE_SALT: u64 = 0x554e_4951_5545_5f53; // "UNIQUE_S"
+
+/// Deterministic token-id source for one request's prompt (and generated
+/// continuation): token `p` of the sequence is a pure function of the
+/// stream, so two requests of the same session share identical token-id
+/// prefixes — the real keys the radix prefix cache ([`crate::prefix`])
+/// matches on — without the trace storing any token arrays.
+///
+/// Positions below `system_tokens` are drawn from a global system-prompt
+/// stream shared by *all* sessions; positions at or above it come from the
+/// per-session stream (the deterministic "conversation transcript", which
+/// also covers generated tokens, so a follow-up turn's prompt extends its
+/// predecessor's prompt + output exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TokenStream {
+    /// Key of the per-session token stream.
+    pub session: u64,
+    /// Leading positions drawn from the shared system-prompt stream.
+    pub system_tokens: usize,
+}
+
+impl TokenStream {
+    /// A stream unique to one request: no shared system prefix, session key
+    /// derived from the request id. (Distinct requests share no token-id
+    /// blocks, so the prefix cache stays cold — the pre-paged behavior.)
+    #[must_use]
+    pub fn unique(request_id: usize) -> Self {
+        TokenStream {
+            session: splitmix64(UNIQUE_SALT ^ request_id as u64),
+            system_tokens: 0,
+        }
+    }
+
+    /// The stream of one chat session: `system_tokens` of shared system
+    /// prompt, then the session's own transcript.
+    #[must_use]
+    pub fn session(session: u64, system_tokens: usize) -> Self {
+        TokenStream {
+            session,
+            system_tokens,
+        }
+    }
+
+    /// The token id at `position` of this stream.
+    #[must_use]
+    pub fn token_id(&self, position: usize) -> u64 {
+        let stream = if position < self.system_tokens {
+            SYSTEM_STREAM
+        } else {
+            self.session
+        };
+        splitmix64(stream ^ splitmix64(position as u64))
+    }
+
+    /// The first `len` token ids of the stream.
+    #[must_use]
+    pub fn token_ids(&self, len: usize) -> Vec<u64> {
+        (0..len).map(|p| self.token_id(p)).collect()
+    }
+}
+
 /// One inference request: when it arrives and how much work it carries.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct Request {
@@ -20,14 +95,21 @@ pub struct Request {
     /// Output length in tokens (the first is produced by the prefill, the
     /// rest by decode steps). Always at least 1.
     pub output_tokens: usize,
+    /// Token-id source of the prompt (and generated continuation) — what
+    /// the paged scheduler's prefix cache keys on.
+    pub stream: TokenStream,
 }
 
 impl Request {
     /// KV-cache tokens this request occupies once fully generated — the
     /// amount a budget-respecting scheduler must reserve at admission.
+    /// Saturating: a deserialized or fuzzed trace may carry lengths whose
+    /// sum overflows `usize`, and such a request must surface as "larger
+    /// than any budget" (rejected), not as a debug-build panic or a tiny
+    /// wrapped footprint that slips past admission.
     #[must_use]
     pub fn kv_tokens_at_completion(&self) -> usize {
-        self.prompt_tokens + self.output_tokens
+        self.prompt_tokens.saturating_add(self.output_tokens)
     }
 }
 
@@ -280,9 +362,118 @@ impl WorkloadSpec {
                 arrival_s: t,
                 prompt_tokens: self.prompt_lengths.sample(&mut rng),
                 output_tokens: self.output_lengths.sample(&mut rng),
+                stream: TokenStream::unique(id),
             });
         }
         RequestTrace { requests }
+    }
+}
+
+/// A shared-prefix chat workload: `sessions` conversations arrive as a
+/// Poisson process, every session opens with the same `system_prompt_tokens`
+/// system prompt (drawn from the global system stream, so *all* sessions
+/// share those token-id blocks), and each of its `turns_per_session` turns
+/// carries the whole conversation so far as its prompt — turn `t+1`'s
+/// prompt extends turn `t`'s prompt + generated output in the session's
+/// [`TokenStream`], exactly the workload a radix prefix cache serves well
+/// and a reserve-up-front scheduler pays full prefill for every turn.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SharedPrefixChatSpec {
+    /// Session (conversation) arrival rate, sessions per second.
+    pub rate_per_sec: f64,
+    /// Number of conversations.
+    pub sessions: usize,
+    /// Turns per conversation (≥ 1).
+    pub turns_per_session: usize,
+    /// System-prompt tokens shared by every session.
+    pub system_prompt_tokens: usize,
+    /// Length of each turn's fresh user message.
+    pub user_tokens: LengthDistribution,
+    /// Length of each turn's generated reply.
+    pub output_tokens: LengthDistribution,
+    /// Mean think time between receiving a reply and sending the next turn
+    /// (an exponential gap, plus a decode-time allowance so open-loop
+    /// follow-ups usually arrive after their predecessor finished).
+    pub think_time_s: f64,
+    /// RNG seed: the same spec always generates the same trace.
+    pub seed: u64,
+}
+
+impl SharedPrefixChatSpec {
+    /// A prefix-heavy chat fleet: 512-token system prompt, 4 turns per
+    /// conversation, short user messages, mid-length replies.
+    #[must_use]
+    pub fn fleet(rate_per_sec: f64, sessions: usize, seed: u64) -> Self {
+        SharedPrefixChatSpec {
+            rate_per_sec,
+            sessions,
+            turns_per_session: 4,
+            system_prompt_tokens: 512,
+            user_tokens: LengthDistribution::Uniform { min: 24, max: 96 },
+            output_tokens: LengthDistribution::Uniform { min: 48, max: 160 },
+            think_time_s: 20.0,
+            seed,
+        }
+    }
+
+    /// The same conversations offered at a different session rate (the
+    /// knob a capacity search turns).
+    #[must_use]
+    pub fn with_rate(self, rate_per_sec: f64) -> Self {
+        SharedPrefixChatSpec {
+            rate_per_sec,
+            ..self
+        }
+    }
+
+    /// Requests the generated trace will contain.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.sessions * self.turns_per_session.max(1)
+    }
+
+    /// Generates the replayable trace this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session rate is not positive.
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        assert!(self.rate_per_sec > 0.0, "session rate must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut requests = Vec::with_capacity(self.requests());
+        let mut session_start = 0.0f64;
+        let think_rate = 1.0 / self.think_time_s.max(1e-6);
+        for session in 0..self.sessions {
+            session_start += exponential_gap(rng.gen(), self.rate_per_sec);
+            let stream = TokenStream::session(
+                splitmix64(self.seed ^ splitmix64(session as u64)),
+                self.system_prompt_tokens,
+            );
+            let mut transcript = self.system_prompt_tokens;
+            let mut arrival = session_start;
+            for _ in 0..self.turns_per_session.max(1) {
+                let user = self.user_tokens.sample(&mut rng);
+                let output = self.output_tokens.sample(&mut rng);
+                transcript += user;
+                requests.push(Request {
+                    id: 0, // assigned in arrival order below
+                    arrival_s: arrival,
+                    prompt_tokens: transcript,
+                    output_tokens: output,
+                    stream,
+                });
+                transcript += output;
+                // Next turn: think time plus a generous decode allowance
+                // (~60 ms/token) so the reply is usually complete first.
+                arrival += exponential_gap(rng.gen(), think_rate) + output as f64 * 0.06;
+            }
+        }
+        let mut trace = RequestTrace::new(requests);
+        for (index, request) in trace.requests.iter_mut().enumerate() {
+            request.id = index;
+        }
+        trace
     }
 }
 
@@ -494,7 +685,87 @@ mod tests {
             arrival_s: 0.0,
             prompt_tokens: 100,
             output_tokens: 28,
+            stream: TokenStream::unique(0),
         };
         assert_eq!(r.kv_tokens_at_completion(), 128);
+    }
+
+    /// Regression: a deserialized/fuzzed trace with huge lengths used to
+    /// overflow `prompt_tokens + output_tokens` in debug builds; the
+    /// footprint now saturates, so such a request reads as "larger than
+    /// any budget" and is rejected instead of panicking.
+    #[test]
+    fn kv_reservation_saturates_instead_of_overflowing() {
+        let r = Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_tokens: usize::MAX - 10,
+            output_tokens: 1_000,
+            stream: TokenStream::unique(0),
+        };
+        assert_eq!(r.kv_tokens_at_completion(), usize::MAX);
+    }
+
+    #[test]
+    fn token_streams_are_deterministic_and_share_exactly_the_right_prefixes() {
+        let a = TokenStream::session(7, 4);
+        let b = TokenStream::session(7, 4);
+        let c = TokenStream::session(8, 4);
+        assert_eq!(a.token_ids(16), b.token_ids(16));
+        // Same session: identical everywhere. Different session: the
+        // system prompt matches, the transcript diverges.
+        assert_eq!(a.token_ids(4), c.token_ids(4));
+        assert_ne!(a.token_id(4), c.token_id(4));
+        // Unique streams share nothing (no system prefix).
+        let u = TokenStream::unique(0);
+        let v = TokenStream::unique(1);
+        assert_ne!(u.token_id(0), v.token_id(0));
+        assert_eq!(u.system_tokens, 0);
+    }
+
+    #[test]
+    fn shared_prefix_chat_turns_extend_their_session_transcript() {
+        let spec = SharedPrefixChatSpec::fleet(0.5, 6, 9);
+        let trace = spec.generate();
+        assert_eq!(trace.len(), spec.requests());
+        let again = spec.generate();
+        assert_eq!(trace, again, "deterministic");
+        // Ids are arrival-ordered.
+        for (index, request) in trace.requests().iter().enumerate() {
+            assert_eq!(request.id, index);
+        }
+        // Group turns by session stream; prompts must be strictly growing
+        // and each turn's prompt must extend the previous turn's
+        // prompt + output by that turn's fresh user tokens.
+        let mut by_session: std::collections::HashMap<u64, Vec<&Request>> =
+            std::collections::HashMap::new();
+        for request in trace.requests() {
+            assert_eq!(request.stream.system_tokens, spec.system_prompt_tokens);
+            assert!(request.prompt_tokens > spec.system_prompt_tokens);
+            by_session
+                .entry(request.stream.session)
+                .or_default()
+                .push(request);
+        }
+        assert_eq!(by_session.len(), 6);
+        for turns in by_session.values_mut() {
+            turns.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+            assert_eq!(turns.len(), spec.turns_per_session);
+            for pair in turns.windows(2) {
+                assert!(pair[1].arrival_s > pair[0].arrival_s);
+                assert!(
+                    pair[1].prompt_tokens > pair[0].prompt_tokens + pair[0].output_tokens,
+                    "a follow-up carries its whole conversation prefix"
+                );
+            }
+        }
+        // Two different sessions share the system prompt's token ids.
+        let sessions: Vec<u64> = by_session.keys().copied().collect();
+        let s0 = TokenStream::session(sessions[0], spec.system_prompt_tokens);
+        let s1 = TokenStream::session(sessions[1], spec.system_prompt_tokens);
+        assert_eq!(
+            s0.token_ids(spec.system_prompt_tokens),
+            s1.token_ids(spec.system_prompt_tokens)
+        );
     }
 }

@@ -12,10 +12,25 @@
 //!
 //! plus the regression the subsystem exists to show: on a bursty trace,
 //! static batching's tail latency is no better than continuous batching's.
+//!
+//! The paged-KV subsystem adds its own contract ([`deca_serve::kv`] and
+//! [`deca_serve::prefix`] document the invariants):
+//!
+//! 5. no block is ever double-freed, and `allocated == 0` after every run
+//!    drains (sequences retired, prefix cache flushed),
+//! 6. ref-counts of shared prefix blocks return to zero once the sharers
+//!    and the cache release them,
+//! 7. a paged run with `BlockSize = 1` and no prefix sharing reproduces
+//!    the reserve-up-front scheduler's completion and rejection sets,
+//! 8. paged runs conserve requests and respect the pool even under heavy
+//!    preemption.
+
+use std::collections::HashSet;
 
 use deca_serve::{
-    simulate_fleet_with, ArrivalProcess, LengthDistribution, LinearCostModel, RequestRecord,
-    SchedulerKind, ServingConfig, ServingSimulator, SloTarget, WorkloadSpec,
+    simulate_fleet_with, ArrivalProcess, BlockAllocator, LengthDistribution, LinearCostModel,
+    PrefixCache, RequestRecord, SchedulerKind, ServingConfig, ServingSimulator,
+    SharedPrefixChatSpec, SloTarget, TokenStream, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -190,6 +205,184 @@ proptest! {
             let request = trace.requests()[r.id];
             prop_assert!(request.kv_tokens_at_completion() <= budget);
         }
+    }
+
+    /// Invariant 5 at the allocator level, against a shadow reference-count
+    /// model driven by a random op stream: alloc/fork/free/cow always agree
+    /// with the model, a block is never handed out twice concurrently, and
+    /// releasing every outstanding reference drains the pool to zero.
+    #[test]
+    fn allocator_matches_a_shadow_refcount_model(
+        ops in proptest::collection::vec(0u8..4, 1..120),
+        total_blocks in 1usize..24,
+    ) {
+        let mut pool = BlockAllocator::new(4, total_blocks);
+        // Outstanding references the "application" holds, as a multiset.
+        let mut held: Vec<usize> = Vec::new();
+        for (step, op) in ops.iter().enumerate() {
+            match op % 4 {
+                0 => {
+                    if let Some(block) = pool.alloc() {
+                        prop_assert_eq!(pool.ref_count(block), 1);
+                        held.push(block);
+                    } else {
+                        prop_assert_eq!(pool.free_blocks(), 0, "alloc only fails when full");
+                    }
+                }
+                1 if !held.is_empty() => {
+                    let block = held[step % held.len()];
+                    pool.fork(block);
+                    held.push(block);
+                }
+                2 if !held.is_empty() => {
+                    let block = held.swap_remove(step % held.len());
+                    pool.free(block);
+                }
+                3 if !held.is_empty() => {
+                    let i = step % held.len();
+                    if let Some(block) = pool.cow(held[i]) {
+                        held[i] = block;
+                        prop_assert!(pool.ref_count(block) >= 1);
+                    }
+                }
+                _ => {}
+            }
+            // The allocator's counts always agree with the shadow multiset.
+            let distinct: HashSet<usize> = held.iter().copied().collect();
+            prop_assert_eq!(pool.allocated_blocks(), distinct.len());
+            prop_assert_eq!(pool.free_blocks(), total_blocks - distinct.len());
+            for &block in &distinct {
+                let expected = held.iter().filter(|&&b| b == block).count() as u32;
+                prop_assert_eq!(pool.ref_count(block), expected);
+            }
+        }
+        // Releasing every outstanding reference drains the pool.
+        for block in held {
+            pool.free(block);
+        }
+        prop_assert_eq!(pool.allocated_blocks(), 0);
+        prop_assert_eq!(pool.free_blocks(), total_blocks);
+    }
+
+    /// Invariants 5 and 6 at the prefix-cache level: sequences sharing
+    /// session prefixes insert and look up against one allocator; after the
+    /// sequences release their references and the cache is flushed, every
+    /// ref-count is zero and the pool has fully drained.
+    #[test]
+    fn shared_prefix_refcounts_return_to_zero_after_drain(
+        sessions in 1usize..5,
+        turns in 1usize..4,
+        block_size in 1usize..9,
+        seed in 0u64..1_000,
+    ) {
+        let mut pool = BlockAllocator::new(block_size, 512);
+        let mut cache = PrefixCache::new(block_size);
+        let mut held: Vec<Vec<usize>> = Vec::new();
+        for session in 0..sessions {
+            let stream = TokenStream::session(seed ^ session as u64, 8);
+            for turn in 0..turns {
+                let prompt = 8 + (turn + 1) * (5 + session);
+                let ids = stream.token_ids(prompt);
+                // Look up the cached prefix, allocate the remainder.
+                let mut blocks = cache.lookup(&ids, &mut pool);
+                while blocks.len() < pool.blocks_for_tokens(prompt) {
+                    blocks.push(pool.alloc().expect("512-block pool is plenty"));
+                }
+                cache.insert(&ids, &blocks, &mut pool);
+                // Every shared block is referenced by cache + this holder.
+                for &block in &blocks {
+                    prop_assert!(pool.ref_count(block) >= 1);
+                }
+                held.push(blocks);
+            }
+        }
+        // Sequences retire...
+        for blocks in held {
+            for block in blocks {
+                pool.free(block);
+            }
+        }
+        // ...the cache still owns its resident blocks...
+        prop_assert_eq!(pool.allocated_blocks(), cache.resident_blocks());
+        // ...and flushing it drains the pool to zero.
+        cache.flush(&mut pool);
+        prop_assert_eq!(cache.resident_blocks(), 0);
+        prop_assert_eq!(pool.allocated_blocks(), 0);
+        prop_assert_eq!(pool.free_blocks(), 512);
+    }
+
+    /// Invariant 7: with one-token blocks and no prefix sharing, the paged
+    /// scheduler's admission gate degenerates to token-exact allocation, so
+    /// it completes and rejects exactly the same request sets as the
+    /// reserve-up-front scheduler (timings differ: paged admits earlier).
+    #[test]
+    fn paged_block_size_one_reproduces_the_reserve_up_front_completion_set(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..300,
+        requests in 4usize..80,
+        max_batch in 1usize..16,
+        budget in 600usize..20_000,
+    ) {
+        let trace = workload(seed, rate_x10, requests, false).generate();
+        let mut reserve = ServingSimulator::new(
+            LinearCostModel::default_70b(),
+            ServingConfig::continuous(max_batch, budget),
+        );
+        let reserve_report = reserve.run(&trace);
+        let mut paged = ServingSimulator::new(
+            LinearCostModel::default_70b(),
+            ServingConfig::paged(max_batch, budget, 1),
+        );
+        let paged_report = paged.run(&trace);
+
+        let ids = |records: &[RequestRecord]| -> Vec<usize> {
+            records.iter().map(|r| r.id).collect()
+        };
+        prop_assert_eq!(ids(&reserve_report.records), ids(&paged_report.records));
+        prop_assert_eq!(reserve_report.rejected, paged_report.rejected);
+        prop_assert_eq!(paged_report.completed() + paged_report.rejected, requests);
+    }
+
+    /// Invariant 8: paged runs (with sharing, odd block sizes, pools small
+    /// enough to force preemption) conserve requests, never over-allocate
+    /// the pool, stay deterministic, and keep records physically sane.
+    #[test]
+    fn paged_scheduler_invariants_under_preemption(
+        seed in 0u64..10_000,
+        sessions in 1usize..12,
+        max_batch in 1usize..16,
+        blocks in 40usize..400,
+        block_size in 1usize..33,
+        sharing in proptest::prop::bool::ANY,
+    ) {
+        let spec = SharedPrefixChatSpec {
+            turns_per_session: 3,
+            system_prompt_tokens: 48,
+            user_tokens: LengthDistribution::Uniform { min: 4, max: 40 },
+            output_tokens: LengthDistribution::Uniform { min: 1, max: 48 },
+            think_time_s: 4.0,
+            ..SharedPrefixChatSpec::fleet(2.0, sessions, seed)
+        };
+        let trace = spec.generate();
+        let config = ServingConfig::paged(max_batch, blocks * block_size, block_size)
+            .with_prefix_sharing(sharing);
+        let mut sim = ServingSimulator::new(LinearCostModel::default_70b(), config);
+        let report = sim.run(&trace);
+
+        prop_assert_eq!(report.completed() + report.rejected, trace.len());
+        prop_assert_eq!(report.admitted, report.completed());
+        let paged = report.paged.expect("paged run");
+        prop_assert_eq!(paged.total_blocks, blocks);
+        prop_assert!(paged.peak_allocated_blocks <= paged.total_blocks);
+        prop_assert!(report.peak_batch <= max_batch);
+        prop_assert!(!sharing || paged.cache_peak_resident_blocks <= paged.total_blocks);
+        prop_assert!(paged.prefix_hit_tokens == 0 || sharing);
+        for r in &report.records {
+            prop_assert!(r.first_token_s > r.arrival_s);
+            prop_assert!(r.completion_s >= r.first_token_s);
+        }
+        let mut again = ServingSimulator::new(LinearCostModel::default_70b(), config);
+        prop_assert_eq!(again.run(&trace), report);
     }
 }
 
