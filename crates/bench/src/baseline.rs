@@ -791,11 +791,21 @@ fn paged_capacity_matrix(
                 ]));
             }
             if shard_label == "TP1" && engine_label == "deca" {
+                // Same zero guard as the per-engine ratio field below: a
+                // reserve capacity of 0 must read as "unservable", not as
+                // an astronomically inflated ratio.
+                let verdict = if capacities[0] > 0.0 {
+                    format!(
+                        "serves {:.2}x the sessions/sec of reserve-up-front",
+                        capacities[2] / capacities[0]
+                    )
+                } else {
+                    "serves a load reserve-up-front cannot serve at all".to_string()
+                };
                 headline = format!(
                     "on a shared-prefix chat trace at the interactive p99 SLO, paged+prefix \
-                     admission serves {:.2}x the sessions/sec of reserve-up-front on one DECA \
-                     socket ({:.2} vs {:.2} sessions/s, {} Q8_5%)",
-                    capacities[2] / capacities[0].max(1e-9),
+                     admission {verdict} on one DECA socket ({:.2} vs {:.2} sessions/s, {} \
+                     Q8_5%)",
                     capacities[2],
                     capacities[0],
                     model.name(),

@@ -5,12 +5,14 @@
 //! cache is a radix tree whose edges are whole KV blocks
 //! ([`BlockAllocator::block_size`] token ids each). A request's prompt is
 //! matched block by block from the root; every matched block is shared with
-//! the requesting sequence ([`BlockAllocator::fork`] — refcount sharing is
-//! the copy-on-write mechanism, writers go through
-//! [`BlockAllocator::cow`]), so the prefill only has to process the
-//! *uncached suffix*. After a prefill (and again on completion, when the
-//! generated tokens are known) the sequence's full blocks are inserted, so
-//! later same-session turns and same-system-prompt sessions hit.
+//! the requesting sequence via [`BlockAllocator::fork`] (refcount sharing),
+//! so the prefill only has to process the *uncached suffix*. Shared blocks
+//! are immutable by construction — sequence growth appends at a block
+//! boundary or inside a private block — so the serving engine never writes
+//! one; [`BlockAllocator::cow`] exists for callers that do mutate a shared
+//! block. After a prefill (and again on completion, when the generated
+//! tokens are known) the sequence's full blocks are inserted, so later
+//! same-session turns and same-system-prompt sessions hit.
 //!
 //! Only *full* blocks enter the tree: partial trailing blocks stay private
 //! to their sequence, which keeps every shared block immutable (sequence
@@ -120,17 +122,44 @@ impl PrefixCache {
     }
 
     /// Blocks that repeated [`PrefixCache::evict_lru`] calls could free
-    /// right now: the resident blocks the cache is the sole owner of.
-    /// (Sequences hold contiguous root-anchored paths, so a sole-owner
-    /// node can never have a sequence-shared descendant — the sole-owner
-    /// set is exactly the cascade-evictable set.) Lets a caller check an
-    /// allocation is satisfiable *before* sacrificing cache residency.
+    /// right now. Eviction is leaf-first and only touches sole-owner
+    /// blocks, so a resident block is cascade-deliverable exactly when its
+    /// *entire subtree* is sole-owner. Sole ownership of the node alone is
+    /// not enough: [`PrefixCache::insert`] deduplicates an already-resident
+    /// prefix block while still attaching the sequence's divergent child
+    /// beneath it, so a sequence can share a mid-tree node without
+    /// referencing its ancestor — that ancestor stays pinned until the
+    /// shared descendant retires, and must not be counted. Lets a caller
+    /// check an allocation is satisfiable *before* sacrificing cache
+    /// residency.
     #[must_use]
     pub fn evictable_blocks(&self, allocator: &BlockAllocator) -> usize {
-        self.nodes[1..]
-            .iter()
-            .flatten()
-            .filter(|node| allocator.ref_count(node.block) == 1)
+        // A subtree is entirely sole-owner iff the node is sole-owner and
+        // no shared node sits below it, so: pin every ancestor of a shared
+        // node, then count the unpinned sole-owner residents. Iterative
+        // (long transcripts make arbitrarily deep chains, so recursion
+        // would risk the stack), and O(nodes) amortized: each parent-chain
+        // walk stops at the first already-pinned ancestor.
+        let mut pinned = vec![false; self.nodes.len()];
+        for id in 1..self.nodes.len() {
+            let Some(node) = self.nodes[id].as_ref() else {
+                continue;
+            };
+            if allocator.ref_count(node.block) == 1 {
+                continue;
+            }
+            let mut at = id;
+            while at != ROOT && !pinned[at] {
+                pinned[at] = true;
+                at = self.node(at).parent;
+            }
+        }
+        (1..self.nodes.len())
+            .filter(|&id| {
+                self.nodes[id]
+                    .as_ref()
+                    .is_some_and(|node| !pinned[id] && allocator.ref_count(node.block) == 1)
+            })
             .count()
     }
 
@@ -392,6 +421,42 @@ mod tests {
         for block in matched {
             pool.free(block);
         }
+    }
+
+    /// Regression: a dedup-insert can leave a sequence sharing a mid-tree
+    /// node without referencing its ancestor — the ancestor is sole-owner
+    /// yet unevictable while the shared descendant lives, and
+    /// `evictable_blocks` must not count it (it used to, promising blocks
+    /// that `evict_lru` could never deliver).
+    #[test]
+    fn evictable_blocks_excludes_sole_owner_nodes_above_shared_descendants() {
+        let mut pool = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new(4);
+        // Sequence A inserts two chained blocks.
+        let a: Vec<u64> = vec![0, 1, 2, 3, 10, 11, 12, 13];
+        let blocks_a = seq_blocks(&mut pool, 2);
+        cache.insert(&a, &blocks_a, &mut pool);
+        // Sequence B duplicates A's first block of tokens (deduplicated:
+        // B keeps its private copy) and diverges in its second, which the
+        // cache attaches beneath A's resident prefix block.
+        let b: Vec<u64> = vec![0, 1, 2, 3, 20, 21, 22, 23];
+        let blocks_b = seq_blocks(&mut pool, 2);
+        cache.insert(&b, &blocks_b, &mut pool);
+        // A retires; B keeps running. The cache now solely owns A's whole
+        // chain, but A's first block sits above B's still-shared divergent
+        // block: only A's leaf is deliverable.
+        pool.free(blocks_a[0]);
+        pool.free(blocks_a[1]);
+        assert_eq!(cache.evictable_blocks(&pool), 1);
+        assert!(cache.evict_lru(&mut pool));
+        assert!(!cache.evict_lru(&mut pool), "nothing else is deliverable");
+        assert_eq!(cache.evictable_blocks(&pool), 0);
+        // B retires: the remaining chain becomes deliverable end to end.
+        pool.free(blocks_b[0]);
+        pool.free(blocks_b[1]);
+        assert_eq!(cache.evictable_blocks(&pool), 2);
+        cache.flush(&mut pool);
+        assert_eq!(pool.allocated_blocks(), 0);
     }
 
     #[test]
