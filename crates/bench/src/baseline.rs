@@ -933,6 +933,130 @@ pub fn paged_results() -> Json {
     ])
 }
 
+/// Sessions in the sim-speed trace: a million in release — the ROADMAP's
+/// "millions of users" scale, and the CI `simspeed` gate — shrunk in debug
+/// builds so `cargo test` exercises the same code in moments.
+pub const SIMSPEED_SESSIONS: usize = if cfg!(debug_assertions) {
+    2_000
+} else {
+    1_000_000
+};
+/// Decode batch limit of the sim-speed replica.
+const SIMSPEED_MAX_BATCH: usize = 64;
+/// KV budget (tokens) of the sim-speed replica: roomy enough that the
+/// reserve-up-front policies rarely queue, tight enough to stay realistic.
+const SIMSPEED_KV_BUDGET: usize = 100_000;
+
+/// One sim-speed row: simulate the deterministic trace under `config` and
+/// report throughput in sessions per second *of simulation wall time* —
+/// the figure of merit of the event core — alongside the simulated
+/// makespan and the step/queue counters that pin the simulation itself
+/// (everything except the `wall`-named fields is deterministic; the drift
+/// check strips those recursively).
+fn simspeed_row(policy: &str, sessions: usize, config: &ServingConfig) -> Json {
+    let trace = SharedPrefixChatSpec::simspeed(sessions).generate();
+    let start = Instant::now();
+    let report =
+        ServingSimulator::new(deca_serve::LinearCostModel::default_70b(), *config).run(&trace);
+    let wall_secs = start.elapsed().as_secs_f64();
+    Json::obj(vec![
+        ("policy", Json::str(policy)),
+        ("sessions", num(sessions as f64)),
+        ("requests", num(trace.len() as f64)),
+        ("completed", num(report.completed() as f64)),
+        ("rejected", num(report.rejected as f64)),
+        ("admitted", num(report.admitted as f64)),
+        ("makespan_s", num(report.makespan_s)),
+        (
+            // Deterministic throughput: sessions per second of *simulated*
+            // time — how much serving the modeled replica sustains, fixed
+            // by the trace and the cost model, unlike the wall fields.
+            "sessions_per_sim_sec",
+            num(if report.makespan_s > 0.0 {
+                sessions as f64 / report.makespan_s
+            } else {
+                0.0
+            }),
+        ),
+        ("decode_steps", num(report.decode_steps as f64)),
+        ("prefill_steps", num(report.prefill_steps as f64)),
+        ("peak_batch", num(report.peak_batch as f64)),
+        ("peak_queue_depth", num(report.peak_queue_depth as f64)),
+        ("wall_secs", num(wall_secs)),
+        (
+            "sessions_per_wall_sec",
+            num(if wall_secs > 0.0 {
+                sessions as f64 / wall_secs
+            } else {
+                0.0
+            }),
+        ),
+    ])
+}
+
+/// The simulator-speed experiment (`bench_simspeed`, and CI's `simspeed`
+/// job): the deterministic [`SharedPrefixChatSpec::simspeed`] trace pushed
+/// through the event core at million-session scale. Three rows:
+/// continuous batching and paged (no sharing) at the full session count —
+/// both O(events · log batch) end to end — and paged + prefix sharing at
+/// a tenth of it (radix-cache admission does an O(cache) evictable scan
+/// once the pool fills, so its scale is kept where the run still takes
+/// seconds). Every field except the `wall`-named ones is deterministic.
+#[must_use]
+pub fn simspeed_results() -> Json {
+    let continuous = ServingConfig::continuous(SIMSPEED_MAX_BATCH, SIMSPEED_KV_BUDGET);
+    let paged = ServingConfig {
+        max_batch: SIMSPEED_MAX_BATCH,
+        kv_budget_tokens: SIMSPEED_KV_BUDGET,
+        scheduler: SchedulerKind::PagedContinuous,
+        block_size: 16,
+        prefix_sharing: false,
+    };
+    let rows = vec![
+        simspeed_row("continuous", SIMSPEED_SESSIONS, &continuous),
+        simspeed_row("paged", SIMSPEED_SESSIONS, &paged),
+        simspeed_row(
+            "paged+prefix",
+            SIMSPEED_SESSIONS / 10,
+            &ServingConfig {
+                prefix_sharing: true,
+                ..paged
+            },
+        ),
+    ];
+    Json::obj(vec![
+        ("max_batch", num(SIMSPEED_MAX_BATCH as f64)),
+        ("kv_budget_tokens", num(SIMSPEED_KV_BUDGET as f64)),
+        ("rows", Json::Arr(rows)),
+    ])
+}
+
+/// Runs one experiment, wrapping its results with the name and wall time —
+/// the record shape `collect` assembles and the standalone `bench_simspeed`
+/// binary emits for the drift check.
+#[must_use]
+pub fn experiment_record(name: &str, run: fn() -> Json) -> Json {
+    let start = Instant::now();
+    let results = run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    Json::obj(vec![
+        ("name", Json::str(name)),
+        ("wall_ms", num(wall_ms)),
+        ("results", results),
+    ])
+}
+
+/// A full-document wrapper around a single experiment record, so partial
+/// artifacts (e.g. CI's `BENCH_simspeed.json`) share the baseline schema.
+#[must_use]
+pub fn single_experiment_document(name: &str, run: fn() -> Json) -> Json {
+    Json::obj(vec![
+        ("schema_version", num(f64::from(SCHEMA_VERSION))),
+        ("command", Json::str(REGENERATE_COMMAND)),
+        ("experiments", Json::Arr(vec![experiment_record(name, run)])),
+    ])
+}
+
 /// Runs every baseline experiment, recording wall time per experiment, and
 /// assembles the full document.
 #[must_use]
@@ -946,18 +1070,12 @@ pub fn collect() -> Json {
         ("bench_serving", serving_results),
         ("bench_sharding", sharding_results),
         ("bench_paged", paged_results),
+        ("bench_simspeed", simspeed_results),
     ];
-    let mut records = Vec::new();
-    for (name, run) in experiments {
-        let start = Instant::now();
-        let results = run();
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        records.push(Json::obj(vec![
-            ("name", Json::str(name)),
-            ("wall_ms", num(wall_ms)),
-            ("results", results),
-        ]));
-    }
+    let records = experiments
+        .into_iter()
+        .map(|(name, run)| experiment_record(name, run))
+        .collect();
     Json::obj(vec![
         ("schema_version", num(f64::from(SCHEMA_VERSION))),
         ("command", Json::str(REGENERATE_COMMAND)),
@@ -1004,7 +1122,8 @@ mod tests {
                 "bench_engines",
                 "bench_serving",
                 "bench_sharding",
-                "bench_paged"
+                "bench_paged",
+                "bench_simspeed"
             ]
         );
         for experiment in experiments {

@@ -1,0 +1,82 @@
+//! Compares two benchmark baseline artifacts for drift, ignoring
+//! wall-clock fields — the CI drift gate.
+//!
+//! ```text
+//! cargo run -p deca-bench --bin bench_drift -- [--experiment NAME] BASELINE CURRENT
+//! ```
+//!
+//! Parses both documents, recursively strips every volatile field (any
+//! key containing `wall`, ending in `_secs`, or in the legacy
+//! machine-dependent set — see `deca_bench::drift`), and diffs the rest
+//! exactly. With `--experiment NAME`, only that experiment's records are
+//! compared (so a partial artifact like CI's `BENCH_simspeed.json` can be
+//! checked against the full committed baseline). Exits non-zero with one
+//! line per drifted path.
+
+use std::process::ExitCode;
+
+use deca_bench::drift;
+use deca_bench::json::Json;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    drift::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut experiment: Option<String> = None;
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--experiment" {
+            experiment = Some(args.next().expect("--experiment needs a name"));
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [baseline_path, current_path] = paths.as_slice() else {
+        eprintln!("usage: bench_drift [--experiment NAME] BASELINE CURRENT");
+        return ExitCode::from(2);
+    };
+    let baseline = load(baseline_path);
+    let current = load(current_path);
+
+    let (left, right) = match &experiment {
+        Some(name) => {
+            let left = drift::select_experiment(&baseline, name);
+            let right = drift::select_experiment(&current, name);
+            assert!(
+                !left.is_empty(),
+                "{baseline_path} has no experiment {name:?}"
+            );
+            assert!(
+                !right.is_empty(),
+                "{current_path} has no experiment {name:?}"
+            );
+            (Json::Arr(left), Json::Arr(right))
+        }
+        None => (baseline, current),
+    };
+
+    let lines = drift::diff(&drift::strip_volatile(left), &drift::strip_volatile(right));
+    if lines.is_empty() {
+        match &experiment {
+            Some(name) => println!("no drift in {name} (wall fields ignored)"),
+            None => println!("no drift (wall fields ignored)"),
+        }
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "baseline drift detected ({} path{}):",
+        lines.len(),
+        if lines.len() == 1 { "" } else { "s" }
+    );
+    for line in &lines {
+        eprintln!("  {line}");
+    }
+    eprintln!(
+        "(if intentional, regenerate with: {})",
+        deca_bench::baseline::REGENERATE_COMMAND
+    );
+    ExitCode::FAILURE
+}

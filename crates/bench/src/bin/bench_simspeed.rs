@@ -1,0 +1,58 @@
+//! Runs the simulator-speed experiment and writes a single-experiment
+//! baseline document — CI's `simspeed` job artifact.
+//!
+//! ```text
+//! cargo run -p deca-bench --release --bin bench_simspeed [output-path]
+//! ```
+//!
+//! Simulates the deterministic million-session shared-prefix trace
+//! (`SharedPrefixChatSpec::simspeed`) through the event core under
+//! continuous, paged, and paged+prefix scheduling, and writes
+//! `BENCH_simspeed.json` (or the given path) in the `BENCH_baseline.json`
+//! schema so `bench_drift --experiment bench_simspeed` can compare the two
+//! directly. Also prints the per-policy sessions/sec to stdout for the CI
+//! log.
+
+use deca_bench::json::Json;
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_simspeed.json".to_string());
+    let document = deca_bench::baseline::single_experiment_document(
+        "bench_simspeed",
+        deca_bench::baseline::simspeed_results,
+    );
+    let mut rendered = document.render();
+    rendered.push('\n');
+    std::fs::write(&path, &rendered).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    println!("wrote {path} ({} bytes)", rendered.len());
+
+    // Human-readable summary for the CI log.
+    for record in deca_bench::drift::select_experiment(&document, "bench_simspeed") {
+        let Json::Obj(fields) = &record else { continue };
+        let Some(Json::Obj(results)) = fields.iter().find(|(k, _)| k == "results").map(|(_, v)| v)
+        else {
+            continue;
+        };
+        let Some(Json::Arr(rows)) = results.iter().find(|(k, _)| k == "rows").map(|(_, v)| v)
+        else {
+            continue;
+        };
+        for row in rows {
+            let Json::Obj(row) = row else { continue };
+            let get = |key: &str| {
+                row.iter()
+                    .find(|(k, _)| k == key)
+                    .map_or(Json::Null, |(_, v)| v.clone())
+            };
+            println!(
+                "  {} sessions={} wall_secs={} sessions/wall-sec={}",
+                get("policy").render(),
+                get("sessions").render(),
+                get("wall_secs").render(),
+                get("sessions_per_wall_sec").render(),
+            );
+        }
+    }
+}

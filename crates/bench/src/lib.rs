@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod drift;
 pub mod experiments;
 pub mod json;
 pub mod report;

@@ -19,6 +19,11 @@
 //!   `deca-llm` for this layer), per-step decode cost, and the
 //!   cached-prefix prefill query that prices only a prompt's uncached
 //!   suffix, memoized in [`EstimatorCostModel`],
+//! * [`event`] — the discrete-event core: a deterministic binary-heap
+//!   [`EventQueue`] over typed [`Event`]s (arrivals, prefill/decode step
+//!   completions, preemption re-queues) that advances simulation time in
+//!   O(log n) pops instead of per-step scans — what makes million-session
+//!   traces simulate in seconds,
 //! * [`kv`] — the paged KV-cache layer: a fixed-pool, ref-counted
 //!   [`BlockAllocator`] of block-granular token slots (alloc/free/fork and
 //!   copy-on-write), sized from [`deca_llm::footprint::max_kv_tokens`],
@@ -73,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod cost;
+pub mod event;
 pub mod kv;
 pub mod metrics;
 pub mod prefix;
@@ -81,8 +87,9 @@ pub mod sweep;
 pub mod workload;
 
 pub use cost::{EstimatorCostModel, LinearCostModel, ServingCostModel};
+pub use event::{Event, EventQueue, Scheduled};
 pub use kv::{AllocatorStats, BlockAllocator, BlockId};
-pub use metrics::{LatencySummary, RequestRecord, ServingMetrics, SloTarget};
+pub use metrics::{LatencySummary, RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean};
 pub use prefix::{PrefixCache, PrefixCacheStats};
 pub use scheduler::{
     PagedStats, SchedulerKind, ServingConfig, ServingReport, ServingSimulator, DEFAULT_BLOCK_SIZE,

@@ -1,6 +1,50 @@
 //! Per-request records and fleet-level serving metrics: TTFT / TPOT /
 //! end-to-end latency percentiles, throughput, and SLO goodput.
 
+/// A time-weighted running mean: the integral of a piecewise-constant
+/// signal over the elapsed simulation time.
+///
+/// The event-driven scheduler core observes a value (queue depth, KV
+/// occupancy, block utilization) over each inter-event interval, so the
+/// mean integrates the signal *exactly* — including idle gaps and the
+/// partial intervals an arrival splits a step into — instead of sampling
+/// it once per engine step as the old step loop did.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeWeightedMean {
+    integral: f64,
+    elapsed_s: f64,
+}
+
+impl TimeWeightedMean {
+    /// An empty accumulator (mean 0 until something is observed).
+    #[must_use]
+    pub fn new() -> Self {
+        TimeWeightedMean::default()
+    }
+
+    /// Accumulates `value` held constant for `dt_s` seconds.
+    pub fn observe(&mut self, value: f64, dt_s: f64) {
+        self.integral += value * dt_s;
+        self.elapsed_s += dt_s;
+    }
+
+    /// Total time observed so far, seconds.
+    #[must_use]
+    pub fn elapsed_s(&self) -> f64 {
+        self.elapsed_s
+    }
+
+    /// The time-weighted mean (0 for an empty accumulator).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.integral / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The lifecycle timestamps of one completed request.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct RequestRecord {
@@ -202,6 +246,21 @@ impl ServingMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn time_weighted_mean_integrates_intervals() {
+        let mut mean = TimeWeightedMean::new();
+        assert_eq!(mean.mean(), 0.0, "empty accumulator");
+        // Depth 2 for 1 s, depth 0 for 3 s: mean = 2/4 = 0.5 — a per-step
+        // sampler that never saw the idle gap would report 2.0.
+        mean.observe(2.0, 1.0);
+        mean.observe(0.0, 3.0);
+        assert!((mean.mean() - 0.5).abs() < 1e-12);
+        assert!((mean.elapsed_s() - 4.0).abs() < 1e-12);
+        // Zero-width observations are no-ops.
+        mean.observe(1e9, 0.0);
+        assert!((mean.mean() - 0.5).abs() < 1e-12);
+    }
 
     fn record(arrival: f64, first: f64, done: f64, output: usize) -> RequestRecord {
         RequestRecord {

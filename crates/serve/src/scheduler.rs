@@ -2,22 +2,44 @@
 //! (PagedAttention-style) variant on the block allocator, and the classic
 //! static (run-to-completion) batching baseline.
 //!
-//! All are discrete-event simulations at token-step granularity. The
-//! engine alternates *prefill steps* (process the prompts of newly admitted
-//! requests — prefill-prioritized, as in vLLM's default policy) and *decode
-//! steps* (one token for every running sequence). The reserve-up-front
-//! policies admit against a request's whole `prompt + output` footprint, so
-//! the KV-cache budget can never be exceeded and no preemption is needed;
+//! All run on one discrete-event core ([`crate::event`]): simulation time
+//! advances by popping typed events — request arrivals, prefill/decode
+//! step completions, preemption re-queues — off a binary-heap event queue
+//! instead of the old step-and-rescan loop. The engine still alternates
+//! *prefill steps* (process the prompts of newly admitted requests —
+//! prefill-prioritized, as in vLLM's default policy) and *decode steps*
+//! (one token for every running sequence); what changed is the
+//! bookkeeping around them:
+//!
+//! * arrivals are heap events cursoring through the sorted trace (no
+//!   per-step `next_arrival` probing, and idle spans are one pop, not a
+//!   scan),
+//! * occupancy, block utilization and fragmentation come from running
+//!   counters maintained at admit/grow/preempt/retire time (no per-step
+//!   stamp walk over every sequence's block list),
+//! * the time-weighted means integrate the signals over exact inter-event
+//!   intervals — including idle gaps and the partial intervals an arrival
+//!   splits a step into — via [`crate::metrics::TimeWeightedMean`].
+//!
+//! The reserve-up-front policies admit against a request's whole
+//! `prompt + output` footprint, so the KV-cache budget can never be
+//! exceeded and no preemption is needed;
 //! [`SchedulerKind::PagedContinuous`] admits on *current* need, allocates
 //! [`crate::kv`] blocks on demand as sequences grow, shares prompt
 //! prefixes through the [`crate::prefix`] radix cache, and preempts by
 //! recompute when the pool runs dry.
+//!
+//! The pre-event-core step loop survives as a test-only reference
+//! implementation (`scheduler::reference`); the equivalence property
+//! suite proves the event core reproduces its reports exactly (modulo the
+//! interval-integrated means) on seeded traces for all three policies.
 
 use std::collections::VecDeque;
 
 use crate::cost::ServingCostModel;
+use crate::event::{Event, EventQueue};
 use crate::kv::{BlockAllocator, BlockId};
-use crate::metrics::{RequestRecord, ServingMetrics, SloTarget};
+use crate::metrics::{RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean};
 use crate::prefix::PrefixCache;
 use crate::workload::RequestTrace;
 
@@ -129,7 +151,8 @@ pub struct PagedStats {
     pub total_blocks: usize,
     /// Largest allocated-block count observed.
     pub peak_allocated_blocks: usize,
-    /// Time-weighted mean fraction of the pool allocated.
+    /// Time-weighted mean fraction of the pool allocated, integrated over
+    /// inter-event intervals (idle spans included).
     pub mean_block_utilization: f64,
     /// Time-weighted mean fraction of *sequence-held* block slots not
     /// backing a resident token — the waste of block-granular rounding.
@@ -207,13 +230,16 @@ pub struct ServingReport {
     /// this never exceeds the pool.
     pub peak_kv_occupied_tokens: usize,
     /// Time-weighted mean KV occupancy as a fraction of the budget
-    /// (distinct resident tokens, so at most 1.0).
+    /// (distinct resident tokens, so at most 1.0), integrated over
+    /// inter-event intervals — idle gaps count as zero occupancy.
     pub mean_kv_occupancy: f64,
     /// Largest decode batch observed.
     pub peak_batch: usize,
     /// Largest admission-queue depth observed.
     pub peak_queue_depth: usize,
-    /// Time-weighted mean admission-queue depth.
+    /// Time-weighted mean admission-queue depth, integrated over
+    /// inter-event intervals (an arrival mid-step raises the depth from
+    /// its own instant, not retroactively over the whole step).
     pub mean_queue_depth: f64,
     /// Decode steps executed.
     pub decode_steps: u64,
@@ -290,70 +316,44 @@ impl<C: ServingCostModel> ServingSimulator<C> {
     /// `admitted == completed` and `completed + rejected == trace.len()`.
     pub fn run(&mut self, trace: &RequestTrace) -> ServingReport {
         if self.config.scheduler == SchedulerKind::PagedContinuous {
-            return self.run_paged(trace);
+            let mut core = PagedRunCore::new(self.config, trace.requests());
+            core.drive(&mut self.cost);
+            core.into_report(trace.duration_s())
+        } else {
+            let mut core = RunCore::new(self.config, trace.requests());
+            core.drive(&mut self.cost);
+            core.into_report(trace.duration_s())
         }
-        let mut state = RunState::new(self.config, trace.requests());
-        loop {
-            state.pull_arrivals();
-            state.admit();
-            if state.running.is_empty() {
-                // Admission is always open on an empty batch (both
-                // policies), and an empty batch can reserve against an
-                // empty budget, so the queue must have drained into
-                // admissions or rejections above.
-                debug_assert!(state.queue.is_empty());
-                if state.next_arrival >= state.requests.len() {
-                    break; // drained
-                }
-                // Idle: jump to the next arrival.
-                state.now = state.now.max(state.requests[state.next_arrival].arrival_s);
-                continue;
-            }
-            let step_seconds = state.engine_step(&mut self.cost);
-            state.account(step_seconds);
-            state.retire();
-        }
-        state.into_report(trace.duration_s())
-    }
-
-    /// The paged engine loop: same alternation of prefill and decode steps,
-    /// but KV blocks are allocated on demand and exhaustion resolves by
-    /// prefix-cache eviction first, preempt-by-recompute second.
-    fn run_paged(&mut self, trace: &RequestTrace) -> ServingReport {
-        let mut state = PagedRunState::new(self.config, trace.requests());
-        loop {
-            state.pull_arrivals();
-            state.admit();
-            if state.running.is_empty() {
-                // With no sequences running, every resident block belongs
-                // solely to the prefix cache, so admission can always evict
-                // its way to room for the queue head (whose footprint fits
-                // the pool outright, or it was rejected above).
-                debug_assert!(state.queue.is_empty());
-                if state.next_arrival >= state.requests.len() {
-                    break; // drained
-                }
-                state.now = state.now.max(state.requests[state.next_arrival].arrival_s);
-                continue;
-            }
-            let step_seconds = state.engine_step(&mut self.cost);
-            state.account(step_seconds);
-            state.retire();
-        }
-        state.into_report(trace.duration_s())
     }
 }
 
-/// The mutable state of one serving run.
-struct RunState<'a> {
+/// The event-driven state of one reserve-up-front serving run.
+///
+/// Engine steps are *computed at their start*: the step's per-request
+/// progress is applied and its completion event scheduled `dt` ahead, so
+/// the arithmetic (and therefore every timestamp) is identical to the
+/// reference step loop's, while arrivals landing inside the step interval
+/// merely join the admission queue until the completion event fires.
+struct RunCore<'a> {
     config: ServingConfig,
     requests: &'a [crate::workload::Request],
+    events: EventQueue,
     queue: VecDeque<usize>,
     running: Vec<Active>,
     records: Vec<RequestRecord>,
     now: f64,
-    next_arrival: usize,
+    /// Next trace index not yet scheduled as an arrival event (arrivals
+    /// are scheduled lazily, one outstanding event at a time).
+    arrival_cursor: usize,
+    /// Whether a step-completion event is pending in the heap.
+    step_in_flight: bool,
+    /// KV tokens currently reserved against the budget.
     reserved: usize,
+    /// Running Σ of `context_tokens` over the batch (the occupancy
+    /// counter the old loop recomputed by scanning every step).
+    sum_context: usize,
+    /// Admitted-but-not-yet-prefilled sequences in the batch.
+    pending_prefill: usize,
     admitted: usize,
     rejected: usize,
     peak_reserved: usize,
@@ -362,22 +362,25 @@ struct RunState<'a> {
     peak_queue: usize,
     decode_steps: u64,
     prefill_steps: u64,
-    queue_depth_integral: f64,
-    occupancy_integral: f64,
-    elapsed: f64,
+    queue_depth: TimeWeightedMean,
+    occupancy: TimeWeightedMean,
 }
 
-impl<'a> RunState<'a> {
+impl<'a> RunCore<'a> {
     fn new(config: ServingConfig, requests: &'a [crate::workload::Request]) -> Self {
-        RunState {
+        RunCore {
             config,
             requests,
+            events: EventQueue::new(),
             queue: VecDeque::new(),
             running: Vec::new(),
             records: Vec::new(),
             now: 0.0,
-            next_arrival: 0,
+            arrival_cursor: 0,
+            step_in_flight: false,
             reserved: 0,
+            sum_context: 0,
+            pending_prefill: 0,
             admitted: 0,
             rejected: 0,
             peak_reserved: 0,
@@ -386,29 +389,99 @@ impl<'a> RunState<'a> {
             peak_queue: 0,
             decode_steps: 0,
             prefill_steps: 0,
-            queue_depth_integral: 0.0,
-            occupancy_integral: 0.0,
-            elapsed: 0.0,
+            queue_depth: TimeWeightedMean::new(),
+            occupancy: TimeWeightedMean::new(),
         }
     }
 
-    /// Pulls every arrival up to the current time into the queue.
-    fn pull_arrivals(&mut self) {
-        while self.next_arrival < self.requests.len()
-            && self.requests[self.next_arrival].arrival_s <= self.now
-        {
-            self.queue.push_back(self.next_arrival);
-            self.next_arrival += 1;
+    /// Schedules the next unscheduled trace arrival (if any) as an event.
+    fn schedule_next_arrival(&mut self) {
+        if self.arrival_cursor < self.requests.len() {
+            let request = self.arrival_cursor;
+            self.arrival_cursor += 1;
+            self.events
+                .push(self.requests[request].arrival_s, Event::Arrival { request });
+        }
+    }
+
+    /// Integrates the time-weighted signals over `[now, t)` and advances
+    /// the clock. The signals are piecewise constant between events, so
+    /// the integration is exact.
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt > 0.0 {
+            self.queue_depth.observe(self.queue.len() as f64, dt);
+            self.occupancy.observe(
+                self.sum_context as f64 / self.config.kv_budget_tokens as f64,
+                dt,
+            );
+        }
+        self.now = t;
+    }
+
+    /// Applies one fired event; returns whether it was a step completion
+    /// (a batch boundary).
+    fn apply(&mut self, event: Event) -> bool {
+        match event {
+            Event::Arrival { request } => {
+                self.queue.push_back(request);
+                self.schedule_next_arrival();
+                false
+            }
+            Event::PrefillDone | Event::DecodeDone => true,
+            // The reserve-up-front policies never preempt.
+            Event::Preemption { .. } => {
+                unreachable!("reserve-up-front runs schedule no preemption")
+            }
+        }
+    }
+
+    /// Drives the run to drain: pop events, drain co-timed ones, process
+    /// batch boundaries.
+    fn drive<C: ServingCostModel>(&mut self, cost: &mut C) {
+        self.schedule_next_arrival();
+        while let Some(scheduled) = self.events.pop() {
+            self.advance_to(scheduled.at_s);
+            let mut step_done = self.apply(scheduled.event);
+            // Drain everything co-timed with this event before touching
+            // the batch: two arrivals at the same instant must both be
+            // admissible in the same wave, exactly as the reference loop's
+            // pull-then-admit ordering guarantees.
+            while let Some(next) = self.events.pop_due(self.now) {
+                step_done |= self.apply(next.event);
+            }
+            if step_done || !self.step_in_flight {
+                self.boundary(cost);
+            }
+        }
+    }
+
+    /// One batch boundary: retire the finished step (if any), admit from
+    /// the queue, and launch the next step.
+    fn boundary<C: ServingCostModel>(&mut self, cost: &mut C) {
+        if self.step_in_flight {
+            self.step_in_flight = false;
+            self.retire();
         }
         self.peak_queue = self.peak_queue.max(self.queue.len());
+        self.admit();
+        if self.running.is_empty() {
+            // Admission is always open on an empty batch (both policies),
+            // and an empty batch can reserve against an empty budget, so
+            // the queue must have drained into admissions or rejections.
+            debug_assert!(self.queue.is_empty());
+        } else {
+            self.start_step(cost);
+            self.step_in_flight = true;
+        }
     }
 
-    /// Admission at this token boundary: FIFO, gated by the batch limit and
+    /// Admission at this batch boundary: FIFO, gated by the batch limit and
     /// the KV reservation budget. Requests whose whole footprint exceeds
     /// the budget outright are rejected (they could never run).
     fn admit(&mut self) {
         let admission_open = match self.config.scheduler {
-            // The paged policy has its own run loop; this state machine
+            // The paged policy has its own run core; this state machine
             // only ever sees the reserve-up-front kinds.
             SchedulerKind::ContinuousBatching | SchedulerKind::PagedContinuous => true,
             SchedulerKind::StaticBatching => self.running.is_empty(),
@@ -433,6 +506,7 @@ impl<'a> RunState<'a> {
             self.queue.pop_front();
             self.reserved += need;
             self.admitted += 1;
+            self.pending_prefill += 1;
             self.running.push(Active {
                 idx: head,
                 prefilled: false,
@@ -446,12 +520,12 @@ impl<'a> RunState<'a> {
         self.peak_reserved = self.peak_reserved.max(self.reserved);
     }
 
-    /// One engine step — prefill-prioritized, then decode. Returns the step
-    /// duration and advances per-request progress (but not the clock).
-    fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+    /// Launches one engine step — prefill-prioritized, then decode. The
+    /// step's progress is applied now (identical arithmetic to the
+    /// reference loop) and its completion event scheduled `dt` ahead.
+    fn start_step<C: ServingCostModel>(&mut self, cost: &mut C) {
         self.peak_batch = self.peak_batch.max(self.running.len());
-        let pending_prefill = self.running.iter().any(|a| !a.prefilled);
-        if pending_prefill {
+        let (completion, dt) = if self.pending_prefill > 0 {
             self.prefill_steps += 1;
             // The new prompts run back to back; each request's first token
             // appears as its own prefill finishes.
@@ -464,10 +538,12 @@ impl<'a> RunState<'a> {
                 active.context_tokens = request.prompt_tokens + 1;
                 // Saturating: a deserialized trace can bypass
                 // `RequestTrace::new`'s output_tokens ≥ 1 normalization, and
-                // an underflow here would spin the run loop forever.
+                // an underflow here would wedge the run.
                 active.remaining_decode = request.output_tokens.saturating_sub(1);
+                self.sum_context += active.context_tokens;
             }
-            cursor - self.now
+            self.pending_prefill = 0;
+            (Event::PrefillDone, cursor - self.now)
         } else {
             self.decode_steps += 1;
             let batch = self.running.len();
@@ -481,22 +557,13 @@ impl<'a> RunState<'a> {
                 if active.remaining_decode > 0 {
                     active.remaining_decode -= 1;
                     active.context_tokens += 1;
+                    self.sum_context += 1;
                 }
             }
-            dt
-        }
-    }
-
-    /// Advances the clock and the time-weighted queue/occupancy statistics
-    /// by one step.
-    fn account(&mut self, step_seconds: f64) {
-        let occupied: usize = self.running.iter().map(|a| a.context_tokens).sum();
-        self.peak_occupied = self.peak_occupied.max(occupied);
-        self.queue_depth_integral += self.queue.len() as f64 * step_seconds;
-        self.occupancy_integral +=
-            occupied as f64 / self.config.kv_budget_tokens as f64 * step_seconds;
-        self.elapsed += step_seconds;
-        self.now += step_seconds;
+            (Event::DecodeDone, dt)
+        };
+        self.peak_occupied = self.peak_occupied.max(self.sum_context);
+        self.events.push(self.now + dt, completion);
     }
 
     /// Stamps generation-finish times and retires finished sequences.
@@ -524,6 +591,7 @@ impl<'a> RunState<'a> {
         let requests = self.requests;
         let records = &mut self.records;
         let reserved = &mut self.reserved;
+        let sum_context = &mut self.sum_context;
         self.running.retain(|active| {
             let release = match scheduler {
                 SchedulerKind::ContinuousBatching | SchedulerKind::PagedContinuous => {
@@ -542,6 +610,7 @@ impl<'a> RunState<'a> {
                     output_tokens: request.output_tokens,
                 });
                 *reserved -= active.reserved_tokens;
+                *sum_context -= active.context_tokens;
                 return false;
             }
             true
@@ -565,18 +634,10 @@ impl<'a> RunState<'a> {
             kv_budget_tokens: self.config.kv_budget_tokens,
             peak_kv_reserved_tokens: self.peak_reserved,
             peak_kv_occupied_tokens: self.peak_occupied,
-            mean_kv_occupancy: if self.elapsed > 0.0 {
-                self.occupancy_integral / self.elapsed
-            } else {
-                0.0
-            },
+            mean_kv_occupancy: self.occupancy.mean(),
             peak_batch: self.peak_batch,
             peak_queue_depth: self.peak_queue,
-            mean_queue_depth: if self.elapsed > 0.0 {
-                self.queue_depth_integral / self.elapsed
-            } else {
-                0.0
-            },
+            mean_queue_depth: self.queue_depth.mean(),
             decode_steps: self.decode_steps,
             prefill_steps: self.prefill_steps,
             paged: None,
@@ -604,23 +665,34 @@ struct PagedActive {
     done_s: Option<f64>,
 }
 
-/// The mutable state of one paged serving run.
+/// The event-driven state of one paged serving run.
 ///
 /// Per-request side state (`first_token`, `generated_before`) survives
 /// preemption: a victim's blocks are freed and it re-queues at the front,
 /// but its first-token timestamp is stamped only once (the token was
 /// already streamed) and its re-prefill resumes from `prompt + generated`
 /// tokens — the recompute includes everything it had produced.
-struct PagedRunState<'a> {
+///
+/// Occupancy and fragmentation come from running counters instead of the
+/// old per-step stamp walk over every sequence's block list: `run_refs`
+/// counts, per block, the *running sequences* referencing it (the prefix
+/// cache's own references are deliberately excluded), and
+/// `occupied = Σ context − block_size · (Σ run_refs − distinct blocks)`
+/// de-duplicates shared prefix blocks exactly like the walk did — a
+/// shared block is always a full block fully covered by every sharer's
+/// context, so each extra sharer over-counts exactly `block_size` tokens.
+struct PagedRunCore<'a> {
     config: ServingConfig,
     requests: &'a [crate::workload::Request],
+    events: EventQueue,
     queue: VecDeque<usize>,
     running: Vec<PagedActive>,
     records: Vec<RequestRecord>,
     allocator: BlockAllocator,
     cache: Option<PrefixCache>,
     now: f64,
-    next_arrival: usize,
+    arrival_cursor: usize,
+    step_in_flight: bool,
     admitted: usize,
     rejected: usize,
     /// Per-request: time of the first output token (survives preemption).
@@ -631,6 +703,21 @@ struct PagedRunState<'a> {
     /// Per-request: whether it was ever admitted (re-admissions after
     /// preemption do not count twice).
     was_admitted: Vec<bool>,
+    /// Victims preempted inside the step being launched; their re-queue
+    /// events are scheduled at the step's completion time (the reference
+    /// loop pushes them mid-step, but the queue is only read at
+    /// boundaries, so deferring to the boundary is equivalent).
+    pending_preemptions: Vec<usize>,
+    /// Per-block count of *running sequences* referencing it.
+    run_refs: Vec<u32>,
+    /// Σ over blocks of `run_refs` (sequence→block reference pairs).
+    total_run_refs: usize,
+    /// Blocks with at least one running-sequence reference.
+    distinct_blocks: usize,
+    /// Running Σ of `context_tokens` over the batch.
+    sum_context: usize,
+    /// Admitted-but-not-yet-prefilled sequences in the batch.
+    pending_prefill: usize,
     preemptions: u64,
     prefix_hit_tokens: u64,
     prefix_uncached_tokens: u64,
@@ -639,21 +726,13 @@ struct PagedRunState<'a> {
     peak_queue: usize,
     decode_steps: u64,
     prefill_steps: u64,
-    queue_depth_integral: f64,
-    occupancy_integral: f64,
-    block_util_integral: f64,
-    fragmentation_integral: f64,
-    elapsed: f64,
-    /// Per-block scratch for `account`'s distinct-block walk (indexed by
-    /// `BlockId`): a block whose entry already equals the current stamp
-    /// was counted this step. Reused across steps to avoid per-step
-    /// allocation and hashing.
-    touched: Vec<u64>,
-    /// The current `account` step's stamp in `touched`.
-    stamp: u64,
+    queue_depth: TimeWeightedMean,
+    occupancy: TimeWeightedMean,
+    block_util: TimeWeightedMean,
+    fragmentation: TimeWeightedMean,
 }
 
-impl<'a> PagedRunState<'a> {
+impl<'a> PagedRunCore<'a> {
     fn new(config: ServingConfig, requests: &'a [crate::workload::Request]) -> Self {
         let allocator =
             BlockAllocator::from_token_budget(config.block_size, config.kv_budget_tokens);
@@ -661,21 +740,29 @@ impl<'a> PagedRunState<'a> {
         let cache = config
             .prefix_sharing
             .then(|| PrefixCache::new(config.block_size));
-        PagedRunState {
+        PagedRunCore {
             config,
             requests,
+            events: EventQueue::new(),
             queue: VecDeque::new(),
             running: Vec::new(),
             records: Vec::new(),
             allocator,
             cache,
             now: 0.0,
-            next_arrival: 0,
+            arrival_cursor: 0,
+            step_in_flight: false,
             admitted: 0,
             rejected: 0,
             first_token: vec![None; requests.len()],
             generated_before: vec![0; requests.len()],
             was_admitted: vec![false; requests.len()],
+            pending_preemptions: Vec::new(),
+            run_refs: vec![0; total_blocks],
+            total_run_refs: 0,
+            distinct_blocks: 0,
+            sum_context: 0,
+            pending_prefill: 0,
             preemptions: 0,
             prefix_hit_tokens: 0,
             prefix_uncached_tokens: 0,
@@ -684,14 +771,43 @@ impl<'a> PagedRunState<'a> {
             peak_queue: 0,
             decode_steps: 0,
             prefill_steps: 0,
-            queue_depth_integral: 0.0,
-            occupancy_integral: 0.0,
-            block_util_integral: 0.0,
-            fragmentation_integral: 0.0,
-            elapsed: 0.0,
-            touched: vec![0; total_blocks],
-            stamp: 0,
+            queue_depth: TimeWeightedMean::new(),
+            occupancy: TimeWeightedMean::new(),
+            block_util: TimeWeightedMean::new(),
+            fragmentation: TimeWeightedMean::new(),
         }
+    }
+
+    /// A running sequence took a reference to `block`.
+    fn add_run_ref(&mut self, block: BlockId) {
+        if self.run_refs[block] == 0 {
+            self.distinct_blocks += 1;
+        }
+        self.run_refs[block] += 1;
+        self.total_run_refs += 1;
+    }
+
+    /// A running sequence dropped its reference to `block`.
+    fn drop_run_ref(&mut self, block: BlockId) {
+        self.run_refs[block] -= 1;
+        if self.run_refs[block] == 0 {
+            self.distinct_blocks -= 1;
+        }
+        self.total_run_refs -= 1;
+    }
+
+    /// Distinct resident tokens across the batch: a prefix block shared by
+    /// several sequences backs one physical block, so its tokens count
+    /// once, not once per sharer — which is what keeps
+    /// `peak_kv_occupied_tokens` within the pool and `mean_kv_occupancy`
+    /// within 1.0 under heavy prefix sharing.
+    fn occupied_tokens(&self) -> usize {
+        self.sum_context - self.config.block_size * (self.total_run_refs - self.distinct_blocks)
+    }
+
+    /// Token slots of the blocks held by at least one running sequence.
+    fn sequence_slots(&self) -> usize {
+        self.distinct_blocks * self.config.block_size
     }
 
     /// The prompt a (possibly resumed) request must prefill: its original
@@ -700,15 +816,90 @@ impl<'a> PagedRunState<'a> {
         self.requests[idx].prompt_tokens + self.generated_before[idx]
     }
 
-    /// Pulls every arrival up to the current time into the queue.
-    fn pull_arrivals(&mut self) {
-        while self.next_arrival < self.requests.len()
-            && self.requests[self.next_arrival].arrival_s <= self.now
-        {
-            self.queue.push_back(self.next_arrival);
-            self.next_arrival += 1;
+    fn schedule_next_arrival(&mut self) {
+        if self.arrival_cursor < self.requests.len() {
+            let request = self.arrival_cursor;
+            self.arrival_cursor += 1;
+            self.events
+                .push(self.requests[request].arrival_s, Event::Arrival { request });
+        }
+    }
+
+    /// Integrates the time-weighted signals over `[now, t)` — all four are
+    /// O(1) reads of running counters — and advances the clock.
+    fn advance_to(&mut self, t: f64) {
+        let dt = t - self.now;
+        if dt > 0.0 {
+            let occupied = self.occupied_tokens();
+            let seq_slots = self.sequence_slots();
+            self.queue_depth.observe(self.queue.len() as f64, dt);
+            self.occupancy
+                .observe(occupied as f64 / self.allocator.total_tokens() as f64, dt);
+            self.block_util.observe(self.allocator.utilization(), dt);
+            // Internal fragmentation over the sequence-held slots only
+            // (cache-only blocks are full of cached tokens, not waste).
+            let frag = if seq_slots > 0 {
+                1.0 - occupied as f64 / seq_slots as f64
+            } else {
+                0.0
+            };
+            self.fragmentation.observe(frag, dt);
+        }
+        self.now = t;
+    }
+
+    /// Applies one fired event; returns whether it was a step completion.
+    fn apply(&mut self, event: Event) -> bool {
+        match event {
+            Event::Arrival { request } => {
+                self.queue.push_back(request);
+                self.schedule_next_arrival();
+                false
+            }
+            Event::Preemption { request } => {
+                // Preempted work outranks new arrivals; firing in
+                // preemption order re-queues successive victims in their
+                // original admission order.
+                self.queue.push_front(request);
+                false
+            }
+            Event::PrefillDone | Event::DecodeDone => true,
+        }
+    }
+
+    /// Drives the run to drain.
+    fn drive<C: ServingCostModel>(&mut self, cost: &mut C) {
+        self.schedule_next_arrival();
+        while let Some(scheduled) = self.events.pop() {
+            self.advance_to(scheduled.at_s);
+            let mut step_done = self.apply(scheduled.event);
+            while let Some(next) = self.events.pop_due(self.now) {
+                step_done |= self.apply(next.event);
+            }
+            if step_done || !self.step_in_flight {
+                self.boundary(cost);
+            }
+        }
+    }
+
+    /// One batch boundary: retire, admit, launch the next step.
+    fn boundary<C: ServingCostModel>(&mut self, cost: &mut C) {
+        if self.step_in_flight {
+            self.step_in_flight = false;
+            self.retire();
         }
         self.peak_queue = self.peak_queue.max(self.queue.len());
+        self.admit();
+        if self.running.is_empty() {
+            // With no sequences running, every resident block belongs
+            // solely to the prefix cache, so admission can always evict
+            // its way to room for the queue head (whose footprint fits
+            // the pool outright, or it was rejected above).
+            debug_assert!(self.queue.is_empty());
+        } else {
+            self.start_step(cost);
+            self.step_in_flight = true;
+        }
     }
 
     /// Paged admission: FIFO, gated by the batch limit and by *current*
@@ -787,10 +978,14 @@ impl<'a> PagedRunState<'a> {
             for _ in 0..need_now {
                 blocks.push(self.allocator.alloc().expect("free blocks checked"));
             }
+            for &block in &blocks {
+                self.add_run_ref(block);
+            }
             if !self.was_admitted[head] {
                 self.was_admitted[head] = true;
                 self.admitted += 1;
             }
+            self.pending_prefill += 1;
             self.running.push(PagedActive {
                 idx: head,
                 prefilled: false,
@@ -811,15 +1006,22 @@ impl<'a> PagedRunState<'a> {
             .is_some_and(|cache| cache.evict_lru(&mut self.allocator))
     }
 
-    /// One engine step — prefill-prioritized, then decode.
-    fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+    /// Launches one engine step — prefill-prioritized, then decode — and
+    /// schedules its completion (plus any preemption re-queues) `dt`
+    /// ahead.
+    fn start_step<C: ServingCostModel>(&mut self, cost: &mut C) {
         self.peak_batch = self.peak_batch.max(self.running.len());
-        let pending_prefill = self.running.iter().any(|a| !a.prefilled);
-        if pending_prefill {
-            self.prefill_step(cost)
+        let (completion, dt) = if self.pending_prefill > 0 {
+            (Event::PrefillDone, self.prefill_step(cost))
         } else {
-            self.decode_step(cost)
+            (Event::DecodeDone, self.decode_step(cost))
+        };
+        self.peak_occupied = self.peak_occupied.max(self.occupied_tokens());
+        let end = self.now + dt;
+        for victim in std::mem::take(&mut self.pending_preemptions) {
+            self.events.push(end, Event::Preemption { request: victim });
         }
+        self.events.push(end, completion);
     }
 
     /// Prefills every newly admitted (or resumed) sequence back to back,
@@ -836,6 +1038,7 @@ impl<'a> PagedRunState<'a> {
             cursor += cost.prefill_seconds_cached(prompt, cached);
             active.prefilled = true;
             active.context_tokens = prompt + 1;
+            self.sum_context += active.context_tokens;
             // Saturating for the same reason as the reserve-up-front path:
             // a denormalized zero-output request must not underflow.
             active.remaining_decode = request
@@ -856,6 +1059,7 @@ impl<'a> PagedRunState<'a> {
                 cache.insert(&ids, &active.blocks, &mut self.allocator);
             }
         }
+        self.pending_prefill = 0;
         cursor - self.now
     }
 
@@ -890,6 +1094,7 @@ impl<'a> PagedRunState<'a> {
             let active = &mut self.running[i];
             active.context_tokens += 1;
             active.remaining_decode -= 1;
+            self.sum_context += 1;
             i += 1;
         }
         dt
@@ -902,6 +1107,7 @@ impl<'a> PagedRunState<'a> {
         loop {
             if let Some(block) = self.allocator.alloc() {
                 self.running[i].blocks.push(block);
+                self.add_run_ref(block);
                 return Some(i);
             }
             if self.evict_one() {
@@ -924,62 +1130,24 @@ impl<'a> PagedRunState<'a> {
         }
     }
 
-    /// Preempt-by-recompute: frees every block the victim holds, records
-    /// how far it had generated, and re-queues it at the *front* (preempted
-    /// work outranks new arrivals; successive victims re-queue in their
-    /// original admission order because later victims are preempted
-    /// first). Its prefill is re-priced on resume.
+    /// Preempt-by-recompute: frees every block the victim holds and
+    /// records how far it had generated. The victim re-enters the queue
+    /// *front* through a [`Event::Preemption`] event at the step's end
+    /// (the queue is only read at boundaries, so this is exactly the
+    /// reference loop's mid-step `push_front`). Its prefill is re-priced
+    /// on resume.
     fn preempt(&mut self, j: usize) {
         let victim = self.running.remove(j);
         let request = &self.requests[victim.idx];
         debug_assert!(victim.prefilled);
         self.generated_before[victim.idx] = victim.context_tokens - request.prompt_tokens;
+        self.sum_context -= victim.context_tokens;
         for block in victim.blocks {
+            self.drop_run_ref(block);
             self.allocator.free(block);
         }
-        self.queue.push_front(victim.idx);
+        self.pending_preemptions.push(victim.idx);
         self.preemptions += 1;
-    }
-
-    /// Advances the clock and the time-weighted statistics by one step.
-    ///
-    /// Occupancy counts *distinct* resident tokens: a prefix block shared
-    /// by several sequences backs one physical block, so its tokens count
-    /// once, not once per sharer — which is what keeps
-    /// `peak_kv_occupied_tokens` within the pool and `mean_kv_occupancy`
-    /// within 1.0 under heavy prefix sharing. (A shared block is always a
-    /// full block fully covered by every sharer's context, so each extra
-    /// sharer over-counts exactly `block_size` tokens.)
-    fn account(&mut self, step_seconds: f64) {
-        self.stamp += 1;
-        let stamp = self.stamp;
-        let touched = &mut self.touched;
-        let mut occupied = 0usize;
-        let mut seq_slots = 0usize;
-        for active in &self.running {
-            occupied += active.context_tokens;
-            for &block in &active.blocks {
-                if touched[block] == stamp {
-                    occupied -= self.config.block_size;
-                } else {
-                    touched[block] = stamp;
-                    seq_slots += self.config.block_size;
-                }
-            }
-        }
-        self.peak_occupied = self.peak_occupied.max(occupied);
-        self.queue_depth_integral += self.queue.len() as f64 * step_seconds;
-        self.occupancy_integral +=
-            occupied as f64 / self.allocator.total_tokens() as f64 * step_seconds;
-        self.block_util_integral += self.allocator.utilization() * step_seconds;
-        // Internal fragmentation over the sequence-held slots only (cache-
-        // only blocks are full of cached tokens, not rounding waste).
-        if seq_slots > 0 {
-            self.fragmentation_integral +=
-                (1.0 - occupied as f64 / seq_slots as f64) * step_seconds;
-        }
-        self.elapsed += step_seconds;
-        self.now += step_seconds;
     }
 
     /// Retires finished sequences: publishes their full blocks (prompt +
@@ -992,33 +1160,36 @@ impl<'a> PagedRunState<'a> {
                 active.done_s = Some(now);
             }
         }
-        let requests = self.requests;
-        let records = &mut self.records;
-        let allocator = &mut self.allocator;
-        let cache = &mut self.cache;
-        let first_token = &self.first_token;
+        let mut retired = Vec::new();
         self.running.retain(|active| {
-            let Some(done_s) = active.done_s else {
-                return true;
-            };
-            let request = &requests[active.idx];
-            if let Some(cache) = cache {
+            if active.done_s.is_some() {
+                retired.push(active.clone());
+                false
+            } else {
+                true
+            }
+        });
+        for active in retired {
+            let done_s = active.done_s.expect("retired implies done");
+            let request = &self.requests[active.idx];
+            if let Some(cache) = &mut self.cache {
                 let ids = request.stream.token_ids(active.context_tokens);
-                cache.insert(&ids, &active.blocks, allocator);
+                cache.insert(&ids, &active.blocks, &mut self.allocator);
             }
+            self.sum_context -= active.context_tokens;
             for &block in &active.blocks {
-                allocator.free(block);
+                self.drop_run_ref(block);
+                self.allocator.free(block);
             }
-            records.push(RequestRecord {
+            self.records.push(RequestRecord {
                 id: request.id,
                 arrival_s: request.arrival_s,
-                first_token_s: first_token[active.idx].expect("prefilled"),
+                first_token_s: self.first_token[active.idx].expect("prefilled"),
                 completion_s: done_s,
                 prompt_tokens: request.prompt_tokens,
                 output_tokens: request.output_tokens,
             });
-            false
-        });
+        }
     }
 
     /// Finalizes the report once the trace has drained.
@@ -1035,13 +1206,6 @@ impl<'a> PagedRunState<'a> {
             .as_ref()
             .map(PrefixCache::stats)
             .unwrap_or_default();
-        let normalize = |integral: f64| {
-            if self.elapsed > 0.0 {
-                integral / self.elapsed
-            } else {
-                0.0
-            }
-        };
         ServingReport {
             scheduler: self.config.scheduler,
             records: self.records,
@@ -1051,18 +1215,18 @@ impl<'a> PagedRunState<'a> {
             kv_budget_tokens: self.allocator.total_tokens(),
             peak_kv_reserved_tokens: allocator_stats.peak_allocated_blocks * self.config.block_size,
             peak_kv_occupied_tokens: self.peak_occupied,
-            mean_kv_occupancy: normalize(self.occupancy_integral),
+            mean_kv_occupancy: self.occupancy.mean(),
             peak_batch: self.peak_batch,
             peak_queue_depth: self.peak_queue,
-            mean_queue_depth: normalize(self.queue_depth_integral),
+            mean_queue_depth: self.queue_depth.mean(),
             decode_steps: self.decode_steps,
             prefill_steps: self.prefill_steps,
             paged: Some(PagedStats {
                 block_size: self.config.block_size,
                 total_blocks: allocator_stats.total_blocks,
                 peak_allocated_blocks: allocator_stats.peak_allocated_blocks,
-                mean_block_utilization: normalize(self.block_util_integral),
-                mean_internal_fragmentation: normalize(self.fragmentation_integral),
+                mean_block_utilization: self.block_util.mean(),
+                mean_internal_fragmentation: self.fragmentation.mean(),
                 preemptions: self.preemptions,
                 cache_evictions: cache_stats.evictions,
                 cache_peak_resident_blocks: cache_stats.peak_resident_blocks,
@@ -1072,6 +1236,12 @@ impl<'a> PagedRunState<'a> {
         }
     }
 }
+
+#[cfg(test)]
+mod reference;
+
+#[cfg(test)]
+mod equivalence_tests;
 
 #[cfg(test)]
 mod tests {
@@ -1412,5 +1582,67 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.completed() + a.rejected, trace.len());
         assert!(a.paged.unwrap().prefix_hit_tokens > 0);
+    }
+
+    /// The interval-integrated time-weighted means, pinned on a
+    /// hand-computed 3-request trace (the satellite fix of the event-core
+    /// refactor): queue depth and occupancy integrate over exact
+    /// inter-event intervals — including the idle gap before request 2 and
+    /// the partial interval request 1's mid-prefill arrival splits the
+    /// first step into — instead of sampling once per engine step.
+    ///
+    /// Timeline under `LinearCostModel::default_70b`, `max_batch = 1`,
+    /// budget 1000 (prefill(p) = 0.01 + 2e-4·p; decode(b, c) = 0.03 +
+    /// 5e-4·b + 2e-6·c):
+    ///
+    /// * t = 0: r0 (prompt 100, output 2) admitted; prefill takes 0.03 s.
+    /// * t = 0.01: r1 (prompt 50, output 1) arrives — queue depth 1 from
+    ///   here until its admission.
+    /// * t = 0.03: r0 decodes once: 0.03 + 5e-4 + 2e-6·101 = 0.030702 s.
+    /// * t = 0.060702: r0 done; r1 admitted, prefill(50) = 0.02 s; done at
+    ///   its own prefill end (single-token output).
+    /// * t = 0.080702 → 10: idle (queue 0, occupancy 0).
+    /// * t = 10: r2 (prompt 100, output 1) arrives, prefills 0.03 s, done
+    ///   at t = 10.03 — the end of the observed span.
+    #[test]
+    fn time_weighted_means_integrate_over_event_intervals() {
+        let trace = RequestTrace::new(vec![
+            req(0, 0.0, 100, 2),
+            req(1, 0.01, 50, 1),
+            req(2, 10.0, 100, 1),
+        ]);
+        let config = ServingConfig::continuous(1, 1_000);
+        let report = sim(config).run(&trace);
+        assert_eq!(report.completed(), 3);
+
+        let decode = 0.03 + 5e-4 + 2e-6 * 101.0; // 0.030702
+        let elapsed = 10.03;
+        // Queue depth 1 over [0.01, 0.060702): r1 waits while r0 prefills
+        // (from 0.01) and decodes.
+        let queue_integral = (0.03 - 0.01) + decode;
+        assert!(
+            (report.mean_queue_depth - queue_integral / elapsed).abs() < 1e-12,
+            "mean queue depth {}",
+            report.mean_queue_depth
+        );
+        // Occupancy: 101 tokens over r0's prefill + 102 over its decode +
+        // 51 over r1's prefill + 101 over r2's prefill, against budget
+        // 1000, over 10.03 s total.
+        let occupancy_integral = (101.0 * 0.03 + 102.0 * decode + 51.0 * 0.02 + 101.0 * 0.03)
+            / config.kv_budget_tokens as f64;
+        assert!(
+            (report.mean_kv_occupancy - occupancy_integral / elapsed).abs() < 1e-12,
+            "mean occupancy {}",
+            report.mean_kv_occupancy
+        );
+
+        // The reference step loop samples per step and skips idle time, so
+        // its means differ — the reason the equivalence suite compares
+        // reports modulo the mean fields. Everything else matches exactly.
+        let mut cost = LinearCostModel::default_70b();
+        let reference = reference::run_reference(&mut cost, config, &trace);
+        assert!(reference.mean_queue_depth > report.mean_queue_depth);
+        assert_eq!(reference.records, report.records);
+        assert_eq!(reference.makespan_s, report.makespan_s);
     }
 }

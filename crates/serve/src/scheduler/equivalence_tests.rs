@@ -1,0 +1,180 @@
+//! Trace-equivalence property suite: the event core vs the reference
+//! step loop.
+//!
+//! The discrete-event refactor must not change *what* the scheduler
+//! simulates, only *how fast*: on any trace, every admission decision,
+//! rejection, preemption, timestamp and counter must come out identical
+//! to the old step loop — the step arithmetic is replayed at schedule
+//! time with the same float operations in the same order, so the
+//! comparison is exact (`ServingReport: PartialEq`, no tolerances).
+//!
+//! The only intended divergence is the four time-weighted mean fields
+//! (`mean_queue_depth`, `mean_kv_occupancy`, `mean_block_utilization`,
+//! `mean_internal_fragmentation`): the event core integrates them over
+//! exact inter-event intervals — idle gaps and the partial intervals an
+//! arrival splits a step into — where the old loop sampled once per
+//! engine step and skipped idle time entirely. [`canon`] zeroes those
+//! fields on both sides; everything else must match bit for bit.
+
+use proptest::prelude::*;
+
+use super::reference;
+use super::{SchedulerKind, ServingConfig, ServingReport, ServingSimulator};
+use crate::cost::LinearCostModel;
+use crate::workload::{
+    ArrivalProcess, LengthDistribution, RequestTrace, SharedPrefixChatSpec, WorkloadSpec,
+};
+
+/// Zeroes the interval-vs-sample mean fields so the rest of the report
+/// can be compared exactly.
+fn canon(mut report: ServingReport) -> ServingReport {
+    report.mean_queue_depth = 0.0;
+    report.mean_kv_occupancy = 0.0;
+    if let Some(paged) = &mut report.paged {
+        paged.mean_block_utilization = 0.0;
+        paged.mean_internal_fragmentation = 0.0;
+    }
+    report
+}
+
+/// Runs `trace` through both cores and asserts canonical equality.
+fn assert_equivalent(config: ServingConfig, trace: &RequestTrace) {
+    let mut sim = ServingSimulator::new(LinearCostModel::default_70b(), config);
+    let event_core = sim.run(trace);
+    let mut cost = LinearCostModel::default_70b();
+    let reference = if config.scheduler == SchedulerKind::PagedContinuous {
+        reference::run_paged_reference(&mut cost, config, trace)
+    } else {
+        reference::run_reference(&mut cost, config, trace)
+    };
+    assert_eq!(
+        canon(event_core),
+        canon(reference),
+        "event core diverged from the reference loop ({}, prefix_sharing={})",
+        config.scheduler,
+        config.prefix_sharing
+    );
+}
+
+/// A seeded Poisson or bursty chat workload.
+fn workload(seed: u64, rate_x10: u32, requests: usize, bursty: bool) -> RequestTrace {
+    let rate = f64::from(rate_x10) / 10.0;
+    let arrivals = if bursty {
+        ArrivalProcess::Bursty {
+            base_rate: rate * 0.2,
+            burst_rate: rate * 4.0,
+            burst_secs: 3.0,
+            period_secs: 15.0,
+        }
+    } else {
+        ArrivalProcess::Poisson { rate_per_sec: rate }
+    };
+    WorkloadSpec {
+        arrivals,
+        prompt_lengths: LengthDistribution::Uniform { min: 8, max: 640 },
+        output_lengths: LengthDistribution::Uniform { min: 1, max: 72 },
+        requests,
+        seed,
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Reserve-up-front equivalence (continuous and static batching)
+    /// across seeded Poisson and bursty traces, with budgets small enough
+    /// to force rejections and head-of-line waits.
+    #[test]
+    fn reserve_up_front_cores_are_trace_equivalent(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..400,
+        requests in 2usize..60,
+        max_batch in 1usize..24,
+        budget in 600usize..40_000,
+        bursty in proptest::prop::bool::ANY,
+        static_batching in proptest::prop::bool::ANY,
+    ) {
+        let trace = workload(seed, rate_x10, requests, bursty);
+        let config = if static_batching {
+            ServingConfig::static_batching(max_batch, budget)
+        } else {
+            ServingConfig::continuous(max_batch, budget)
+        };
+        assert_equivalent(config, &trace);
+    }
+
+    /// Paged equivalence on Poisson/bursty traces, pools sized from
+    /// thrashing (heavy preemption) to roomy, prefix sharing on and off.
+    #[test]
+    fn paged_cores_are_trace_equivalent(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..300,
+        requests in 2usize..48,
+        max_batch in 1usize..16,
+        budget_blocks in 48usize..1_500,
+        block_size_idx in 0usize..4,
+        bursty in proptest::prop::bool::ANY,
+        prefix_sharing in proptest::prop::bool::ANY,
+    ) {
+        let block_size = [1usize, 4, 16, 32][block_size_idx];
+        let trace = workload(seed, rate_x10, requests, bursty);
+        let config = ServingConfig::paged(max_batch, budget_blocks * block_size, block_size)
+            .with_prefix_sharing(prefix_sharing);
+        assert_equivalent(config, &trace);
+    }
+
+    /// Paged + prefix-sharing equivalence on shared-prefix conversation
+    /// traces — the workload where cache hits, evictions and the
+    /// feasibility-checked admission path all fire.
+    #[test]
+    fn shared_prefix_traces_are_equivalent_on_every_policy(
+        seed in 0u64..10_000,
+        sessions in 1usize..12,
+        rate_x100 in 5u32..400,
+        max_batch in 1usize..16,
+        budget_blocks in 64usize..2_000,
+    ) {
+        let trace = SharedPrefixChatSpec::fleet(f64::from(rate_x100) / 100.0, sessions, seed)
+            .generate();
+        for config in [
+            ServingConfig::continuous(max_batch, budget_blocks * 16),
+            ServingConfig::static_batching(max_batch, budget_blocks * 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16).with_prefix_sharing(true),
+        ] {
+            assert_equivalent(config, &trace);
+        }
+    }
+}
+
+/// Pinned regression: a pool small enough to preempt on every decode wave
+/// stays equivalent through the deferred-preemption event path.
+#[test]
+fn preemption_heavy_trace_is_equivalent() {
+    use crate::workload::{Request, TokenStream};
+    let requests: Vec<Request> = (0..12)
+        .map(|id| Request {
+            id,
+            arrival_s: 0.0,
+            prompt_tokens: 64,
+            output_tokens: 200,
+            stream: TokenStream::unique(id),
+        })
+        .collect();
+    let trace = RequestTrace::new(requests);
+    assert_equivalent(ServingConfig::paged(12, 1_024, 16), &trace);
+}
+
+/// Pinned regression: an empty trace produces identical (empty) reports.
+#[test]
+fn empty_trace_is_equivalent() {
+    let trace = RequestTrace::new(Vec::new());
+    for config in [
+        ServingConfig::continuous(4, 1_000),
+        ServingConfig::static_batching(4, 1_000),
+        ServingConfig::paged(4, 1_000, 16).with_prefix_sharing(true),
+    ] {
+        assert_equivalent(config, &trace);
+    }
+}

@@ -206,9 +206,18 @@ impl FleetReport {
 /// is split round-robin across the replicas; every request lands on
 /// exactly one, so a fleet run conserves the trace.
 ///
+/// Replicas are independent simulations, so they fan out across OS
+/// threads with `std::thread::scope`, banded round-robin over the
+/// available cores the same way `ParallelMatrixEngine` bands tiles. The
+/// cost-model factory still runs serially in replica order on the calling
+/// thread (it is `FnMut` and may carry warm caches), and the reports are
+/// reassembled in load-balancer order — the result is byte-identical to
+/// the sequential loop.
+///
 /// # Panics
 ///
-/// Panics if `replicas` is zero.
+/// Panics if `replicas` is zero, or if a replica's simulation panics on
+/// its worker thread.
 pub fn simulate_fleet_with<C, F>(
     mut cost: F,
     config: &ServingConfig,
@@ -216,15 +225,53 @@ pub fn simulate_fleet_with<C, F>(
     trace: &RequestTrace,
 ) -> FleetReport
 where
-    C: crate::cost::ServingCostModel,
+    C: crate::cost::ServingCostModel + Send,
     F: FnMut() -> C,
 {
     let shards = trace.split_round_robin(replicas);
-    let mut reports = Vec::with_capacity(replicas);
-    for shard in &shards {
-        let mut simulator = ServingSimulator::new(cost(), *config);
-        reports.push(simulator.run(shard));
-    }
+    // Build every replica's cost model up front, in replica order.
+    let mut jobs: Vec<(usize, RequestTrace, C)> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(idx, shard)| (idx, shard, cost()))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(replicas)
+        .max(1);
+    let mut indexed: Vec<(usize, ServingReport)> = if workers <= 1 {
+        jobs.drain(..)
+            .map(|(idx, shard, cost)| (idx, ServingSimulator::new(cost, *config).run(&shard)))
+            .collect()
+    } else {
+        // Band the replicas round-robin across the workers.
+        let mut bands: Vec<Vec<(usize, RequestTrace, C)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (slot, job) in jobs.drain(..).enumerate() {
+            bands[slot % workers].push(job);
+        }
+        let mut collected = Vec::with_capacity(replicas);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bands
+                .into_iter()
+                .map(|band| {
+                    scope.spawn(move || {
+                        band.into_iter()
+                            .map(|(idx, shard, cost)| {
+                                (idx, ServingSimulator::new(cost, *config).run(&shard))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                collected.extend(handle.join().expect("replica worker panicked"));
+            }
+        });
+        collected
+    };
+    indexed.sort_by_key(|(idx, _)| *idx);
+    let reports = indexed.into_iter().map(|(_, report)| report).collect();
     FleetReport { replicas, reports }
 }
 
@@ -433,6 +480,28 @@ pub fn capacity_search_warm<F: FnMut(f64) -> RequestTrace>(
 mod tests {
     use super::*;
     use crate::cost::LinearCostModel;
+
+    /// The threaded fan-out must be invisible: a fleet run equals the
+    /// replicas simulated one by one on the calling thread, report for
+    /// report, in load-balancer order.
+    #[test]
+    fn threaded_fleet_matches_the_sequential_replicas() {
+        let trace = WorkloadSpec::chat(8.0, 96, 13).generate();
+        let config = ServingConfig::continuous(8, 20_000);
+        for replicas in [1, 2, 5, 8] {
+            let fleet =
+                simulate_fleet_with(LinearCostModel::default_70b, &config, replicas, &trace);
+            assert_eq!(fleet.replicas, replicas);
+            let shards = trace.split_round_robin(replicas);
+            let sequential: Vec<ServingReport> = shards
+                .iter()
+                .map(|shard| {
+                    ServingSimulator::new(LinearCostModel::default_70b(), config).run(shard)
+                })
+                .collect();
+            assert_eq!(fleet.reports, sequential);
+        }
+    }
 
     #[test]
     fn hbm_kv_budget_exists_only_for_fitting_schemes() {

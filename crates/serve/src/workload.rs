@@ -416,6 +416,28 @@ impl SharedPrefixChatSpec {
         }
     }
 
+    /// The deterministic sim-speed benchmark trace (`bench_simspeed`, and
+    /// the CI `simspeed` gate): `sessions` two-turn conversations over a
+    /// 128-token shared system prompt, short user messages and replies,
+    /// offered at 16 sessions/s. Small per-request token counts keep the
+    /// simulated work per request bounded, so the benchmark measures the
+    /// event core's overhead — heap ops and incremental accounting — not
+    /// the length of the conversations; the fixed seed makes every run
+    /// (and every CI machine) simulate the identical trace.
+    #[must_use]
+    pub fn simspeed(sessions: usize) -> Self {
+        SharedPrefixChatSpec {
+            rate_per_sec: 16.0,
+            sessions,
+            turns_per_session: 2,
+            system_prompt_tokens: 128,
+            user_tokens: LengthDistribution::Uniform { min: 16, max: 48 },
+            output_tokens: LengthDistribution::Uniform { min: 16, max: 48 },
+            think_time_s: 5.0,
+            seed: 71,
+        }
+    }
+
     /// The same conversations offered at a different session rate (the
     /// knob a capacity search turns).
     #[must_use]
@@ -767,5 +789,24 @@ mod tests {
             s0.token_ids(spec.system_prompt_tokens),
             s1.token_ids(spec.system_prompt_tokens)
         );
+    }
+
+    #[test]
+    fn simspeed_trace_is_deterministic_and_bounded() {
+        let spec = SharedPrefixChatSpec::simspeed(200);
+        assert_eq!(spec.requests(), 400, "two turns per session");
+        let trace = spec.generate();
+        assert_eq!(trace.len(), 400);
+        assert_eq!(trace, spec.generate(), "fixed seed: byte-identical");
+        // Bounded per-request work: prompt = 128-token system prompt plus
+        // at most two turns of (user ≤ 48) + (reply ≤ 48) transcript.
+        for request in trace.requests() {
+            assert!(request.prompt_tokens >= spec.system_prompt_tokens);
+            assert!(request.prompt_tokens <= 128 + 2 * (48 + 48));
+            assert!((16..=48).contains(&request.output_tokens));
+        }
+        // The offered rate is what the spec says: ~16 sessions/s of
+        // arrivals, so 200 sessions span roughly 12.5 simulated seconds.
+        assert!(trace.duration_s() > 5.0 && trace.duration_s() < 60.0);
     }
 }
