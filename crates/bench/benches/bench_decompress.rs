@@ -119,11 +119,57 @@ fn bench_engines_matrix(c: &mut Criterion) {
     group.finish();
 }
 
+/// SIMD-focused group: the AVX2 path against its forced portable fallback
+/// and the word-parallel incumbent, per scheme family, so a vector-path
+/// regression is visible even when the auto-tuner would mask it.
+fn bench_engine_simd(c: &mut Criterion) {
+    use deca_compress::{DecompressEngine, SimdEngine, WordParallelEngine};
+
+    let mut group = c.benchmark_group("engine_simd");
+    let tile = WeightGenerator::new(46).dense_matrix(16, 32).tile(0, 0);
+    let engines: [(&str, Box<dyn DecompressEngine>); 3] = [
+        ("simd", Box::new(SimdEngine::new())),
+        ("simd-portable", Box::new(SimdEngine::portable())),
+        ("word-parallel", Box::new(WordParallelEngine::new())),
+    ];
+    for scheme in [
+        CompressionScheme::bf8_dense(),
+        CompressionScheme::bf8_sparse(0.5),
+        CompressionScheme::mxfp4(),
+    ] {
+        let compressed = Compressor::new(scheme)
+            .compress_tile(&tile)
+            .expect("compress");
+        for (label, engine) in &engines {
+            let mut out = DenseTile::zero();
+            let mut scratch = DecompressScratch::new();
+            group.throughput(Throughput::Bytes(TILE_BYTES_BF16 as u64));
+            group.bench_with_input(
+                BenchmarkId::new(*label, scheme.label()),
+                &compressed,
+                |b, compressed| {
+                    b.iter(|| {
+                        engine
+                            .decompress_tile_into(
+                                std::hint::black_box(compressed),
+                                &mut scratch,
+                                &mut out,
+                            )
+                            .unwrap();
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_decompress,
     bench_compress,
     bench_engines_tile,
-    bench_engines_matrix
+    bench_engines_matrix,
+    bench_engine_simd
 );
 criterion_main!(benches);

@@ -145,8 +145,13 @@ pub fn llm_latency_results() -> Json {
 const ENGINE_BENCH_ROWS: usize = if cfg!(debug_assertions) { 256 } else { 1024 };
 /// Columns of the engine-benchmark matrix.
 const ENGINE_BENCH_COLS: usize = if cfg!(debug_assertions) { 256 } else { 1024 };
-/// Timed whole-matrix decompressions per engine.
+/// Timed whole-matrix decompressions per engine per sample.
 const ENGINE_BENCH_ITERS: usize = if cfg!(debug_assertions) { 2 } else { 6 };
+/// Timing samples per engine; throughput is the fastest sample. The
+/// samples are interleaved round-robin across the engines so a noisy
+/// neighbor on a shared runner degrades every engine's worst samples
+/// alike instead of biasing whichever engine it overlapped.
+const ENGINE_BENCH_SAMPLES: usize = if cfg!(debug_assertions) { 1 } else { 5 };
 
 /// Matrix-decompression throughput of every pluggable engine, per scheme:
 /// dense GB/s produced (decompressed BF16 bytes over wall time), the
@@ -172,23 +177,32 @@ pub fn engine_results() -> Json {
         let reference = Decompressor::new()
             .decompress_matrix(&compressed)
             .expect("reference");
-        let mut engines = Vec::new();
-        let mut scalar_gbps = 0.0f64;
-        for kind in EngineKind::all() {
+        let kinds = EngineKind::all();
+        let mut built = Vec::new();
+        for kind in kinds {
             let engine = kind.build();
             let mut out = WeightMatrix::zeros(ENGINE_BENCH_ROWS, ENGINE_BENCH_COLS);
             engine
                 .decompress_matrix_into(&compressed, &mut out)
                 .expect("warmup");
             let bit_exact = out == reference;
-            let start = Instant::now();
-            for _ in 0..ENGINE_BENCH_ITERS {
-                engine
-                    .decompress_matrix_into(&compressed, &mut out)
-                    .expect("decompress");
+            built.push((engine, out, bit_exact, f64::INFINITY));
+        }
+        for _ in 0..ENGINE_BENCH_SAMPLES {
+            for (engine, out, _, best_secs) in &mut built {
+                let start = Instant::now();
+                for _ in 0..ENGINE_BENCH_ITERS {
+                    engine
+                        .decompress_matrix_into(&compressed, out)
+                        .expect("decompress");
+                }
+                *best_secs = best_secs.min(start.elapsed().as_secs_f64().max(1e-9));
             }
-            let secs = start.elapsed().as_secs_f64().max(1e-9);
-            let gbps = dense_bytes * ENGINE_BENCH_ITERS as f64 / secs / 1e9;
+        }
+        let mut engines = Vec::new();
+        let mut scalar_gbps = 0.0f64;
+        for (kind, (_, _, bit_exact, best_secs)) in kinds.into_iter().zip(built) {
+            let gbps = dense_bytes * ENGINE_BENCH_ITERS as f64 / best_secs / 1e9;
             if kind == EngineKind::Scalar {
                 scalar_gbps = gbps;
             }
@@ -947,22 +961,28 @@ const SIMSPEED_MAX_BATCH: usize = 64;
 /// reserve-up-front policies rarely queue, tight enough to stay realistic.
 const SIMSPEED_KV_BUDGET: usize = 100_000;
 
-/// One sim-speed row: simulate the deterministic trace under `config` and
-/// report throughput in sessions per second *of simulation wall time* —
-/// the figure of merit of the event core — alongside the simulated
+/// One sim-speed row: simulate the deterministic workload under `config`
+/// and report throughput in sessions per second *of simulation wall time*
+/// — the figure of merit of the event core — alongside the simulated
 /// makespan and the step/queue counters that pin the simulation itself
 /// (everything except the `wall`-named fields is deterministic; the drift
-/// check strips those recursively).
+/// check strips those recursively). The workload streams through
+/// [`ServingSimulator::run_streamed`] — arrivals are generated lazily and
+/// request slots recycled, so the run never materializes the million-entry
+/// trace (and the wall clock covers generation + simulation together, the
+/// honest cost of the streaming loop).
 fn simspeed_row(policy: &str, sessions: usize, config: &ServingConfig) -> Json {
-    let trace = SharedPrefixChatSpec::simspeed(sessions).generate();
+    let spec = SharedPrefixChatSpec::simspeed(sessions);
+    let stream = spec.stream();
+    let requests = stream.len();
     let start = Instant::now();
-    let report =
-        ServingSimulator::new(deca_serve::LinearCostModel::default_70b(), *config).run(&trace);
+    let report = ServingSimulator::new(deca_serve::LinearCostModel::default_70b(), *config)
+        .run_streamed(stream);
     let wall_secs = start.elapsed().as_secs_f64();
     Json::obj(vec![
         ("policy", Json::str(policy)),
         ("sessions", num(sessions as f64)),
-        ("requests", num(trace.len() as f64)),
+        ("requests", num(requests as f64)),
         ("completed", num(report.completed() as f64)),
         ("rejected", num(report.rejected as f64)),
         ("admitted", num(report.admitted as f64)),
@@ -995,13 +1015,14 @@ fn simspeed_row(policy: &str, sessions: usize, config: &ServingConfig) -> Json {
 }
 
 /// The simulator-speed experiment (`bench_simspeed`, and CI's `simspeed`
-/// job): the deterministic [`SharedPrefixChatSpec::simspeed`] trace pushed
-/// through the event core at million-session scale. Three rows:
-/// continuous batching and paged (no sharing) at the full session count —
-/// both O(events · log batch) end to end — and paged + prefix sharing at
-/// a tenth of it (radix-cache admission does an O(cache) evictable scan
-/// once the pool fills, so its scale is kept where the run still takes
-/// seconds). Every field except the `wall`-named ones is deterministic.
+/// job): the deterministic [`SharedPrefixChatSpec::simspeed`] workload
+/// streamed through the event core at million-session scale. Three rows,
+/// all at the full session count: continuous batching, paged (no
+/// sharing), and paged + prefix sharing — the last runs at full scale now
+/// that the radix cache maintains its evictable count and LRU order
+/// incrementally (admission is O(log cache) instead of the old O(cache)
+/// scan that forced a tenth-scale row). Every field except the
+/// `wall`-named ones is deterministic.
 #[must_use]
 pub fn simspeed_results() -> Json {
     let continuous = ServingConfig::continuous(SIMSPEED_MAX_BATCH, SIMSPEED_KV_BUDGET);
@@ -1017,7 +1038,7 @@ pub fn simspeed_results() -> Json {
         simspeed_row("paged", SIMSPEED_SESSIONS, &paged),
         simspeed_row(
             "paged+prefix",
-            SIMSPEED_SESSIONS / 10,
+            SIMSPEED_SESSIONS,
             &ServingConfig {
                 prefix_sharing: true,
                 ..paged
@@ -1168,7 +1189,7 @@ mod tests {
             let Json::Arr(entries) = find(scheme, "engines") else {
                 panic!("engines must be an array");
             };
-            assert_eq!(entries.len(), 3);
+            assert_eq!(entries.len(), EngineKind::all().len());
             for entry in entries {
                 match find(entry, "bit_exact") {
                     Json::Bool(exact) => assert!(*exact, "engine must match the reference"),

@@ -18,8 +18,10 @@
 //!   online decompression,
 //! * [`engine`] — the pluggable streaming decompression backends
 //!   ([`DecompressEngine`]): scalar reference, word-parallel
-//!   (POPCNT/prefix-sum style) and threaded whole-matrix fan-out, all
-//!   bit-exact against each other,
+//!   (POPCNT/prefix-sum style), explicitly vectorized SIMD (AVX2 with a
+//!   portable chunked fallback), threaded whole-matrix fan-out and a
+//!   calibration-driven auto-tuned dispatcher, all bit-exact against each
+//!   other,
 //! * [`generator`] — synthetic weight matrices with controlled density.
 //!
 //! # Example
@@ -35,7 +37,11 @@
 //! # Ok::<(), deca_compress::CompressError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide (reinforcing the workspace lint); the one
+// sanctioned exception is the `engine::simd_x86` intrinsics module, which
+// opts back in locally with `#[allow(unsafe_code)]` and documents the safety
+// argument for every unsafe block.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bitmask;
@@ -52,8 +58,8 @@ pub use bitmask::Bitmask;
 pub use compressor::{compress, Compressor};
 pub use decompressor::Decompressor;
 pub use engine::{
-    DecompressEngine, DecompressScratch, EngineKind, FormatLuts, ParallelMatrixEngine,
-    ScalarEngine, WordParallelEngine,
+    AutoTunedEngine, CalibrationTable, DecompressEngine, DecompressScratch, EngineKind, FormatLuts,
+    ParallelMatrixEngine, ScalarEngine, SimdEngine, WordParallelEngine,
 };
 pub use error::CompressError;
 pub use matrix::{CompressedMatrix, WeightMatrix};

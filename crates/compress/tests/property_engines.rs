@@ -7,9 +7,9 @@
 //! `CompressError::CorruptTile`, never silently decompressed.
 
 use deca_compress::{
-    generator::WeightGenerator, pack_codes, Bitmask, CompressError, CompressedTile,
-    CompressionScheme, Compressor, DecompressEngine, DecompressScratch, Decompressor, DenseTile,
-    EngineKind, TILE_ELEMS,
+    generator::WeightGenerator, pack_codes, AutoTunedEngine, Bitmask, CalibrationTable,
+    CompressError, CompressedTile, CompressionScheme, Compressor, DecompressEngine,
+    DecompressScratch, Decompressor, DenseTile, EngineKind, SimdEngine, TILE_ELEMS,
 };
 use deca_numerics::QuantFormat;
 use proptest::prelude::*;
@@ -119,6 +119,62 @@ proptest! {
             engine.decompress_tile_into(&b, &mut scratch, &mut out).expect("sparse tile");
             prop_assert_eq!(&out, &reference, "{}", kind);
         }
+    }
+
+    /// The SIMD engine stays bit-identical whichever path runs: the
+    /// feature-detected vector kernels and the forced portable fallback
+    /// (the path non-AVX2 hosts always take) agree with the reference on
+    /// every scheme.
+    #[test]
+    fn simd_fallback_is_bit_identical_to_the_reference(
+        seed in 0u64..500,
+        format_idx in 0usize..7,
+        density_pct in 5u32..=100,
+    ) {
+        let scheme = scheme_for(format_idx, f64::from(density_pct) / 100.0);
+        let tile = WeightGenerator::new(seed).dense_matrix(16, 32).tile(0, 0);
+        let compressed = Compressor::new(scheme).compress_tile(&tile).expect("compress");
+        let reference = Decompressor::new().decompress_tile(&compressed).expect("reference");
+        for engine in [SimdEngine::new(), SimdEngine::portable()] {
+            let out = decompress_with(&engine, &compressed);
+            for (pos, (a, b)) in reference.elements().iter().zip(out.elements()).enumerate() {
+                prop_assert_eq!(
+                    a.to_bits(), b.to_bits(),
+                    "simd (avx2={}) disagrees at position {} under {}",
+                    engine.uses_avx2(), pos, scheme
+                );
+            }
+        }
+    }
+
+    /// Calibration tables built from a fixed override are fully
+    /// deterministic — identical tables, identical per-class choices — and
+    /// the auto-tuned engine they drive keeps the bit-exact contract for
+    /// every override and worker count.
+    #[test]
+    fn auto_tuner_fixed_override_is_deterministic(
+        kind_idx in 0usize..3,
+        threads in 1usize..5,
+        seed in 0u64..200,
+        format_idx in 0usize..7,
+    ) {
+        let kind = [EngineKind::Scalar, EngineKind::WordParallel, EngineKind::Simd][kind_idx];
+        let table = CalibrationTable::fixed(kind, threads);
+        prop_assert_eq!(&table, &CalibrationTable::fixed(kind, threads));
+        for lut in [false, true] {
+            for sparse in [false, true] {
+                for scaled in [false, true] {
+                    prop_assert_eq!(table.tile_choice(lut, sparse, scaled), kind);
+                }
+            }
+        }
+        prop_assert_eq!(table.matrix_threads(), threads);
+        let engine = AutoTunedEngine::with_table(table);
+        let scheme = scheme_for(format_idx, 0.4);
+        let m = WeightGenerator::new(seed).dense_matrix(40, 50);
+        let cm = Compressor::new(scheme).compress_matrix(&m).expect("compress");
+        let reference = Decompressor::new().decompress_matrix(&cm).expect("reference");
+        prop_assert_eq!(engine.decompress_matrix(&cm).expect("engine"), reference);
     }
 }
 

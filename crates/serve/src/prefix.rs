@@ -28,10 +28,26 @@
 //! * [`PrefixCache::flush`] releases every resident block, so after the
 //!   sequences retire too, the allocator drains to `allocated == 0` and
 //!   all ref-counts return to zero.
-//! * Determinism: ties in the LRU order break on the smaller node id, and
-//!   the eviction scan walks the arena in index order.
+//! * Determinism: ties in the LRU order break on the smaller node id.
+//!
+//! # Bookkeeping contract and complexity
+//!
+//! The cache tracks incrementally, per node, whether its block is *shared*
+//! (the allocator's ref-count exceeds the cache's own reference) and how
+//! many of its children root a shared descendant. That makes
+//! [`PrefixCache::evictable_blocks`] O(1) and [`PrefixCache::evict_lru`]
+//! O(log evictable) — the original full-arena scans cost O(cache size) per
+//! admission decision, which dominated the simulator at million-session
+//! scale. The price is a contract: once a block is resident, a caller must
+//! drop its references through [`PrefixCache::release`] rather than
+//! [`BlockAllocator::free`], so the shared flags resync as the ref-count
+//! crosses back to one. (References are only *acquired* through
+//! [`PrefixCache::lookup`] and [`PrefixCache::insert`], which resync on
+//! their own; `release` degrades to a plain `free` for blocks the cache
+//! never saw.) Debug builds cross-check both the evictable counter and
+//! every eviction choice against the original reference scans.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use crate::kv::{BlockAllocator, BlockId};
 
@@ -52,6 +68,21 @@ struct Node {
     children: HashMap<Vec<u64>, NodeId>,
     /// Logical LRU timestamp of the last lookup that traversed this node.
     last_use: u64,
+    /// True while the block's ref-count exceeds the cache's own reference
+    /// (a running sequence still shares it), as of the last resync.
+    shared: bool,
+    /// Children whose subtree contains a shared node. A node is *pinned*
+    /// (unevictable even by cascade) iff it is shared or this is nonzero.
+    pinned_children: usize,
+}
+
+impl Node {
+    /// Pinned nodes can never be delivered by [`PrefixCache::evict_lru`]:
+    /// the node's own block is shared, or a shared descendant keeps it from
+    /// ever becoming a sole-owner leaf.
+    fn pinned(&self) -> bool {
+        self.shared || self.pinned_children > 0
+    }
 }
 
 /// Counters of one cache's lifetime, for [`crate::scheduler::PagedStats`].
@@ -78,6 +109,14 @@ pub struct PrefixCache {
     peak_resident: usize,
     evictions: u64,
     insertions: u64,
+    /// Resident block → its tree node, for [`PrefixCache::release`] resync.
+    by_block: HashMap<BlockId, NodeId>,
+    /// Eviction candidates — exactly the unshared leaves — ordered by
+    /// `(last_use, id)` so iteration order matches the reference LRU scan.
+    lru: BTreeSet<(u64, NodeId)>,
+    /// Non-root nodes currently pinned; `resident - pinned_count` is the
+    /// cascade-deliverable eviction total.
+    pinned_count: usize,
 }
 
 impl PrefixCache {
@@ -97,6 +136,8 @@ impl PrefixCache {
                 parent: ROOT,
                 children: HashMap::new(),
                 last_use: 0,
+                shared: false,
+                pinned_children: 0,
             })],
             recycled: Vec::new(),
             clock: 0,
@@ -104,6 +145,9 @@ impl PrefixCache {
             peak_resident: 0,
             evictions: 0,
             insertions: 0,
+            by_block: HashMap::new(),
+            lru: BTreeSet::new(),
+            pinned_count: 0,
         }
     }
 
@@ -122,24 +166,34 @@ impl PrefixCache {
     }
 
     /// Blocks that repeated [`PrefixCache::evict_lru`] calls could free
-    /// right now. Eviction is leaf-first and only touches sole-owner
-    /// blocks, so a resident block is cascade-deliverable exactly when its
-    /// *entire subtree* is sole-owner. Sole ownership of the node alone is
-    /// not enough: [`PrefixCache::insert`] deduplicates an already-resident
-    /// prefix block while still attaching the sequence's divergent child
-    /// beneath it, so a sequence can share a mid-tree node without
-    /// referencing its ancestor — that ancestor stays pinned until the
-    /// shared descendant retires, and must not be counted. Lets a caller
-    /// check an allocation is satisfiable *before* sacrificing cache
-    /// residency.
+    /// right now, in O(1). Eviction is leaf-first and only touches
+    /// sole-owner blocks, so a resident block is cascade-deliverable
+    /// exactly when its *entire subtree* is sole-owner. Sole ownership of
+    /// the node alone is not enough: [`PrefixCache::insert`] deduplicates
+    /// an already-resident prefix block while still attaching the
+    /// sequence's divergent child beneath it, so a sequence can share a
+    /// mid-tree node without referencing its ancestor — that ancestor
+    /// stays pinned until the shared descendant retires, and must not be
+    /// counted. Lets a caller check an allocation is satisfiable *before*
+    /// sacrificing cache residency.
     #[must_use]
     pub fn evictable_blocks(&self, allocator: &BlockAllocator) -> usize {
-        // A subtree is entirely sole-owner iff the node is sole-owner and
-        // no shared node sits below it, so: pin every ancestor of a shared
-        // node, then count the unpinned sole-owner residents. Iterative
-        // (long transcripts make arbitrarily deep chains, so recursion
-        // would risk the stack), and O(nodes) amortized: each parent-chain
-        // walk stops at the first already-pinned ancestor.
+        debug_assert_eq!(
+            self.resident - self.pinned_count,
+            self.scan_evictable(allocator),
+            "incremental pin counters diverged from the reference scan \
+             (was a resident block freed without PrefixCache::release?)"
+        );
+        self.resident - self.pinned_count
+    }
+
+    /// Reference implementation of [`PrefixCache::evictable_blocks`]: pin
+    /// every ancestor of a shared node (per the live allocator ref-counts),
+    /// then count the unpinned sole-owner residents. Iterative (long
+    /// transcripts make arbitrarily deep chains, so recursion would risk
+    /// the stack), and O(nodes) amortized: each parent-chain walk stops at
+    /// the first already-pinned ancestor. Debug cross-check only.
+    fn scan_evictable(&self, allocator: &BlockAllocator) -> usize {
         let mut pinned = vec![false; self.nodes.len()];
         for id in 1..self.nodes.len() {
             let Some(node) = self.nodes[id].as_ref() else {
@@ -163,6 +217,26 @@ impl PrefixCache {
             .count()
     }
 
+    /// Reference implementation of the [`PrefixCache::evict_lru`] victim
+    /// choice: full arena scan for the `(last_use, id)`-minimal sole-owner
+    /// leaf, against the live allocator ref-counts. Debug cross-check only.
+    fn scan_victim(&self, allocator: &BlockAllocator) -> Option<(u64, NodeId)> {
+        let mut victim: Option<(u64, NodeId)> = None;
+        for id in 1..self.nodes.len() {
+            let Some(node) = self.nodes[id].as_ref() else {
+                continue;
+            };
+            if !node.children.is_empty() || allocator.ref_count(node.block) != 1 {
+                continue;
+            }
+            let candidate = (node.last_use, id);
+            if victim.is_none_or(|best| candidate < best) {
+                victim = Some(candidate);
+            }
+        }
+        victim
+    }
+
     /// Snapshot of the lifetime counters.
     #[must_use]
     pub fn stats(&self) -> PrefixCacheStats {
@@ -174,10 +248,72 @@ impl PrefixCache {
         }
     }
 
+    /// Bumps `id`'s LRU timestamp, keeping its candidate-set key in sync.
+    fn touch(&mut self, id: NodeId, now: u64) {
+        let node = self.node(id);
+        if node.children.is_empty() && !node.shared {
+            let stale = (node.last_use, id);
+            self.lru.remove(&stale);
+            self.lru.insert((now, id));
+        }
+        self.node_mut(id).last_use = now;
+    }
+
+    /// Records a shared-flag transition for `id`, maintaining the LRU
+    /// candidate set and the pin counters (with ancestor propagation).
+    fn set_shared(&mut self, id: NodeId, shared: bool) {
+        let node = self.node(id);
+        if node.shared == shared {
+            return;
+        }
+        let was_pinned = node.pinned();
+        if node.children.is_empty() {
+            let key = (node.last_use, id);
+            if shared {
+                self.lru.remove(&key);
+            } else {
+                self.lru.insert(key);
+            }
+        }
+        self.node_mut(id).shared = shared;
+        let now_pinned = self.node(id).pinned();
+        if was_pinned != now_pinned {
+            self.propagate_pin_flip(id, now_pinned);
+        }
+    }
+
+    /// Walks the ancestor chain after `id`'s pinned state flipped to
+    /// `now_pinned`, updating the pinned total and each ancestor's
+    /// pinned-children count. Stops at the first ancestor whose own state
+    /// does not flip, so the per-update cost telescopes the same way the
+    /// reference scan's pin walk does.
+    fn propagate_pin_flip(&mut self, mut id: NodeId, now_pinned: bool) {
+        debug_assert_ne!(id, ROOT, "the root holds no block and is never pinned");
+        loop {
+            if now_pinned {
+                self.pinned_count += 1;
+            } else {
+                self.pinned_count -= 1;
+            }
+            let parent = self.node(id).parent;
+            let node = self.node_mut(parent);
+            let was_pinned = node.pinned();
+            if now_pinned {
+                node.pinned_children += 1;
+            } else {
+                node.pinned_children -= 1;
+            }
+            if parent == ROOT || was_pinned == node.pinned() {
+                return;
+            }
+            id = parent;
+        }
+    }
+
     /// Matches the longest cached block-aligned prefix of `tokens` and
     /// shares every matched block with the caller: each returned block has
     /// been [`BlockAllocator::fork`]ed once, and the caller owns that
-    /// reference (releases it with [`BlockAllocator::free`]). The cached
+    /// reference (releases it with [`PrefixCache::release`]). The cached
     /// prefix length in tokens is `result.len() * block_size`.
     pub fn lookup(&mut self, tokens: &[u64], allocator: &mut BlockAllocator) -> Vec<BlockId> {
         self.clock += 1;
@@ -190,7 +326,9 @@ impl PrefixCache {
             };
             allocator.fork(self.node(child).block);
             matched.push(self.node(child).block);
-            self.node_mut(child).last_use = now;
+            self.touch(child, now);
+            // The caller now holds a reference on top of the cache's own.
+            self.set_shared(child, true);
             node = child;
         }
         matched
@@ -220,22 +358,43 @@ impl PrefixCache {
         let mut node = ROOT;
         for (i, chunk) in tokens.chunks_exact(self.block_size).enumerate() {
             if let Some(&child) = self.node(node).children.get(chunk) {
-                self.node_mut(child).last_use = now;
+                self.touch(child, now);
                 node = child;
                 continue;
             }
             allocator.fork(blocks[i]);
+            // The parent gains its first child below: eviction is
+            // leaf-only, so it stops being a candidate.
+            if node != ROOT && self.node(node).children.is_empty() && !self.node(node).shared {
+                self.lru.remove(&(self.node(node).last_use, node));
+            }
+            // The sequence still holds its own reference, so a fresh node
+            // starts shared; computed from the live count for robustness.
+            let shared = allocator.ref_count(blocks[i]) > 1;
             let fresh = self.new_node(Node {
                 key: chunk.to_vec(),
                 block: blocks[i],
                 parent: node,
                 children: HashMap::new(),
                 last_use: now,
+                shared,
+                pinned_children: 0,
             });
             self.node_mut(node).children.insert(chunk.to_vec(), fresh);
+            let displaced = self.by_block.insert(blocks[i], fresh);
+            debug_assert!(
+                displaced.is_none(),
+                "block {} resident under two tree nodes",
+                blocks[i]
+            );
             self.resident += 1;
             self.peak_resident = self.peak_resident.max(self.resident);
             self.insertions += 1;
+            if shared {
+                self.propagate_pin_flip(fresh, true);
+            } else {
+                self.lru.insert((now, fresh));
+            }
             node = fresh;
         }
     }
@@ -250,36 +409,59 @@ impl PrefixCache {
         }
     }
 
+    /// Drops one caller-held reference on `block`. For a cache-resident
+    /// block this is the required replacement for [`BlockAllocator::free`]:
+    /// it resyncs the node's shared flag as the ref-count falls back to the
+    /// cache's own reference, which is what makes the block evictable
+    /// again. For a block the cache never saw (a sequence's private tail,
+    /// or one already evicted) it degrades to a plain `free`.
+    pub fn release(&mut self, block: BlockId, allocator: &mut BlockAllocator) {
+        allocator.free(block);
+        if let Some(&id) = self.by_block.get(&block) {
+            let refs = allocator.ref_count(block);
+            debug_assert!(
+                refs >= 1,
+                "resident block {block} freed past the cache's own reference"
+            );
+            self.set_shared(id, refs > 1);
+        }
+    }
+
     /// Evicts the least-recently-used *evictable* block — a leaf node whose
     /// block the cache is the sole owner of — freeing it back to the
-    /// allocator. Returns `false` when nothing is evictable (every resident
-    /// block is still shared with a running sequence, or the tree is
-    /// empty).
+    /// allocator in O(log evictable). Returns `false` when nothing is
+    /// evictable (every resident block is still shared with a running
+    /// sequence, or the tree is empty).
     pub fn evict_lru(&mut self, allocator: &mut BlockAllocator) -> bool {
-        let mut victim: Option<(u64, NodeId)> = None;
-        // Arena-order scan: deterministic, and O(nodes) is cheap at
-        // simulation scale.
-        for id in 1..self.nodes.len() {
-            let Some(node) = self.nodes[id].as_ref() else {
-                continue;
-            };
-            if !node.children.is_empty() || allocator.ref_count(node.block) != 1 {
-                continue;
-            }
-            let candidate = (node.last_use, id);
-            if victim.is_none_or(|best| candidate < best) {
-                victim = Some(candidate);
-            }
-        }
-        let Some((_, id)) = victim else {
+        debug_assert_eq!(
+            self.lru.first().copied(),
+            self.scan_victim(allocator),
+            "incremental LRU candidates diverged from the reference scan \
+             (was a resident block freed without PrefixCache::release?)"
+        );
+        let Some((_, id)) = self.lru.pop_first() else {
             return false;
         };
         let node = self.nodes[id].take().expect("victim is live");
+        debug_assert_eq!(
+            allocator.ref_count(node.block),
+            1,
+            "eviction candidate is not sole-owner"
+        );
         self.node_mut(node.parent).children.remove(&node.key);
+        self.by_block.remove(&node.block);
         allocator.free(node.block);
         self.recycled.push(id);
         self.resident -= 1;
         self.evictions += 1;
+        // The victim was an unshared leaf, hence unpinned: no counter
+        // propagation. Its parent may have just become a candidate leaf.
+        if node.parent != ROOT {
+            let parent = self.node(node.parent);
+            if parent.children.is_empty() && !parent.shared {
+                self.lru.insert((parent.last_use, node.parent));
+            }
+        }
         true
     }
 
@@ -323,7 +505,7 @@ mod tests {
         // The lookup handed us one more reference per matched block.
         assert_eq!(pool.ref_count(blocks[0]), 3);
         for block in matched {
-            pool.free(block);
+            cache.release(block, &mut pool);
         }
     }
 
@@ -344,7 +526,7 @@ mod tests {
         let matched = cache.lookup(&b, &mut pool);
         assert_eq!(matched, vec![blocks_a[0], blocks_b[1]]);
         for block in matched {
-            pool.free(block);
+            cache.release(block, &mut pool);
         }
     }
 
@@ -356,8 +538,8 @@ mod tests {
         let blocks = seq_blocks(&mut pool, 2);
         cache.insert(&chain, &blocks, &mut pool);
         // Release the sequence's own refs: cache is the sole owner.
-        pool.free(blocks[0]);
-        pool.free(blocks[1]);
+        cache.release(blocks[0], &mut pool);
+        cache.release(blocks[1], &mut pool);
         assert_eq!(pool.allocated_blocks(), 2);
 
         // The parent is not a leaf: the child must go first.
@@ -366,10 +548,12 @@ mod tests {
         assert_eq!(pool.ref_count(blocks[1]), 0);
         assert_eq!(pool.ref_count(blocks[0]), 1, "parent still cached");
 
-        // A block shared with a "running sequence" is not evictable.
-        pool.fork(blocks[0]);
+        // A block shared with a "running sequence" (here re-acquired
+        // through a lookup) is not evictable.
+        let matched = cache.lookup(&chain[..4], &mut pool);
+        assert_eq!(matched, vec![blocks[0]]);
         assert!(!cache.evict_lru(&mut pool));
-        pool.free(blocks[0]);
+        cache.release(blocks[0], &mut pool);
         assert!(cache.evict_lru(&mut pool));
         assert_eq!(pool.allocated_blocks(), 0);
         assert_eq!(cache.stats().evictions, 2);
@@ -385,11 +569,11 @@ mod tests {
         cache.insert(&a, &blocks_a, &mut pool);
         let blocks_b = seq_blocks(&mut pool, 1);
         cache.insert(&b, &blocks_b, &mut pool);
-        pool.free(blocks_a[0]);
-        pool.free(blocks_b[0]);
+        cache.release(blocks_a[0], &mut pool);
+        cache.release(blocks_b[0], &mut pool);
         // Touch `a`: `b` becomes the LRU victim.
         for block in cache.lookup(&a, &mut pool) {
-            pool.free(block);
+            cache.release(block, &mut pool);
         }
         assert!(cache.evict_lru(&mut pool));
         assert_eq!(pool.ref_count(blocks_b[0]), 0, "b evicted first");
@@ -408,7 +592,7 @@ mod tests {
         // Sequence releases its path: the whole chain becomes evictable
         // (the count is the cascade total, not just current leaves).
         for &block in &blocks {
-            pool.free(block);
+            cache.release(block, &mut pool);
         }
         assert_eq!(cache.evictable_blocks(&pool), 3);
         // A sequence re-sharing a prefix pins that path again.
@@ -419,7 +603,7 @@ mod tests {
         assert!(cache.evict_lru(&mut pool));
         assert!(!cache.evict_lru(&mut pool));
         for block in matched {
-            pool.free(block);
+            cache.release(block, &mut pool);
         }
     }
 
@@ -445,15 +629,15 @@ mod tests {
         // A retires; B keeps running. The cache now solely owns A's whole
         // chain, but A's first block sits above B's still-shared divergent
         // block: only A's leaf is deliverable.
-        pool.free(blocks_a[0]);
-        pool.free(blocks_a[1]);
+        cache.release(blocks_a[0], &mut pool);
+        cache.release(blocks_a[1], &mut pool);
         assert_eq!(cache.evictable_blocks(&pool), 1);
         assert!(cache.evict_lru(&mut pool));
         assert!(!cache.evict_lru(&mut pool), "nothing else is deliverable");
         assert_eq!(cache.evictable_blocks(&pool), 0);
         // B retires: the remaining chain becomes deliverable end to end.
-        pool.free(blocks_b[0]);
-        pool.free(blocks_b[1]);
+        cache.release(blocks_b[0], &mut pool);
+        cache.release(blocks_b[1], &mut pool);
         assert_eq!(cache.evictable_blocks(&pool), 2);
         cache.flush(&mut pool);
         assert_eq!(pool.allocated_blocks(), 0);
@@ -468,12 +652,23 @@ mod tests {
             let blocks = seq_blocks(&mut pool, 3);
             cache.insert(&tokens, &blocks, &mut pool);
             for block in blocks {
-                pool.free(block);
+                cache.release(block, &mut pool);
             }
         }
         assert_eq!(cache.resident_blocks(), 12);
         cache.flush(&mut pool);
         assert_eq!(cache.resident_blocks(), 0);
         assert_eq!(pool.allocated_blocks(), 0);
+    }
+
+    /// `release` on a block the cache never saw is a plain allocator free.
+    #[test]
+    fn release_degrades_to_free_for_unknown_blocks() {
+        let mut pool = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new(4);
+        let block = pool.alloc().unwrap();
+        cache.release(block, &mut pool);
+        assert_eq!(pool.allocated_blocks(), 0);
+        assert_eq!(cache.evictable_blocks(&pool), 0);
     }
 }

@@ -429,7 +429,7 @@ impl<'a> PagedRunState<'a> {
                     .map_or(0, |cache| cache.evictable_blocks(&self.allocator));
                 if self.allocator.free_blocks() + evictable < need_now {
                     for block in matched {
-                        self.allocator.free(block);
+                        self.release_block(block);
                     }
                     break;
                 }
@@ -443,7 +443,7 @@ impl<'a> PagedRunState<'a> {
             }
             if starved {
                 for block in matched {
-                    self.allocator.free(block);
+                    self.release_block(block);
                 }
                 break;
             }
@@ -473,6 +473,17 @@ impl<'a> PagedRunState<'a> {
         self.cache
             .as_mut()
             .is_some_and(|cache| cache.evict_lru(&mut self.allocator))
+    }
+
+    /// Drops one sequence-held block reference: through the prefix cache
+    /// when one is attached (the [`PrefixCache::release`] contract keeps
+    /// its shared-block bookkeeping in sync), else straight to the
+    /// allocator.
+    fn release_block(&mut self, block: crate::kv::BlockId) {
+        match &mut self.cache {
+            Some(cache) => cache.release(block, &mut self.allocator),
+            None => self.allocator.free(block),
+        }
     }
 
     /// One engine step — prefill-prioritized, then decode.
@@ -582,7 +593,7 @@ impl<'a> PagedRunState<'a> {
         debug_assert!(victim.prefilled);
         self.generated_before[victim.idx] = victim.context_tokens - request.prompt_tokens;
         for block in victim.blocks {
-            self.allocator.free(block);
+            self.release_block(block);
         }
         self.queue.push_front(victim.idx);
         self.preemptions += 1;
@@ -644,7 +655,10 @@ impl<'a> PagedRunState<'a> {
                 cache.insert(&ids, &active.blocks, allocator);
             }
             for &block in &active.blocks {
-                allocator.free(block);
+                match cache.as_mut() {
+                    Some(cache) => cache.release(block, allocator),
+                    None => allocator.free(block),
+                }
             }
             records.push(RequestRecord {
                 id: request.id,

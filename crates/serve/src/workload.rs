@@ -497,7 +497,158 @@ impl SharedPrefixChatSpec {
         }
         trace
     }
+
+    /// Streams the same requests as [`SharedPrefixChatSpec::generate`] —
+    /// bit-identical, same ids, same order — without ever materializing
+    /// the trace. At million-session scale the materialized `Vec<Request>`
+    /// is the simulation's dominant allocation; the stream holds only the
+    /// turns of sessions that have started but whose arrivals are not yet
+    /// safe to emit (bounded by session concurrency, not session count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session rate is not positive.
+    #[must_use]
+    pub fn stream(&self) -> SharedPrefixChatStream {
+        assert!(self.rate_per_sec > 0.0, "session rate must be positive");
+        SharedPrefixChatStream {
+            spec: *self,
+            rng: StdRng::seed_from_u64(self.seed),
+            next_session: 0,
+            session_start: 0.0,
+            gen_seq: 0,
+            emitted: 0,
+            pending: std::collections::BinaryHeap::new(),
+        }
+    }
 }
+
+/// One not-yet-emitted turn inside [`SharedPrefixChatStream`], ordered by
+/// `(arrival, generation index)`. The generation index reproduces the
+/// stable tie-break of [`RequestTrace::new`]'s sort: co-timed requests
+/// keep the order [`SharedPrefixChatSpec::generate`] produced them in.
+#[derive(Debug, Clone)]
+struct PendingTurn {
+    gen_seq: usize,
+    request: Request,
+}
+
+impl PartialEq for PendingTurn {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for PendingTurn {}
+
+impl PartialOrd for PendingTurn {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PendingTurn {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.request
+            .arrival_s
+            .total_cmp(&other.request.arrival_s)
+            .then(self.gen_seq.cmp(&other.gen_seq))
+    }
+}
+
+/// Lazy, arrival-ordered request source over a [`SharedPrefixChatSpec`] —
+/// see [`SharedPrefixChatSpec::stream`].
+///
+/// Sessions are generated in start order from a single sequential RNG
+/// (the exact draw order of `generate`), and a turn is emitted once its
+/// arrival is at or before the most recently started session: every
+/// later session starts no earlier, so no future turn can precede it.
+/// Ids are assigned in emission order, matching the materialized trace's
+/// post-sort renumbering.
+#[derive(Debug, Clone)]
+pub struct SharedPrefixChatStream {
+    spec: SharedPrefixChatSpec,
+    rng: StdRng,
+    /// Next session index to generate.
+    next_session: usize,
+    /// Start time of the most recently generated session.
+    session_start: f64,
+    /// Turns generated so far (the stable tie-break key).
+    gen_seq: usize,
+    /// Requests emitted so far (the next request id).
+    emitted: usize,
+    /// Generated turns whose arrival might still be preceded by a
+    /// not-yet-generated session's turn (min-heap by arrival).
+    pending: std::collections::BinaryHeap<std::cmp::Reverse<PendingTurn>>,
+}
+
+impl SharedPrefixChatStream {
+    /// Draws the next session's start and all of its turns into `pending`,
+    /// replicating `generate`'s per-session RNG draw order exactly.
+    fn generate_next_session(&mut self) {
+        let spec = &self.spec;
+        let think_rate = 1.0 / spec.think_time_s.max(1e-6);
+        self.session_start += exponential_gap(self.rng.gen(), spec.rate_per_sec);
+        let session = self.next_session;
+        self.next_session += 1;
+        let stream = TokenStream::session(
+            splitmix64(spec.seed ^ splitmix64(session as u64)),
+            spec.system_prompt_tokens,
+        );
+        let mut transcript = spec.system_prompt_tokens;
+        let mut arrival = self.session_start;
+        for _ in 0..spec.turns_per_session.max(1) {
+            let user = spec.user_tokens.sample(&mut self.rng);
+            let output = spec.output_tokens.sample(&mut self.rng);
+            transcript += user;
+            self.pending.push(std::cmp::Reverse(PendingTurn {
+                gen_seq: self.gen_seq,
+                request: Request {
+                    id: 0, // assigned in emission (arrival) order
+                    arrival_s: arrival,
+                    prompt_tokens: transcript,
+                    output_tokens: output.max(1),
+                    stream,
+                },
+            }));
+            self.gen_seq += 1;
+            transcript += output;
+            arrival += exponential_gap(self.rng.gen(), think_rate) + output as f64 * 0.06;
+        }
+    }
+}
+
+impl Iterator for SharedPrefixChatStream {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        loop {
+            let exhausted = self.next_session >= self.spec.sessions;
+            if let Some(std::cmp::Reverse(head)) = self.pending.peek() {
+                // Safe to emit once no ungenerated session can precede it:
+                // future sessions start at or after the latest start, and
+                // a co-timed future turn loses the gen_seq tie-break.
+                if exhausted || head.request.arrival_s <= self.session_start {
+                    let std::cmp::Reverse(turn) = self.pending.pop().expect("peeked");
+                    let mut request = turn.request;
+                    request.id = self.emitted;
+                    self.emitted += 1;
+                    return Some(request);
+                }
+            } else if exhausted {
+                return None;
+            }
+            self.generate_next_session();
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.spec.requests() - self.emitted;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SharedPrefixChatStream {}
 
 /// An ordered, replayable list of requests. Traces can come from
 /// [`WorkloadSpec::generate`] or be constructed directly (e.g. replayed from
@@ -789,6 +940,35 @@ mod tests {
             s0.token_ids(spec.system_prompt_tokens),
             s1.token_ids(spec.system_prompt_tokens)
         );
+    }
+
+    /// The lazy stream must be indistinguishable from the materialized
+    /// trace: same requests, same ids, same (sorted) order, bit-identical
+    /// floats — including under heavy cross-session interleaving (long
+    /// think times push a session's later turns far past the starts of
+    /// many following sessions) and arrival ties.
+    #[test]
+    fn streamed_requests_match_the_materialized_trace_exactly() {
+        let interleaved = SharedPrefixChatSpec {
+            rate_per_sec: 50.0,
+            sessions: 60,
+            turns_per_session: 5,
+            system_prompt_tokens: 16,
+            user_tokens: LengthDistribution::Uniform { min: 1, max: 8 },
+            output_tokens: LengthDistribution::Uniform { min: 1, max: 8 },
+            think_time_s: 200.0,
+            seed: 3,
+        };
+        for spec in [
+            SharedPrefixChatSpec::fleet(2.0, 40, 9),
+            SharedPrefixChatSpec::simspeed(300),
+            interleaved,
+        ] {
+            let stream = spec.stream();
+            assert_eq!(stream.len(), spec.requests(), "exact size hint");
+            let streamed: Vec<Request> = stream.collect();
+            assert_eq!(streamed.as_slice(), spec.generate().requests());
+        }
     }
 
     #[test]

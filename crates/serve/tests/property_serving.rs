@@ -296,10 +296,12 @@ proptest! {
                 held.push(blocks);
             }
         }
-        // Sequences retire...
+        // Sequences retire... (releases route through the cache so its
+        // shared-block bookkeeping resyncs — the `PrefixCache::release`
+        // contract; non-resident private blocks degrade to a plain free.)
         for blocks in held {
             for block in blocks {
-                pool.free(block);
+                cache.release(block, &mut pool);
             }
         }
         // ...the cache still owns its resident blocks...

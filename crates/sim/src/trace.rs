@@ -192,7 +192,7 @@ mod tests {
         let cm = sample_matrix(CompressionScheme::mxfp4());
         let reference =
             MemoryTrace::from_matrix(&cm, EngineKind::Scalar.build().as_ref()).expect("trace");
-        for kind in [EngineKind::WordParallel, EngineKind::ParallelMatrix] {
+        for kind in EngineKind::all() {
             let trace = MemoryTrace::from_matrix(&cm, kind.build().as_ref()).expect("trace");
             assert_eq!(trace.events(), reference.events());
         }
