@@ -19,10 +19,11 @@ use deca_llm::{
 };
 use deca_roofsurface::{MachineConfig, RoofSurface};
 use deca_serve::{
-    capacity_search, capacity_search_warm, hbm_kv_budget_tokens, sharded_kv_budget_tokens,
-    sharding_sweep, CapacityResult, CapacitySpec, EstimatorCostModel, LengthDistribution,
-    SchedulerKind, ServingConfig, ServingReport, ServingSimulator, ShardingPlanResult,
-    ShardingSearchSpec, SharedPrefixChatSpec, SloTarget, WorkloadSpec,
+    best_pool_split, capacity_search, capacity_search_warm, disagg_capacity_search_with,
+    fleet_capacity_search_with, hbm_kv_budget_tokens, sharded_kv_budget_tokens, sharding_sweep,
+    CapacityResult, CapacitySpec, ColdSessionSpec, EstimatorCostModel, KvShipSpec, KvTierModel,
+    LengthDistribution, SchedulerKind, ServingConfig, ServingReport, ServingSimulator,
+    ShardingPlanResult, ShardingSearchSpec, SharedPrefixChatSpec, SloTarget, WorkloadSpec,
 };
 
 use crate::json::Json;
@@ -947,6 +948,367 @@ pub fn paged_results() -> Json {
     ])
 }
 
+/// Sessions of the cold-return swap-vs-recompute trace (shrunk in debug
+/// builds so plain `cargo test` stays fast; the committed baseline is
+/// regenerated in release mode).
+const DISAGG_COLD_SESSIONS: usize = if cfg!(debug_assertions) { 10 } else { 32 };
+/// Bisection refinements of the disagg experiment's capacity searches.
+const DISAGG_SEARCH_ITERATIONS: usize = if cfg!(debug_assertions) { 3 } else { 5 };
+/// KV pool (tokens) of the swap scenario — deliberately tight so a
+/// returning session finds its prefix demoted (tiered) or evicted
+/// (recompute), and concurrent bursts force preemptions.
+const DISAGG_SWAP_BUDGET_TOKENS: usize = 4_096;
+/// Tokens per KV block of the disagg experiment's paged replicas.
+const DISAGG_BLOCK_SIZE: usize = 32;
+/// Decode batch limit of the disagg experiment's replicas.
+const DISAGG_MAX_BATCH: usize = 16;
+/// DDR tier capacity in blocks — roomy, because host DDR is cheap next
+/// to the HBM pool it backs.
+const DISAGG_DDR_BLOCKS: usize = 4_096;
+/// Sockets split between the prefill and decode pools (and granted to the
+/// colocated baseline fleet).
+const DISAGG_SOCKETS: usize = 4;
+/// Requests per probed rate of the pool-split capacity searches.
+const DISAGG_DOC_REQUESTS: usize = if cfg!(debug_assertions) { 24 } else { 64 };
+/// Fixed session rate of the swap mechanism detail row (sessions/sec).
+const DISAGG_DETAIL_RATE: f64 = 0.2;
+/// p99 TTFT bound of the swap half's cold-return SLO. Re-prefilling a
+/// returning session's evicted context costs ~1.5 s regardless of load, so
+/// preempt-by-recompute has a rate-independent TTFT floor above this bound;
+/// tiered offload promotes the demoted prefix from DDR and answers in
+/// ~0.8 s. A bound between the two is exactly the regime KV offload exists
+/// for (the pools half keeps the plain interactive SLO).
+const DISAGG_SWAP_TTFT_S: f64 = 1.2;
+/// p99 TTFT bound of the pools half's long-document SLO. Prefilling one
+/// 4k-token document alone takes ~9.5 s, so the interactive 4 s bound is
+/// unservable by *any* deployment; a document workload gets a document
+/// TTFT budget. TPOT keeps the interactive bound — streaming must stay
+/// fluid once the first token is out, which is exactly what prefill
+/// interference on a colocated fleet breaks.
+const DISAGG_DOC_TTFT_S: f64 = 12.0;
+
+/// The cold-return conversation workload of the swap-vs-recompute half of
+/// `bench_disagg` (the rate is substituted per capacity probe).
+fn disagg_cold_workload() -> ColdSessionSpec {
+    ColdSessionSpec::fleet(1.0, DISAGG_COLD_SESSIONS, 31)
+}
+
+/// The long-document chat workload of the disaggregation half: a bimodal
+/// prompt mix whose occasional 4k-token documents are exactly the prefill
+/// interference that inflates a colocated fleet's p99 TPOT.
+fn disagg_doc_workload(rate: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        arrivals: deca_serve::ArrivalProcess::Poisson { rate_per_sec: rate },
+        prompt_lengths: LengthDistribution::Bimodal {
+            short: 256,
+            long: 4096,
+            long_fraction: 0.15,
+        },
+        output_lengths: LengthDistribution::Uniform { min: 64, max: 192 },
+        requests: DISAGG_DOC_REQUESTS,
+        seed: 37,
+    }
+}
+
+/// The JSON fields every capacity-search outcome contributes to a row.
+fn disagg_capacity_fields(prefix: &str, result: &CapacityResult) -> Vec<(String, Json)> {
+    vec![
+        (format!("{prefix}_rps"), num(result.max_rate_rps)),
+        (format!("{prefix}_p99_ttft_s"), num(result.p99_ttft_s)),
+        (
+            format!("{prefix}_p99_tpot_ms"),
+            num(result.p99_tpot_s * 1e3),
+        ),
+        (format!("{prefix}_goodput_rps"), num(result.goodput_rps)),
+    ]
+}
+
+/// The swap-vs-recompute half of `bench_disagg`: on the cold-return trace
+/// with a deliberately tight HBM pool, the session rate one replica
+/// sustains at the cold-return p99 SLO ([`DISAGG_SWAP_TTFT_S`] TTFT, the
+/// interactive TPOT) with preempt-by-recompute (no tiers) versus tiered KV
+/// offload (swap-outs to DDR, cold prefixes demoted and promoted back) —
+/// per engine — plus a fixed-rate detail row showing the tier counters
+/// that explain the win.
+fn disagg_swap_rows(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    slo: &SloTarget,
+) -> (Vec<Json>, Json, String) {
+    let workload = disagg_cold_workload();
+    let spec = CapacitySpec {
+        slo: SloTarget {
+            ttft_s: DISAGG_SWAP_TTFT_S,
+            ..*slo
+        },
+        requests: workload.requests(),
+        seed: 31,
+        min_rate: 0.02,
+        max_rate: 16.0,
+        iterations: DISAGG_SEARCH_ITERATIONS,
+    };
+    let block_kv_bytes = footprint::kv_cache_bytes_per_sequence(model, DISAGG_BLOCK_SIZE) as f64;
+    let recompute_config = ServingConfig::paged(
+        DISAGG_MAX_BATCH,
+        DISAGG_SWAP_BUDGET_TOKENS,
+        DISAGG_BLOCK_SIZE,
+    )
+    .with_prefix_sharing(true);
+    let tiered_config =
+        recompute_config.with_tiers(KvTierModel::ddr_only(block_kv_bytes, DISAGG_DDR_BLOCKS));
+
+    let mut engine_rows = Vec::new();
+    let mut headline = String::new();
+    for (engine_label, engine) in [
+        ("software", Engine::software()),
+        ("deca", Engine::deca_default()),
+    ] {
+        // One warm cost model across both searches: its latencies are pure
+        // functions of (batch, context), independent of the tier config.
+        let mut cost = EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine);
+        let recompute = capacity_search_warm(&mut cost, &recompute_config, &spec, |rate| {
+            workload.with_rate(rate).generate()
+        });
+        let tiered = capacity_search_warm(&mut cost, &tiered_config, &spec, |rate| {
+            workload.with_rate(rate).generate()
+        });
+        if engine_label == "deca" {
+            // Same zero guard as the ratio field: a recompute capacity of 0
+            // must read as "unservable", not as an inflated ratio.
+            let verdict = if recompute.max_rate_rps > 0.0 {
+                format!(
+                    "{:.2}x the cold sessions/sec of preempt-by-recompute",
+                    tiered.max_rate_rps / recompute.max_rate_rps
+                )
+            } else {
+                "a cold-session load preempt-by-recompute cannot serve at all".to_string()
+            };
+            headline = format!(
+                "with DDR KV offload, one DECA socket sustains {verdict} at the cold-return \
+                 p99 SLO ({:.2} vs {:.2} sessions/s, {} {})",
+                tiered.max_rate_rps,
+                recompute.max_rate_rps,
+                model.name(),
+                scheme.label(),
+            );
+        }
+        let mut row: Vec<(String, Json)> = vec![("engine".to_string(), Json::str(engine_label))];
+        row.extend(disagg_capacity_fields("recompute", &recompute));
+        row.extend(disagg_capacity_fields("tiered", &tiered));
+        if recompute.max_rate_rps > 0.0 {
+            row.push((
+                "tiered_vs_recompute".to_string(),
+                num(tiered.max_rate_rps / recompute.max_rate_rps),
+            ));
+        }
+        engine_rows.push(Json::Obj(row));
+    }
+
+    // The mechanism, at one fixed rate on DECA: where the recompute run
+    // burns prefill tokens, the tiered run swaps and promotes instead.
+    let trace = workload.with_rate(DISAGG_DETAIL_RATE).generate();
+    let run = |config: &ServingConfig| {
+        let cost = EstimatorCostModel::new(
+            machine.clone(),
+            model.clone(),
+            *scheme,
+            Engine::deca_default(),
+        );
+        ServingSimulator::new(cost, *config).run(&trace)
+    };
+    let recompute_run = run(&recompute_config);
+    let tiered_run = run(&tiered_config);
+    let rstats = recompute_run.paged.expect("paged run");
+    let tstats = tiered_run.paged.expect("paged run");
+    let detail = Json::obj(vec![
+        ("sessions_per_sec", num(DISAGG_DETAIL_RATE)),
+        ("recompute_preemptions", num(rstats.preemptions as f64)),
+        (
+            "recompute_prefilled_tokens",
+            num(rstats.prefix_uncached_tokens as f64),
+        ),
+        (
+            "recompute_p99_ttft_s",
+            num(recompute_run.metrics().ttft.p99_s),
+        ),
+        (
+            "tiered_prefilled_tokens",
+            num(tstats.prefix_uncached_tokens as f64),
+        ),
+        ("tiered_p99_ttft_s", num(tiered_run.metrics().ttft.p99_s)),
+        ("swap_outs", num(tstats.swap_outs as f64)),
+        ("swap_ins", num(tstats.swap_ins as f64)),
+        ("tier_demotions", num(tstats.tier_demotions as f64)),
+        ("tier_promotions", num(tstats.tier_promotions as f64)),
+        ("peak_ddr_blocks", num(tstats.peak_ddr_blocks as f64)),
+    ]);
+    (engine_rows, detail, headline)
+}
+
+/// The disaggregation half of `bench_disagg`: on the long-document trace,
+/// the arrival rate `DISAGG_SOCKETS` sockets sustain at the long-document
+/// p99 SLO ([`DISAGG_DOC_TTFT_S`] TTFT, the interactive TPOT) as a
+/// colocated fleet versus every prefill/decode pool split (prefill KV
+/// shipped to the decode pool over UPI) — per engine.
+fn disagg_pool_rows(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    slo: &SloTarget,
+) -> (Vec<Json>, String) {
+    let budget = hbm_kv_budget_tokens(model, scheme).expect("Q8_5% fits");
+    let config = ServingConfig::paged(DISAGG_MAX_BATCH, budget, DISAGG_BLOCK_SIZE);
+    let kv_bytes_per_token = footprint::kv_cache_bytes_per_sequence(model, 1) as f64;
+    let ship = KvShipSpec::over_interconnect(kv_bytes_per_token, &InterconnectModel::spr_upi());
+    let spec = CapacitySpec {
+        slo: SloTarget {
+            ttft_s: DISAGG_DOC_TTFT_S,
+            ..*slo
+        },
+        requests: DISAGG_DOC_REQUESTS,
+        seed: 37,
+        min_rate: 0.1,
+        max_rate: 32.0,
+        iterations: DISAGG_SEARCH_ITERATIONS,
+    };
+
+    let mut engine_rows = Vec::new();
+    let mut headline = String::new();
+    for (engine_label, engine) in [
+        ("software", Engine::software()),
+        ("deca", Engine::deca_default()),
+    ] {
+        // Warm one estimator on a single mid-rate replica run, then clone
+        // it into every socket of every probe: the memoized (batch,
+        // context) entries are shared instead of re-derived per replica.
+        let proto = {
+            let cost = EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine);
+            let mut sim = ServingSimulator::new(cost, config);
+            sim.run(&disagg_doc_workload(1.0).generate());
+            sim.into_cost_model()
+        };
+        let colocated = fleet_capacity_search_with(
+            || proto.clone(),
+            &config,
+            DISAGG_SOCKETS,
+            &spec,
+            |rate| disagg_doc_workload(rate).generate(),
+        );
+        let splits = disagg_capacity_search_with(
+            || proto.clone(),
+            &config,
+            DISAGG_SOCKETS,
+            ship,
+            &spec,
+            |rate| disagg_doc_workload(rate).generate(),
+        );
+        let best = best_pool_split(&splits).expect("at least one split");
+        if engine_label == "deca" {
+            let verdict = if colocated.max_rate_rps > 0.0 {
+                format!(
+                    "{:.2}x the requests/sec of the best colocated fleet",
+                    best.capacity.max_rate_rps / colocated.max_rate_rps
+                )
+            } else {
+                "a long-document load the colocated fleet cannot serve at all".to_string()
+            };
+            headline = format!(
+                "splitting {DISAGG_SOCKETS} DECA sockets into {} prefill + {} decode sustains \
+                 {verdict} at the long-document p99 SLO ({:.2} vs {:.2} req/s, {} {})",
+                best.prefill_replicas,
+                best.decode_replicas,
+                best.capacity.max_rate_rps,
+                colocated.max_rate_rps,
+                model.name(),
+                scheme.label(),
+            );
+        }
+        let split_rows: Vec<Json> = splits
+            .iter()
+            .map(|s| {
+                let mut row: Vec<(String, Json)> = vec![
+                    (
+                        "prefill_replicas".to_string(),
+                        num(s.prefill_replicas as f64),
+                    ),
+                    ("decode_replicas".to_string(), num(s.decode_replicas as f64)),
+                ];
+                row.extend(disagg_capacity_fields("split", &s.capacity));
+                Json::Obj(row)
+            })
+            .collect();
+        let mut row: Vec<(String, Json)> = vec![("engine".to_string(), Json::str(engine_label))];
+        row.extend(disagg_capacity_fields("colocated", &colocated));
+        row.push(("splits".to_string(), Json::Arr(split_rows)));
+        row.push((
+            "best_split".to_string(),
+            Json::str(format!(
+                "{}p+{}d",
+                best.prefill_replicas, best.decode_replicas
+            )),
+        ));
+        row.extend(disagg_capacity_fields("disagg", &best.capacity));
+        if colocated.max_rate_rps > 0.0 {
+            row.push((
+                "disagg_vs_colocated".to_string(),
+                num(best.capacity.max_rate_rps / colocated.max_rate_rps),
+            ));
+        }
+        engine_rows.push(Json::Obj(row));
+    }
+    (engine_rows, headline)
+}
+
+/// The tiered-offload + disaggregation experiment (`bench_disagg`): the
+/// swap-vs-recompute capacity comparison on the cold-return trace, and the
+/// disaggregated-vs-colocated capacity comparison on the long-document
+/// trace, both software and DECA. Fully deterministic (only the
+/// surrounding `wall_ms` is volatile).
+#[must_use]
+pub fn disagg_results() -> Json {
+    let machine = MachineConfig::spr_hbm();
+    let model = LlmModel::llama2_70b();
+    let scheme = CompressionScheme::bf8_sparse(0.05);
+    let slo = SloTarget::interactive();
+
+    let (swap_rows, swap_detail, swap_headline) = disagg_swap_rows(&machine, &model, &scheme, &slo);
+    let (pool_rows, pool_headline) = disagg_pool_rows(&machine, &model, &scheme, &slo);
+
+    Json::obj(vec![
+        ("machine", Json::str(machine.name.clone())),
+        ("model", Json::str(model.name().to_string())),
+        ("scheme", Json::str(scheme.label())),
+        ("block_size", num(DISAGG_BLOCK_SIZE as f64)),
+        ("max_batch", num(DISAGG_MAX_BATCH as f64)),
+        ("slo_tpot_ms", num(slo.tpot_s * 1e3)),
+        (
+            "swap",
+            Json::obj(vec![
+                ("sessions", num(DISAGG_COLD_SESSIONS as f64)),
+                ("kv_budget_tokens", num(DISAGG_SWAP_BUDGET_TOKENS as f64)),
+                ("ddr_blocks", num(DISAGG_DDR_BLOCKS as f64)),
+                ("slo_ttft_s", num(DISAGG_SWAP_TTFT_S)),
+                ("slo_tpot_ms", num(slo.tpot_s * 1e3)),
+                ("engines", Json::Arr(swap_rows)),
+                ("detail", swap_detail),
+                ("headline", Json::str(swap_headline)),
+            ]),
+        ),
+        (
+            "pools",
+            Json::obj(vec![
+                ("sockets", num(DISAGG_SOCKETS as f64)),
+                ("requests", num(DISAGG_DOC_REQUESTS as f64)),
+                ("slo_ttft_s", num(DISAGG_DOC_TTFT_S)),
+                ("slo_tpot_ms", num(slo.tpot_s * 1e3)),
+                ("engines", Json::Arr(pool_rows)),
+                ("headline", Json::str(pool_headline)),
+            ]),
+        ),
+    ])
+}
+
 /// Sessions in the sim-speed trace: a million in release — the ROADMAP's
 /// "millions of users" scale, and the CI `simspeed` gate — shrunk in debug
 /// builds so `cargo test` exercises the same code in moments.
@@ -1026,13 +1388,7 @@ fn simspeed_row(policy: &str, sessions: usize, config: &ServingConfig) -> Json {
 #[must_use]
 pub fn simspeed_results() -> Json {
     let continuous = ServingConfig::continuous(SIMSPEED_MAX_BATCH, SIMSPEED_KV_BUDGET);
-    let paged = ServingConfig {
-        max_batch: SIMSPEED_MAX_BATCH,
-        kv_budget_tokens: SIMSPEED_KV_BUDGET,
-        scheduler: SchedulerKind::PagedContinuous,
-        block_size: 16,
-        prefix_sharing: false,
-    };
+    let paged = ServingConfig::paged(SIMSPEED_MAX_BATCH, SIMSPEED_KV_BUDGET, 16);
     let rows = vec![
         simspeed_row("continuous", SIMSPEED_SESSIONS, &continuous),
         simspeed_row("paged", SIMSPEED_SESSIONS, &paged),
@@ -1091,6 +1447,7 @@ pub fn collect() -> Json {
         ("bench_serving", serving_results),
         ("bench_sharding", sharding_results),
         ("bench_paged", paged_results),
+        ("bench_disagg", disagg_results),
         ("bench_simspeed", simspeed_results),
     ];
     let records = experiments
@@ -1144,6 +1501,7 @@ mod tests {
                 "bench_serving",
                 "bench_sharding",
                 "bench_paged",
+                "bench_disagg",
                 "bench_simspeed"
             ]
         );
@@ -1374,6 +1732,77 @@ mod tests {
             other => panic!("{key} must be a number, got {other:?}"),
         };
         assert_eq!(count("completed") + count("rejected"), count("offered"));
+    }
+
+    /// The disagg experiment's acceptance shape: on the cold-return trace,
+    /// tiered KV offload sustains strictly more sessions/sec at the p99
+    /// SLO than preempt-by-recompute, and on the long-document trace the
+    /// best prefill/decode pool split beats the colocated fleet of the
+    /// same socket count — for BOTH engines — with the tier counters
+    /// proving the swap path actually fired.
+    #[test]
+    fn disagg_results_show_the_swap_and_pool_split_wins() {
+        let disagg = disagg_results();
+        let rate = |row: &Json, key: &str| match find(row, key) {
+            Json::Num(v) => *v,
+            other => panic!("{key} must be a number, got {other:?}"),
+        };
+
+        let swap = find(&disagg, "swap");
+        let Json::Arr(swap_engines) = find(swap, "engines") else {
+            panic!("swap engines must be an array");
+        };
+        assert_eq!(swap_engines.len(), 2, "software and DECA");
+        for row in swap_engines {
+            let recompute = rate(row, "recompute_rps");
+            let tiered = rate(row, "tiered_rps");
+            assert!(
+                tiered > recompute,
+                "tiered ({tiered}) must beat recompute ({recompute})"
+            );
+            match (recompute > 0.0, try_find(row, "tiered_vs_recompute")) {
+                (true, Some(Json::Num(ratio))) => assert!(*ratio > 1.0, "ratio {ratio}"),
+                (false, None) => {}
+                (present, ratio) => {
+                    panic!("recompute>0 = {present} inconsistent with ratio {ratio:?}")
+                }
+            }
+        }
+        // The mechanism fired: swaps and promotions happened, and the
+        // tiered run prefilled strictly fewer tokens at the same rate.
+        let detail = find(swap, "detail");
+        assert!(rate(detail, "tier_promotions") > 0.0, "promotions fired");
+        assert!(
+            rate(detail, "tiered_prefilled_tokens") < rate(detail, "recompute_prefilled_tokens"),
+            "promotion must replace prefill compute"
+        );
+        assert_eq!(rate(detail, "swap_outs"), rate(detail, "swap_ins"));
+        match find(swap, "headline") {
+            Json::Str(s) => assert!(s.contains("DDR KV offload"), "{s}"),
+            other => panic!("headline must be a string, got {other:?}"),
+        }
+
+        let pools = find(&disagg, "pools");
+        let Json::Arr(pool_engines) = find(pools, "engines") else {
+            panic!("pool engines must be an array");
+        };
+        assert_eq!(pool_engines.len(), 2, "software and DECA");
+        for row in pool_engines {
+            let colocated = rate(row, "colocated_rps");
+            let disagg_rps = rate(row, "disagg_rps");
+            assert!(
+                disagg_rps > colocated,
+                "disagg ({disagg_rps}) must beat colocated ({colocated})"
+            );
+            let Json::Arr(splits) = find(row, "splits") else {
+                panic!("splits must be an array");
+            };
+            assert_eq!(splits.len(), DISAGG_SOCKETS - 1, "every partition probed");
+        }
+        match find(pools, "headline") {
+            Json::Str(s) => assert!(s.contains("prefill"), "{s}"),
+            other => panic!("headline must be a string, got {other:?}"),
+        }
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run -p deca-bench --bin bench_drift -- [--experiment NAME] BASELINE CURRENT
+//! cargo run -p deca-bench --bin bench_drift -- --list ARTIFACT...
 //! ```
 //!
 //! Parses both documents, recursively strips every volatile field (any
@@ -10,8 +11,10 @@
 //! machine-dependent set — see `deca_bench::drift`), and diffs the rest
 //! exactly. With `--experiment NAME`, only that experiment's records are
 //! compared (so a partial artifact like CI's `BENCH_simspeed.json` can be
-//! checked against the full committed baseline). Exits non-zero with one
-//! line per drifted path.
+//! checked against the full committed baseline); a name neither document
+//! carries fails with the available names. `--list` prints each
+//! artifact's experiment names and exits. Exits non-zero with one line
+//! per drifted path.
 
 use std::process::ExitCode;
 
@@ -23,19 +26,60 @@ fn load(path: &str) -> Json {
     drift::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
 }
 
+/// `--list`: one line per artifact naming its experiments.
+fn list(paths: &[String]) -> ExitCode {
+    for path in paths {
+        let names = drift::experiment_names(&load(path));
+        if names.is_empty() {
+            println!("{path}: no experiments");
+        } else {
+            println!("{path}: {}", names.join(", "));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// The records of experiment `name` in the document at `path`, or a usage
+/// error naming what the document does carry.
+fn select(doc: &Json, path: &str, name: &str) -> Result<Vec<Json>, String> {
+    let records = drift::select_experiment(doc, name);
+    if records.is_empty() {
+        let available = drift::experiment_names(doc);
+        return Err(if available.is_empty() {
+            format!("{path} has no experiment {name:?} (document has no experiments)")
+        } else {
+            format!(
+                "{path} has no experiment {name:?} (available: {})",
+                available.join(", ")
+            )
+        });
+    }
+    Ok(records)
+}
+
 fn main() -> ExitCode {
     let mut experiment: Option<String> = None;
+    let mut listing = false;
     let mut paths = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--experiment" {
             experiment = Some(args.next().expect("--experiment needs a name"));
+        } else if arg == "--list" {
+            listing = true;
         } else {
             paths.push(arg);
         }
     }
+    if listing {
+        if paths.is_empty() {
+            eprintln!("usage: bench_drift --list ARTIFACT...");
+            return ExitCode::from(2);
+        }
+        return list(&paths);
+    }
     let [baseline_path, current_path] = paths.as_slice() else {
-        eprintln!("usage: bench_drift [--experiment NAME] BASELINE CURRENT");
+        eprintln!("usage: bench_drift [--experiment NAME] BASELINE CURRENT | --list ARTIFACT...");
         return ExitCode::from(2);
     };
     let baseline = load(baseline_path);
@@ -43,17 +87,15 @@ fn main() -> ExitCode {
 
     let (left, right) = match &experiment {
         Some(name) => {
-            let left = drift::select_experiment(&baseline, name);
-            let right = drift::select_experiment(&current, name);
-            assert!(
-                !left.is_empty(),
-                "{baseline_path} has no experiment {name:?}"
-            );
-            assert!(
-                !right.is_empty(),
-                "{current_path} has no experiment {name:?}"
-            );
-            (Json::Arr(left), Json::Arr(right))
+            let selected = select(&baseline, baseline_path, name)
+                .and_then(|l| Ok((l, select(&current, current_path, name)?)));
+            match selected {
+                Ok((left, right)) => (Json::Arr(left), Json::Arr(right)),
+                Err(message) => {
+                    eprintln!("{message}");
+                    return ExitCode::from(2);
+                }
+            }
         }
         None => (baseline, current),
     };

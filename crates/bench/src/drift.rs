@@ -78,6 +78,35 @@ pub fn select_experiment(doc: &Json, name: &str) -> Vec<Json> {
         .collect()
 }
 
+/// Lists the experiment names a baseline document carries
+/// (`{"experiments": [{"name": ..., ...}]}`), in document order, deduped.
+/// Returns an empty vec for documents without an `experiments` array —
+/// the caller can tell "no such experiment" from "not a baseline at all".
+#[must_use]
+pub fn experiment_names(doc: &Json) -> Vec<String> {
+    let Json::Obj(entries) = doc else {
+        return Vec::new();
+    };
+    let Some(Json::Arr(experiments)) = entries
+        .iter()
+        .find(|(key, _)| key == "experiments")
+        .map(|(_, v)| v)
+    else {
+        return Vec::new();
+    };
+    let mut names = Vec::new();
+    for record in experiments {
+        let Json::Obj(fields) = record else { continue };
+        let Some(Json::Str(name)) = fields.iter().find(|(k, _)| k == "name").map(|(_, v)| v) else {
+            continue;
+        };
+        if !names.iter().any(|n| n == name) {
+            names.push(name.clone());
+        }
+    }
+    names
+}
+
 /// Collects every divergence between two values as `path: left != right`
 /// lines. Equal values produce an empty vec. Numbers compare exactly
 /// (`f64::to_bits`): everything surviving [`strip_volatile`] is
@@ -458,5 +487,24 @@ mod tests {
         );
         assert!(select_experiment(&doc, "gamma").is_empty());
         assert!(select_experiment(&Json::Null, "alpha").is_empty());
+    }
+
+    #[test]
+    fn experiment_names_lists_in_document_order_and_dedupes() {
+        let doc = Json::obj(vec![(
+            "experiments",
+            Json::Arr(vec![
+                Json::obj(vec![("name", Json::str("beta")), ("x", Json::Num(1.0))]),
+                Json::obj(vec![("name", Json::str("alpha"))]),
+                // A second record of an already-seen experiment (partial
+                // artifacts repeat names) must not list twice.
+                Json::obj(vec![("name", Json::str("beta"))]),
+                // Records without a name are skipped, not an error.
+                Json::obj(vec![("x", Json::Num(2.0))]),
+            ]),
+        )]);
+        assert_eq!(experiment_names(&doc), vec!["beta", "alpha"]);
+        assert!(experiment_names(&Json::Null).is_empty());
+        assert!(experiment_names(&Json::obj(vec![("other", Json::Num(1.0))])).is_empty());
     }
 }

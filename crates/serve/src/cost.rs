@@ -253,6 +253,55 @@ impl ServingCostModel for LinearCostModel {
     }
 }
 
+/// Registering one shipped block is a metadata write, not a GeMM; this
+/// nominal per-prefill cost keeps [`DecodePoolCostModel`]'s answers
+/// strictly positive (the [`ServingCostModel`] contract) without ever
+/// being visible next to real step latencies.
+pub const SHIPPED_PREFILL_EPSILON_S: f64 = 1e-9;
+
+/// The cost model of a *decode-pool* replica in a disaggregated
+/// prefill/decode deployment ([`crate::sweep::simulate_disaggregated`]):
+/// every admitted request arrives with its KV already computed by the
+/// prefill pool and shipped over the interconnect
+/// ([`crate::KvShipSpec`] prices the transfer), so "prefill" here is just
+/// registering the shipped blocks.
+///
+/// This is the one sanctioned exception to the trait's "prefill must be
+/// strictly positive" contract's *spirit*: prefills return the nominal
+/// [`SHIPPED_PREFILL_EPSILON_S`] (still strictly positive, so the letter
+/// holds and event ordering stays total), while decode steps delegate to
+/// the wrapped model unchanged.
+#[derive(Debug, Clone)]
+pub struct DecodePoolCostModel<C: ServingCostModel> {
+    inner: C,
+}
+
+impl<C: ServingCostModel> DecodePoolCostModel<C> {
+    /// Wraps a replica cost model, zeroing its prefill side.
+    #[must_use]
+    pub fn new(inner: C) -> Self {
+        DecodePoolCostModel { inner }
+    }
+}
+
+impl<C: ServingCostModel> ServingCostModel for DecodePoolCostModel<C> {
+    fn prefill_seconds(&mut self, _prompt_tokens: usize) -> f64 {
+        SHIPPED_PREFILL_EPSILON_S
+    }
+
+    fn decode_step_seconds(&mut self, batch: usize, max_context_tokens: usize) -> f64 {
+        self.inner.decode_step_seconds(batch, max_context_tokens)
+    }
+
+    fn prefill_seconds_cached(
+        &mut self,
+        _prompt_tokens: usize,
+        _cached_prefix_tokens: usize,
+    ) -> f64 {
+        SHIPPED_PREFILL_EPSILON_S
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -364,5 +413,21 @@ mod tests {
         let mut m = LinearCostModel::default_70b();
         assert!(m.decode_step_seconds(16, 1024) > m.decode_step_seconds(1, 0));
         assert!(m.prefill_seconds(1000) > m.prefill_seconds(10));
+    }
+
+    #[test]
+    fn decode_pool_model_zeroes_prefill_and_keeps_decode() {
+        let mut base = LinearCostModel::default_70b();
+        let mut pool = DecodePoolCostModel::new(base);
+        assert_eq!(pool.prefill_seconds(4096), SHIPPED_PREFILL_EPSILON_S);
+        assert_eq!(
+            pool.prefill_seconds_cached(4096, 128),
+            SHIPPED_PREFILL_EPSILON_S
+        );
+        assert!(pool.prefill_seconds(4096) > 0.0);
+        assert_eq!(
+            pool.decode_step_seconds(8, 2048).to_bits(),
+            base.decode_step_seconds(8, 2048).to_bits()
+        );
     }
 }

@@ -41,10 +41,30 @@ pub enum Event {
         /// Index of the arriving request in the trace's request slice.
         request: usize,
     },
+    /// A request's shipped KV finishes crossing the interconnect (the
+    /// disaggregated mode's prefill → decode transfer,
+    /// [`crate::KvShipSpec`]); the request becomes admissible.
+    KvTransferDone {
+        /// Index of the request in the trace's request slice.
+        request: usize,
+    },
     /// A preempted request re-enters the admission queue (at the front:
     /// preempted work outranks new arrivals).
     Preemption {
         /// Index of the preempted request in the trace's request slice.
+        request: usize,
+    },
+    /// A swap-preempted victim's KV finishes writing out to a lower tier
+    /// ([`crate::KvTierModel`]); the victim re-enters the admission queue
+    /// (at the front, like a recompute preemption).
+    SwapOutDone {
+        /// Index of the swapped-out request in the trace's request slice.
+        request: usize,
+    },
+    /// A re-admitted victim's KV finishes reading back into HBM; its
+    /// decode resumes from the context it was preempted at.
+    SwapInDone {
+        /// Index of the swapped-in request in the trace's request slice.
         request: usize,
     },
     /// The engine finished a prefill wave (a batch boundary).
@@ -54,15 +74,17 @@ pub enum Event {
 }
 
 impl Event {
-    /// Tie-break rank among co-timed events: arrivals fire before
-    /// preemption re-queues, which fire before step completions — so by
-    /// the time a boundary is processed, the admission queue already holds
-    /// everything that reached the server at that instant.
+    /// Tie-break rank among co-timed events: arrivals (and arrival-like
+    /// KV-transfer landings) fire before preemption-class re-queues
+    /// (recompute victims, swap I/O completions), which fire before step
+    /// completions — so by the time a boundary is processed, the
+    /// admission queue already holds everything that reached the server
+    /// at that instant.
     #[must_use]
     pub fn rank(&self) -> u8 {
         match self {
-            Event::Arrival { .. } => 0,
-            Event::Preemption { .. } => 1,
+            Event::Arrival { .. } | Event::KvTransferDone { .. } => 0,
+            Event::Preemption { .. } | Event::SwapOutDone { .. } | Event::SwapInDone { .. } => 1,
             Event::PrefillDone | Event::DecodeDone => 2,
         }
     }
@@ -210,6 +232,23 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn swap_and_transfer_events_rank_with_their_class() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::DecodeDone);
+        q.push(1.0, Event::SwapInDone { request: 4 });
+        q.push(1.0, Event::SwapOutDone { request: 2 });
+        q.push(1.0, Event::KvTransferDone { request: 9 });
+        q.push(1.0, Event::Arrival { request: 1 });
+        // Arrival-class first (scheduling order within the class), then
+        // the preemption class, then the step end.
+        assert_eq!(q.pop().unwrap().event, Event::KvTransferDone { request: 9 });
+        assert_eq!(q.pop().unwrap().event, Event::Arrival { request: 1 });
+        assert_eq!(q.pop().unwrap().event, Event::SwapInDone { request: 4 });
+        assert_eq!(q.pop().unwrap().event, Event::SwapOutDone { request: 2 });
+        assert_eq!(q.pop().unwrap().event, Event::DecodeDone);
     }
 
     #[test]

@@ -62,14 +62,15 @@ pub struct BlockAllocator {
 
 impl BlockAllocator {
     /// Creates an allocator of `total_blocks` blocks of `block_size` tokens.
+    /// A zero-block pool is legal (every `alloc` fails; the stats stay
+    /// finite) — it models a replica with no KV headroom at all.
     ///
     /// # Panics
     ///
-    /// Panics if `block_size` or `total_blocks` is zero.
+    /// Panics if `block_size` is zero.
     #[must_use]
     pub fn new(block_size: usize, total_blocks: usize) -> Self {
         assert!(block_size > 0, "block size must be positive");
-        assert!(total_blocks > 0, "the pool must hold at least one block");
         BlockAllocator {
             block_size,
             ref_counts: vec![0; total_blocks],
@@ -85,14 +86,13 @@ impl BlockAllocator {
 
     /// Sizes an allocator from a KV-token budget (e.g.
     /// [`deca_llm::footprint::max_kv_tokens`]): as many whole blocks as the
-    /// budget holds.
+    /// budget holds (zero blocks when the budget is under one block).
     ///
     /// # Panics
     ///
-    /// Panics if the budget holds less than one whole block.
+    /// Panics if `block_size` is zero.
     #[must_use]
     pub fn from_token_budget(block_size: usize, budget_tokens: usize) -> Self {
-        assert!(block_size > 0, "block size must be positive");
         Self::new(block_size, budget_tokens / block_size)
     }
 
@@ -132,10 +132,15 @@ impl BlockAllocator {
         tokens.div_ceil(self.block_size)
     }
 
-    /// Fraction of the pool currently allocated.
+    /// Fraction of the pool currently allocated (0 for an empty pool, so
+    /// the stat stays finite instead of going NaN in [`crate::PagedStats`]).
     #[must_use]
     pub fn utilization(&self) -> f64 {
-        self.allocated as f64 / self.ref_counts.len() as f64
+        if self.ref_counts.is_empty() {
+            0.0
+        } else {
+            self.allocated as f64 / self.ref_counts.len() as f64
+        }
     }
 
     /// Internal fragmentation of the allocated blocks: the fraction of
@@ -325,6 +330,26 @@ mod tests {
         // 2 blocks = 32 slots; 24 occupied tokens leave 25% internal waste.
         assert!((pool.internal_fragmentation(24) - 0.25).abs() < 1e-12);
         assert_eq!(pool.internal_fragmentation(40), 0.0, "clamped");
+    }
+
+    /// Regression: a zero-block pool used to divide by zero and leak NaN
+    /// utilization into `PagedStats`; now every stat stays finite and
+    /// every alloc fails cleanly.
+    #[test]
+    fn zero_size_pool_keeps_stats_finite() {
+        let mut pool = BlockAllocator::new(16, 0);
+        assert_eq!(pool.total_blocks(), 0);
+        assert_eq!(pool.total_tokens(), 0);
+        assert_eq!(pool.alloc(), None);
+        assert_eq!(pool.utilization(), 0.0, "not NaN");
+        assert_eq!(pool.internal_fragmentation(0), 0.0, "not NaN");
+        let stats = pool.stats();
+        assert_eq!(stats.failed_allocs, 1);
+        assert_eq!(stats.peak_allocated_blocks, 0);
+        // The budget-sizing path hits the same case for sub-block budgets.
+        let tiny = BlockAllocator::from_token_budget(16, 10);
+        assert_eq!(tiny.total_blocks(), 0);
+        assert_eq!(tiny.utilization(), 0.0);
     }
 
     #[test]

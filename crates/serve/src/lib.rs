@@ -36,6 +36,12 @@
 //!   on-demand block allocation per decode step, prefix-hit prefill
 //!   skipping, and preempt-by-recompute when the pool runs dry — with
 //!   preemption/eviction/hit-rate counters in [`PagedStats`],
+//! * [`tier`] — the KV offload hierarchy: a priced HBM → DDR → disk
+//!   [`KvTierModel`] (per-tier capacity, bandwidth, latency — the same
+//!   shape as `deca_llm`'s interconnect pricing), the [`TierResidency`]
+//!   map tracking demoted prefix blocks and swap reservations, and the
+//!   [`KvShipSpec`] pricing prefill → decode KV shipping in the
+//!   disaggregated mode,
 //! * [`metrics`] — per-request TTFT / TPOT / end-to-end records,
 //!   percentile summaries, and SLO goodput,
 //! * [`sweep`] — multi-replica fleets, the p99-SLO capacity search that
@@ -84,9 +90,13 @@ pub mod metrics;
 pub mod prefix;
 pub mod scheduler;
 pub mod sweep;
+pub mod tier;
 pub mod workload;
 
-pub use cost::{EstimatorCostModel, LinearCostModel, ServingCostModel};
+pub use cost::{
+    DecodePoolCostModel, EstimatorCostModel, LinearCostModel, ServingCostModel,
+    SHIPPED_PREFILL_EPSILON_S,
+};
 pub use event::{Event, EventQueue, Scheduled};
 pub use kv::{AllocatorStats, BlockAllocator, BlockId};
 pub use metrics::{LatencySummary, RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean};
@@ -95,12 +105,14 @@ pub use scheduler::{
     PagedStats, SchedulerKind, ServingConfig, ServingReport, ServingSimulator, DEFAULT_BLOCK_SIZE,
 };
 pub use sweep::{
-    capacity_search, capacity_search_warm, capacity_search_with, hbm_kv_budget_tokens,
-    min_sockets_for_slo, sharded_kv_budget_tokens, sharding_sweep, simulate_fleet,
-    simulate_fleet_with, CapacityResult, CapacitySpec, FleetReport, ShardingPlanResult,
-    ShardingSearchSpec,
+    best_pool_split, capacity_search, capacity_search_warm, capacity_search_with,
+    disagg_capacity_search_with, fleet_capacity_search_with, hbm_kv_budget_tokens,
+    min_sockets_for_slo, sharded_kv_budget_tokens, sharding_sweep, simulate_disaggregated,
+    simulate_disaggregated_with, simulate_fleet, simulate_fleet_with, CapacityResult, CapacitySpec,
+    DisaggReport, DisaggSpec, FleetReport, PoolSplitResult, ShardingPlanResult, ShardingSearchSpec,
 };
+pub use tier::{KvShipSpec, KvTierModel, KvTierSpec, TierKind, TierResidency};
 pub use workload::{
-    ArrivalProcess, LengthDistribution, Request, RequestTrace, SharedPrefixChatSpec, TokenStream,
-    WorkloadSpec,
+    ArrivalProcess, ColdSessionSpec, LengthDistribution, Request, RequestTrace,
+    SharedPrefixChatSpec, TokenStream, WorkloadSpec,
 };

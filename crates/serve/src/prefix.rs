@@ -465,6 +465,36 @@ impl PrefixCache {
         true
     }
 
+    /// [`PrefixCache::evict_lru`], but additionally returns the victim's
+    /// chained path hash ([`crate::tier::chain_hash`] folded from
+    /// [`crate::tier::PATH_HASH_SEED`] over every block's tokens from the
+    /// root), so the caller can *demote* the evicted block into a lower
+    /// KV tier ([`crate::TierResidency::demote`]) instead of dropping it.
+    /// Returns `None` when nothing is evictable. The plain `evict_lru`
+    /// stays hash-free, so untiered runs pay nothing for this hook.
+    pub fn evict_lru_demoting(&mut self, allocator: &mut BlockAllocator) -> Option<u64> {
+        let &(_, id) = self.lru.first()?;
+        let hash = self.path_hash(id);
+        let evicted = self.evict_lru(allocator);
+        debug_assert!(evicted, "a present LRU candidate must evict");
+        Some(hash)
+    }
+
+    /// The chained hash of every token from the root through `id`'s block.
+    fn path_hash(&self, id: NodeId) -> u64 {
+        let mut chain = Vec::new();
+        let mut at = id;
+        while at != ROOT {
+            chain.push(at);
+            at = self.node(at).parent;
+        }
+        let mut hash = crate::tier::PATH_HASH_SEED;
+        for &node in chain.iter().rev() {
+            hash = crate::tier::chain_hash(hash, &self.node(node).key);
+        }
+        hash
+    }
+
     /// Releases every resident block the cache is the sole owner of (leaf
     /// first, so whole chains drain). Blocks still shared with running
     /// sequences stay resident.
@@ -658,6 +688,29 @@ mod tests {
         assert_eq!(cache.resident_blocks(), 12);
         cache.flush(&mut pool);
         assert_eq!(cache.resident_blocks(), 0);
+        assert_eq!(pool.allocated_blocks(), 0);
+    }
+
+    /// The demoting evictor returns the same hash a caller computes by
+    /// folding `chain_hash` over the victim's full token path — the key
+    /// the residency map is probed with at admission.
+    #[test]
+    fn demoting_eviction_hashes_the_full_root_path() {
+        use crate::tier::{chain_hash, PATH_HASH_SEED};
+        let mut pool = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new(4);
+        let tokens = ids(0..8); // two chained blocks
+        let blocks = seq_blocks(&mut pool, 2);
+        cache.insert(&tokens, &blocks, &mut pool);
+        cache.release(blocks[0], &mut pool);
+        cache.release(blocks[1], &mut pool);
+
+        // Leaf first: its hash covers both blocks' tokens.
+        let leaf = chain_hash(chain_hash(PATH_HASH_SEED, &tokens[..4]), &tokens[4..]);
+        assert_eq!(cache.evict_lru_demoting(&mut pool), Some(leaf));
+        let parent = chain_hash(PATH_HASH_SEED, &tokens[..4]);
+        assert_eq!(cache.evict_lru_demoting(&mut pool), Some(parent));
+        assert_eq!(cache.evict_lru_demoting(&mut pool), None, "tree empty");
         assert_eq!(pool.allocated_blocks(), 0);
     }
 

@@ -37,13 +37,14 @@
 //! suite proves the event core reproduces its reports exactly (modulo the
 //! interval-integrated means) on seeded traces for all three policies.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::cost::ServingCostModel;
 use crate::event::{Event, EventQueue};
 use crate::kv::{BlockAllocator, BlockId};
 use crate::metrics::{RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean};
 use crate::prefix::PrefixCache;
+use crate::tier::{chain_hash, KvShipSpec, KvTierModel, TierKind, TierResidency, PATH_HASH_SEED};
 use crate::workload::{Request, RequestTrace};
 
 /// Which admission policy the simulated server runs.
@@ -92,6 +93,17 @@ pub struct ServingConfig {
     /// Whether the paged policy shares prompt prefixes through the radix
     /// cache (ignored by the reserve-up-front policies).
     pub prefix_sharing: bool,
+    /// KV tiers below HBM ([`SchedulerKind::PagedContinuous`] only).
+    /// Disabled by default; with capacity, preemption chooses
+    /// swap-vs-recompute by modeled cost and cold prefix blocks demote
+    /// instead of evict.
+    #[serde(default = "KvTierModel::disabled")]
+    pub tiers: KvTierModel,
+    /// KV shipping on arrival (the disaggregated decode pool's inbound
+    /// transfer). Disabled by default; when enabled, every arrival's KV
+    /// crosses the interconnect before the request becomes admissible.
+    #[serde(default = "KvShipSpec::disabled")]
+    pub kv_ship: KvShipSpec,
 }
 
 impl ServingConfig {
@@ -104,6 +116,8 @@ impl ServingConfig {
             scheduler: SchedulerKind::ContinuousBatching,
             block_size: DEFAULT_BLOCK_SIZE,
             prefix_sharing: false,
+            tiers: KvTierModel::disabled(),
+            kv_ship: KvShipSpec::disabled(),
         }
     }
 
@@ -126,6 +140,8 @@ impl ServingConfig {
             scheduler: SchedulerKind::PagedContinuous,
             block_size,
             prefix_sharing: false,
+            tiers: KvTierModel::disabled(),
+            kv_ship: KvShipSpec::disabled(),
         }
     }
 
@@ -142,6 +158,18 @@ impl ServingConfig {
             prefix_sharing,
             ..self
         }
+    }
+
+    /// The same replica with a KV tier hierarchy below HBM.
+    #[must_use]
+    pub fn with_tiers(self, tiers: KvTierModel) -> Self {
+        ServingConfig { tiers, ..self }
+    }
+
+    /// The same replica with inbound KV shipping on every arrival.
+    #[must_use]
+    pub fn with_kv_ship(self, kv_ship: KvShipSpec) -> Self {
+        ServingConfig { kv_ship, ..self }
     }
 }
 
@@ -164,7 +192,8 @@ pub struct PagedStats {
     /// is one physical block, so it contributes its slots and its tokens
     /// once.)
     pub mean_internal_fragmentation: f64,
-    /// Sequences preempted (blocks freed, request re-queued for recompute).
+    /// Sequences preempted (blocks freed, request re-queued — by
+    /// recompute or by swap-out).
     pub preemptions: u64,
     /// Blocks evicted from the prefix cache to satisfy allocations.
     pub cache_evictions: u64,
@@ -174,6 +203,41 @@ pub struct PagedStats {
     pub prefix_hit_tokens: u64,
     /// Prompt tokens actually prefilled (the uncached suffixes).
     pub prefix_uncached_tokens: u64,
+    /// Preemptions resolved by swapping the victim's KV to a lower tier
+    /// instead of recomputing it ([`crate::KvTierModel`]).
+    #[serde(default)]
+    pub swap_outs: u64,
+    /// Swapped-out sequences whose KV finished reading back into HBM.
+    #[serde(default)]
+    pub swap_ins: u64,
+    /// Total blocks written out across all swap-outs.
+    #[serde(default)]
+    pub swapped_out_blocks: u64,
+    /// Cold prefix blocks demoted to a lower tier instead of dropped.
+    #[serde(default)]
+    pub tier_demotions: u64,
+    /// Demoted prefix blocks promoted back to HBM by a later admission
+    /// (a prefill priced as a transfer instead of compute).
+    #[serde(default)]
+    pub tier_promotions: u64,
+    /// Arrivals whose KV crossed the interconnect before admission
+    /// ([`crate::KvShipSpec`], the disaggregated decode pool).
+    #[serde(default)]
+    pub kv_transfers: u64,
+    /// Largest DDR-tier occupancy observed, in blocks.
+    #[serde(default)]
+    pub peak_ddr_blocks: usize,
+    /// Largest disk-tier occupancy observed, in blocks.
+    #[serde(default)]
+    pub peak_disk_blocks: usize,
+    /// Time-weighted mean fraction of the DDR tier occupied (0 when the
+    /// tier is disabled).
+    #[serde(default)]
+    pub mean_ddr_occupancy: f64,
+    /// Time-weighted mean fraction of the disk tier occupied (0 when the
+    /// tier is disabled).
+    #[serde(default)]
+    pub mean_disk_occupancy: f64,
 }
 
 impl PagedStats {
@@ -461,14 +525,26 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
     fn apply(&mut self, event: Event) -> bool {
         match event {
             Event::Arrival { request } => {
-                self.queue.push_back(request);
+                if self.config.kv_ship.enabled() {
+                    // Disaggregated decode pool: the request's prefilled
+                    // KV must cross the interconnect before admission.
+                    let prompt = self.slots[request].prompt_tokens;
+                    let at = self.now + self.config.kv_ship.transfer_seconds(prompt);
+                    self.events.push(at, Event::KvTransferDone { request });
+                } else {
+                    self.queue.push_back(request);
+                }
                 self.schedule_next_arrival();
                 false
             }
+            Event::KvTransferDone { request } => {
+                self.queue.push_back(request);
+                false
+            }
             Event::PrefillDone | Event::DecodeDone => true,
-            // The reserve-up-front policies never preempt.
-            Event::Preemption { .. } => {
-                unreachable!("reserve-up-front runs schedule no preemption")
+            // The reserve-up-front policies never preempt or swap.
+            Event::Preemption { .. } | Event::SwapOutDone { .. } | Event::SwapInDone { .. } => {
+                unreachable!("reserve-up-front runs schedule no preemption or swap I/O")
             }
         }
     }
@@ -698,11 +774,36 @@ struct PagedActive {
     remaining_decode: usize,
     /// Prompt tokens served from the prefix cache at admission.
     cached_prefix_tokens: usize,
+    /// Prompt tokens promoted from a lower KV tier at admission — their
+    /// prefill is priced as a swap-in transfer instead of compute.
+    promoted_tokens: usize,
+    /// Swap-in seconds of the promoted blocks, added to this sequence's
+    /// prefill time.
+    promote_wait_s: f64,
+    /// Whether the sequence is waiting on its swap-in transfer: its HBM
+    /// blocks are reserved but decode makes no progress until the
+    /// [`Event::SwapInDone`] fires.
+    swapping: bool,
     /// KV blocks this sequence holds a reference to, in sequence order.
     blocks: Vec<BlockId>,
     /// Time the last output token was produced (set once generation
     /// finishes).
     done_s: Option<f64>,
+}
+
+/// Where a swap-preempted sequence's KV sits while it waits to re-enter
+/// the batch: enough state to resume decode exactly where it stopped,
+/// without the recompute path's `generated_before` re-prefill.
+#[derive(Debug, Clone, Copy)]
+struct SwappedSeq {
+    /// Tokens resident when the sequence was preempted.
+    context_tokens: usize,
+    /// Decode tokens it still had to generate.
+    remaining_decode: usize,
+    /// HBM blocks it held (and will need again to resume).
+    blocks_needed: usize,
+    /// The tier holding its KV (reservation released at swap-in).
+    tier: TierKind,
 }
 
 /// A request alive in a paged run (queued or running) plus the per-request
@@ -764,6 +865,15 @@ struct PagedRunCore<I> {
     records: Vec<RequestRecord>,
     allocator: BlockAllocator,
     cache: Option<PrefixCache>,
+    /// Occupancy of the KV tiers below HBM (demoted prefix blocks and
+    /// swap-out reservations).
+    residency: TierResidency,
+    /// Whether any tier below HBM has capacity; cached so the untiered
+    /// hot path pays one branch, never a residency probe.
+    tiers_enabled: bool,
+    /// Swapped-out sequences by slot id, from swap-out until their
+    /// swap-in transfer completes.
+    swapped: HashMap<usize, SwappedSeq>,
     now: f64,
     step_in_flight: bool,
     admitted: usize,
@@ -773,6 +883,10 @@ struct PagedRunCore<I> {
     /// loop pushes them mid-step, but the queue is only read at
     /// boundaries, so deferring to the boundary is equivalent).
     pending_preemptions: Vec<usize>,
+    /// Victims swapped out inside the step being launched, with their
+    /// swap-out durations; their [`Event::SwapOutDone`] re-queues are
+    /// scheduled when the step is (transfer overlaps the step).
+    pending_swap_outs: Vec<(usize, f64)>,
     /// Per-block count of *running sequences* referencing it.
     run_refs: Vec<u32>,
     /// Σ over blocks of `run_refs` (sequence→block reference pairs).
@@ -786,6 +900,14 @@ struct PagedRunCore<I> {
     preemptions: u64,
     prefix_hit_tokens: u64,
     prefix_uncached_tokens: u64,
+    swap_outs: u64,
+    swap_ins: u64,
+    swapped_out_blocks: u64,
+    tier_demotions: u64,
+    tier_promotions: u64,
+    kv_transfers: u64,
+    peak_ddr_blocks: usize,
+    peak_disk_blocks: usize,
     peak_occupied: usize,
     peak_batch: usize,
     peak_queue: usize,
@@ -795,6 +917,8 @@ struct PagedRunCore<I> {
     occupancy: TimeWeightedMean,
     block_util: TimeWeightedMean,
     fragmentation: TimeWeightedMean,
+    ddr_occupancy: TimeWeightedMean,
+    disk_occupancy: TimeWeightedMean,
 }
 
 impl<I: Iterator<Item = Request>> PagedRunCore<I> {
@@ -817,11 +941,15 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             records: Vec::new(),
             allocator,
             cache,
+            residency: TierResidency::new(config.tiers),
+            tiers_enabled: config.tiers.enabled(),
+            swapped: HashMap::new(),
             now: 0.0,
             step_in_flight: false,
             admitted: 0,
             rejected: 0,
             pending_preemptions: Vec::new(),
+            pending_swap_outs: Vec::new(),
             run_refs: vec![0; total_blocks],
             total_run_refs: 0,
             distinct_blocks: 0,
@@ -830,6 +958,14 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             preemptions: 0,
             prefix_hit_tokens: 0,
             prefix_uncached_tokens: 0,
+            swap_outs: 0,
+            swap_ins: 0,
+            swapped_out_blocks: 0,
+            tier_demotions: 0,
+            tier_promotions: 0,
+            kv_transfers: 0,
+            peak_ddr_blocks: 0,
+            peak_disk_blocks: 0,
             peak_occupied: 0,
             peak_batch: 0,
             peak_queue: 0,
@@ -839,6 +975,8 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             occupancy: TimeWeightedMean::new(),
             block_util: TimeWeightedMean::new(),
             fragmentation: TimeWeightedMean::new(),
+            ddr_occupancy: TimeWeightedMean::new(),
+            disk_occupancy: TimeWeightedMean::new(),
         }
     }
 
@@ -929,6 +1067,20 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 0.0
             };
             self.fragmentation.observe(frag, dt);
+            if self.tiers_enabled {
+                let model = self.residency.model();
+                let ddr_cap = model.ddr.capacity_blocks;
+                let disk_cap = model.disk.capacity_blocks;
+                if ddr_cap > 0 {
+                    let used = self.residency.used_blocks(TierKind::Ddr);
+                    self.ddr_occupancy.observe(used as f64 / ddr_cap as f64, dt);
+                }
+                if disk_cap > 0 {
+                    let used = self.residency.used_blocks(TierKind::Disk);
+                    self.disk_occupancy
+                        .observe(used as f64 / disk_cap as f64, dt);
+                }
+            }
         }
         self.now = t;
     }
@@ -937,8 +1089,21 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
     fn apply(&mut self, event: Event) -> bool {
         match event {
             Event::Arrival { request } => {
-                self.queue.push_back(request);
+                if self.config.kv_ship.enabled() {
+                    // Disaggregated decode pool: the request's prefilled
+                    // KV must cross the interconnect before admission.
+                    let prompt = self.slots[request].request.prompt_tokens;
+                    let at = self.now + self.config.kv_ship.transfer_seconds(prompt);
+                    self.events.push(at, Event::KvTransferDone { request });
+                    self.kv_transfers += 1;
+                } else {
+                    self.queue.push_back(request);
+                }
                 self.schedule_next_arrival();
+                false
+            }
+            Event::KvTransferDone { request } => {
+                self.queue.push_back(request);
                 false
             }
             Event::Preemption { request } => {
@@ -946,6 +1111,29 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 // preemption order re-queues successive victims in their
                 // original admission order.
                 self.queue.push_front(request);
+                false
+            }
+            Event::SwapOutDone { request } => {
+                // The victim's KV landed in its tier: it can re-enter the
+                // batch (at the queue front, like a recompute victim) as
+                // soon as admission finds it HBM blocks.
+                self.queue.push_front(request);
+                false
+            }
+            Event::SwapInDone { request } => {
+                let swapped = self
+                    .swapped
+                    .remove(&request)
+                    .expect("swap-in completion for a sequence that is not swapped");
+                self.residency.release(swapped.tier, swapped.blocks_needed);
+                let active = self
+                    .running
+                    .iter_mut()
+                    .find(|a| a.idx == request)
+                    .expect("swapping sequence left the batch before its swap-in landed");
+                debug_assert!(active.swapping);
+                active.swapping = false;
+                self.swap_ins += 1;
                 false
             }
             Event::PrefillDone | Event::DecodeDone => true,
@@ -981,10 +1169,55 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             // its way to room for the queue head (whose footprint fits
             // the pool outright, or it was rejected above).
             debug_assert!(self.queue.is_empty());
-        } else {
+        } else if self.has_steppable_work() {
             self.start_step(cost);
             self.step_in_flight = true;
         }
+        // Otherwise every running sequence is waiting on a swap-in: spin
+        // no decode steps — each swapping sequence has a `SwapInDone`
+        // pending in the heap, so the run is guaranteed to progress.
+    }
+
+    /// Whether a step launched now would make progress: something to
+    /// prefill, or at least one running sequence that can actually gain a
+    /// token. Without tiers this is always true of a non-empty batch
+    /// (finished sequences retire at the boundary and unprefilled ones
+    /// count as pending prefill); only swap-in waits can make it false.
+    fn has_steppable_work(&self) -> bool {
+        self.pending_prefill > 0
+            || self
+                .running
+                .iter()
+                .any(|a| a.remaining_decode > 0 && !a.swapping)
+    }
+
+    /// Probes the lower tiers for demoted continuations of a cached
+    /// prefix: each consecutive demoted block promotes back to HBM, its
+    /// prefill priced as a swap-in transfer instead of compute. Returns
+    /// the promoted token count and the modeled transfer wait.
+    fn promote_demoted_suffix(&mut self, ids: &[u64], cached_tokens: usize) -> (usize, f64) {
+        if !self.tiers_enabled || self.cache.is_none() {
+            return (0, 0.0);
+        }
+        let block_size = self.config.block_size;
+        let mut hash = PATH_HASH_SEED;
+        for chunk in ids[..cached_tokens].chunks_exact(block_size) {
+            hash = chain_hash(hash, chunk);
+        }
+        let model = *self.residency.model();
+        let mut promoted_tokens = 0;
+        let mut promote_wait_s = 0.0;
+        for chunk in ids[cached_tokens..].chunks_exact(block_size) {
+            let next = chain_hash(hash, chunk);
+            let Some(tier) = self.residency.promote(next) else {
+                break;
+            };
+            promoted_tokens += block_size;
+            promote_wait_s += model.swap_in_seconds(tier, 1);
+            self.tier_promotions += 1;
+            hash = next;
+        }
+        (promoted_tokens, promote_wait_s)
     }
 
     /// Paged admission: FIFO, gated by the batch limit and by *current*
@@ -998,6 +1231,15 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             let Some(&head) = self.queue.front() else {
                 break;
             };
+            if self.swapped.contains_key(&head) {
+                // A swapped-out victim resumes instead of re-prefilling:
+                // admission waits here (head-of-line) until its blocks
+                // fit, then its swap-in transfer starts.
+                if !self.admit_swap_in(head) {
+                    break;
+                }
+                continue;
+            }
             let request = self.slots[head].request;
             let full_need = self
                 .allocator
@@ -1012,11 +1254,13 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             // At least one prompt token must be prefilled to produce the
             // next output token, so the lookup stops one short of the
             // prompt end.
+            let ids = if self.cache.is_some() {
+                request.stream.token_ids(prompt.saturating_sub(1))
+            } else {
+                Vec::new()
+            };
             let matched = match &mut self.cache {
-                Some(cache) => {
-                    let ids = request.stream.token_ids(prompt.saturating_sub(1));
-                    cache.lookup(&ids, &mut self.allocator)
-                }
+                Some(cache) => cache.lookup(&ids, &mut self.allocator),
                 None => Vec::new(),
             };
             let cached_tokens = matched.len() * self.config.block_size;
@@ -1059,6 +1303,8 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 }
                 break;
             }
+            let (promoted_tokens, promote_wait_s) =
+                self.promote_demoted_suffix(&ids, cached_tokens);
             self.queue.pop_front();
             let mut blocks = matched;
             for _ in 0..need_now {
@@ -1078,18 +1324,102 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 context_tokens: 0,
                 remaining_decode: 0,
                 cached_prefix_tokens: cached_tokens,
+                promoted_tokens,
+                promote_wait_s,
+                swapping: false,
                 blocks,
                 done_s: None,
             });
         }
     }
 
+    /// Re-admits a swapped-out sequence: finds it `blocks_needed` free
+    /// HBM blocks (evicting cold cache blocks as usual), schedules its
+    /// [`Event::SwapInDone`], and parks it in the batch with `swapping`
+    /// set — it holds its slot and blocks but gains no tokens until the
+    /// transfer lands. Returns `false` when the blocks don't fit yet
+    /// (admission waits head-of-line on the in-flight swap-in).
+    fn admit_swap_in(&mut self, head: usize) -> bool {
+        let swapped = self.swapped[&head];
+        let need = swapped.blocks_needed;
+        if self.allocator.free_blocks() < need {
+            let evictable = self
+                .cache
+                .as_ref()
+                .map_or(0, |cache| cache.evictable_blocks(&self.allocator));
+            if self.allocator.free_blocks() + evictable < need {
+                return false;
+            }
+        }
+        while self.allocator.free_blocks() < need {
+            if !self.evict_one() {
+                return false; // defense in depth, as in `admit`
+            }
+        }
+        self.queue.pop_front();
+        let mut blocks = Vec::with_capacity(need);
+        for _ in 0..need {
+            blocks.push(self.allocator.alloc().expect("free blocks checked"));
+        }
+        for &block in &blocks {
+            self.add_run_ref(block);
+        }
+        self.sum_context += swapped.context_tokens;
+        let swap_in = self
+            .residency
+            .model()
+            .swap_in_seconds(swapped.tier, swapped.blocks_needed);
+        self.events
+            .push(self.now + swap_in, Event::SwapInDone { request: head });
+        self.running.push(PagedActive {
+            idx: head,
+            prefilled: true,
+            context_tokens: swapped.context_tokens,
+            remaining_decode: swapped.remaining_decode,
+            cached_prefix_tokens: 0,
+            promoted_tokens: 0,
+            promote_wait_s: 0.0,
+            swapping: true,
+            blocks,
+            done_s: None,
+        });
+        true
+    }
+
     /// Evicts one cold prefix-cache block; `false` when nothing is
     /// evictable (no cache, or every resident block is still shared).
+    /// With tiers enabled the victim *demotes* — its path hash lands in
+    /// the residency map so a later admission can promote it back —
+    /// instead of vanishing.
     fn evict_one(&mut self) -> bool {
-        self.cache
-            .as_mut()
-            .is_some_and(|cache| cache.evict_lru(&mut self.allocator))
+        if self.tiers_enabled {
+            let Some(cache) = self.cache.as_mut() else {
+                return false;
+            };
+            let Some(hash) = cache.evict_lru_demoting(&mut self.allocator) else {
+                return false;
+            };
+            if self.residency.demote(hash).is_some() {
+                self.tier_demotions += 1;
+                self.note_tier_peaks();
+            }
+            true
+        } else {
+            self.cache
+                .as_mut()
+                .is_some_and(|cache| cache.evict_lru(&mut self.allocator))
+        }
+    }
+
+    /// Updates the peak tier-occupancy counters after a demotion or swap
+    /// reservation.
+    fn note_tier_peaks(&mut self) {
+        self.peak_ddr_blocks = self
+            .peak_ddr_blocks
+            .max(self.residency.used_blocks(TierKind::Ddr));
+        self.peak_disk_blocks = self
+            .peak_disk_blocks
+            .max(self.residency.used_blocks(TierKind::Disk));
     }
 
     /// Launches one engine step — prefill-prioritized, then decode — and
@@ -1107,6 +1437,13 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
         for victim in std::mem::take(&mut self.pending_preemptions) {
             self.events.push(end, Event::Preemption { request: victim });
         }
+        // Swap-out transfers start with the step and overlap it; the
+        // victim re-queues when its writes land (which may be mid-step —
+        // the queue is only read at boundaries, so that is safe).
+        for (victim, dur) in std::mem::take(&mut self.pending_swap_outs) {
+            self.events
+                .push(self.now + dur, Event::SwapOutDone { request: victim });
+        }
         self.events.push(end, completion);
     }
 
@@ -1122,7 +1459,12 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             let request = slot.request;
             let prompt = request.prompt_tokens + slot.generated_before;
             let cached = active.cached_prefix_tokens;
-            cursor += cost.prefill_seconds_cached(prompt, cached);
+            // Promoted tokens skip the prefill compute like cached ones,
+            // but pay their swap-in transfer instead.
+            cursor += cost.prefill_seconds_cached(prompt, cached + active.promoted_tokens);
+            if active.promote_wait_s > 0.0 {
+                cursor += active.promote_wait_s;
+            }
             active.prefilled = true;
             active.context_tokens = prompt + 1;
             self.sum_context += active.context_tokens;
@@ -1140,7 +1482,7 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 active.done_s = Some(cursor);
             }
             self.prefix_hit_tokens += cached as u64;
-            self.prefix_uncached_tokens += (prompt - cached) as u64;
+            self.prefix_uncached_tokens += (prompt - cached - active.promoted_tokens) as u64;
             if let Some(cache) = &mut self.cache {
                 let ids = request.stream.token_ids(prompt);
                 cache.insert(&ids, &active.blocks, &mut self.allocator);
@@ -1165,7 +1507,9 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
         let dt = cost.decode_step_seconds(batch, max_context);
         let mut i = 0;
         while i < self.running.len() {
-            if self.running[i].remaining_decode == 0 {
+            // Swap-in waiters hold their batch slot but gain no token
+            // until the transfer lands.
+            if self.running[i].remaining_decode == 0 || self.running[i].swapping {
                 i += 1;
                 continue;
             }
@@ -1173,7 +1517,7 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             let needs_block =
                 self.allocator.blocks_for_tokens(active.context_tokens + 1) > active.blocks.len();
             if needs_block {
-                match self.grow(i) {
+                match self.grow(i, cost) {
                     Some(at) => i = at,
                     None => continue, // self-preempted; `i` now names the next sequence
                 }
@@ -1190,7 +1534,7 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
     /// Obtains one more block for the sequence at `i`, evicting and then
     /// preempting as needed. Returns the sequence's (possibly shifted)
     /// index, or `None` if the sequence had to preempt itself.
-    fn grow(&mut self, mut i: usize) -> Option<usize> {
+    fn grow<C: ServingCostModel>(&mut self, mut i: usize, cost: &mut C) -> Option<usize> {
         loop {
             if let Some(block) = self.allocator.alloc() {
                 self.running[i].blocks.push(block);
@@ -1202,39 +1546,78 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             }
             // Preempt the latest-admitted sequence that is still decoding
             // (sequences that just finished retire at the end of this step
-            // and release their blocks then).
-            let victim = (0..self.running.len())
-                .rev()
-                .find(|&j| j != i && self.running[j].remaining_decode > 0);
+            // and release their blocks then; swap-in waiters keep their
+            // blocks — their transfer is already paid for).
+            let victim = (0..self.running.len()).rev().find(|&j| {
+                j != i && self.running[j].remaining_decode > 0 && !self.running[j].swapping
+            });
             let Some(j) = victim else {
-                self.preempt(i);
+                self.preempt(i, cost);
                 return None;
             };
-            self.preempt(j);
+            self.preempt(j, cost);
             if j < i {
                 i -= 1;
             }
         }
     }
 
-    /// Preempt-by-recompute: frees every block the victim holds and
-    /// records how far it had generated. The victim re-enters the queue
-    /// *front* through a [`Event::Preemption`] event at the step's end
-    /// (the queue is only read at boundaries, so this is exactly the
-    /// reference loop's mid-step `push_front`). Its prefill is re-priced
-    /// on resume.
-    fn preempt(&mut self, j: usize) {
+    /// Preempts the sequence at `j`, choosing swap-vs-recompute by
+    /// modeled cost. Either way the victim's HBM blocks are freed and it
+    /// re-enters the queue *front* — through a [`Event::SwapOutDone`]
+    /// when its writes land, or a [`Event::Preemption`] at the step's end
+    /// (the queue is only read at boundaries, so both match the
+    /// reference loop's mid-step `push_front`).
+    ///
+    /// *Swap*: a lower tier reserves the victim's blocks; it resumes its
+    /// decode after a swap-in transfer, no recompute. *Recompute*: how
+    /// far it had generated is recorded and its prefill is re-priced on
+    /// resume. Swap wins when `swap_out + swap_in < re-prefill` of the
+    /// victim's context — with no tiers configured the recompute path is
+    /// taken unconditionally, without even pricing the comparison.
+    fn preempt<C: ServingCostModel>(&mut self, j: usize, cost: &mut C) {
         let victim = self.running.remove(j);
-        debug_assert!(victim.prefilled);
+        debug_assert!(victim.prefilled && !victim.swapping);
+        self.sum_context -= victim.context_tokens;
+        self.preemptions += 1;
+        if self.tiers_enabled {
+            let blocks_needed = victim.blocks.len();
+            if let Some(tier) = self.residency.can_reserve(blocks_needed) {
+                let model = *self.residency.model();
+                let swap_s = model.swap_out_seconds(tier, blocks_needed)
+                    + model.swap_in_seconds(tier, blocks_needed);
+                if swap_s < cost.prefill_seconds(victim.context_tokens) {
+                    let reserved = self.residency.reserve_swap(blocks_needed);
+                    debug_assert_eq!(reserved, Some(tier));
+                    self.note_tier_peaks();
+                    for block in victim.blocks {
+                        self.drop_run_ref(block);
+                        self.release_block(block);
+                    }
+                    self.swapped.insert(
+                        victim.idx,
+                        SwappedSeq {
+                            context_tokens: victim.context_tokens,
+                            remaining_decode: victim.remaining_decode,
+                            blocks_needed,
+                            tier,
+                        },
+                    );
+                    self.pending_swap_outs
+                        .push((victim.idx, model.swap_out_seconds(tier, blocks_needed)));
+                    self.swap_outs += 1;
+                    self.swapped_out_blocks += blocks_needed as u64;
+                    return;
+                }
+            }
+        }
         let slot = &mut self.slots[victim.idx];
         slot.generated_before = victim.context_tokens - slot.request.prompt_tokens;
-        self.sum_context -= victim.context_tokens;
         for block in victim.blocks {
             self.drop_run_ref(block);
             self.release_block(block);
         }
         self.pending_preemptions.push(victim.idx);
-        self.preemptions += 1;
     }
 
     /// Retires finished sequences: publishes their full blocks (prompt +
@@ -1321,6 +1704,16 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 cache_peak_resident_blocks: cache_stats.peak_resident_blocks,
                 prefix_hit_tokens: self.prefix_hit_tokens,
                 prefix_uncached_tokens: self.prefix_uncached_tokens,
+                swap_outs: self.swap_outs,
+                swap_ins: self.swap_ins,
+                swapped_out_blocks: self.swapped_out_blocks,
+                tier_demotions: self.tier_demotions,
+                tier_promotions: self.tier_promotions,
+                kv_transfers: self.kv_transfers,
+                peak_ddr_blocks: self.peak_ddr_blocks,
+                peak_disk_blocks: self.peak_disk_blocks,
+                mean_ddr_occupancy: self.ddr_occupancy.mean(),
+                mean_disk_occupancy: self.disk_occupancy.mean(),
             }),
         }
     }
@@ -1759,5 +2152,159 @@ mod tests {
         assert!(reference.mean_queue_depth > report.mean_queue_depth);
         assert_eq!(reference.records, report.records);
         assert_eq!(reference.makespan_s, report.makespan_s);
+    }
+
+    /// A fast DDR tier under a pool that runs dry: preemption chooses
+    /// swap-out over recompute (its modeled transfer is microseconds
+    /// against a ~35 ms re-prefill), every swapped victim swaps back in
+    /// and resumes without re-prefilling a single token, the tier
+    /// capacity is respected, and the run conserves requests.
+    #[test]
+    fn swap_preemption_conserves_and_resumes_without_recompute() {
+        let requests: Vec<Request> = (0..12).map(|id| req(id, 0.0, 64, 200)).collect();
+        let trace = RequestTrace::new(requests);
+        // 256 KB per 16-token block over a 200 GB/s DDR tier: a whole
+        // victim swaps in microseconds.
+        let tiers = KvTierModel::ddr_only(256.0 * 1024.0, 1024);
+        let config = ServingConfig::paged(12, 1_024, 16).with_tiers(tiers);
+        let report = sim(config).run(&trace);
+        assert_eq!(report.completed(), 12);
+        assert_eq!(report.rejected, 0);
+        let stats = report.paged.expect("paged stats");
+        assert!(stats.swap_outs > 0, "the pool must have run dry");
+        assert_eq!(
+            stats.swap_ins, stats.swap_outs,
+            "every swapped victim resumed"
+        );
+        assert_eq!(
+            stats.preemptions, stats.swap_outs,
+            "swap won every preemption decision"
+        );
+        assert!(stats.swapped_out_blocks > 0);
+        assert!(stats.peak_ddr_blocks <= 1024);
+        assert!(stats.mean_ddr_occupancy >= 0.0);
+        // No recompute: each request prefilled exactly once, so the
+        // uncached-token total is exactly the sum of the twelve prompts.
+        assert_eq!(stats.prefix_uncached_tokens, 12 * 64);
+        // The recompute run on the same trace re-prefills its victims.
+        let recompute = sim(ServingConfig::paged(12, 1_024, 16)).run(&trace);
+        let recompute_stats = recompute.paged.expect("paged stats");
+        assert!(recompute_stats.preemptions > 0);
+        assert_eq!(recompute_stats.swap_outs, 0, "no tiers, no swaps");
+        assert!(
+            recompute_stats.prefix_uncached_tokens > 12 * 64,
+            "recompute re-prefills generated context"
+        );
+        // Swapping is also simply faster end to end here.
+        assert!(report.makespan_s < recompute.makespan_s);
+        // Determinism.
+        assert_eq!(report, sim(config).run(&trace));
+    }
+
+    /// A tier too small to hold any victim falls back to recompute on
+    /// every preemption: zero-capacity DDR behaves exactly like no tiers
+    /// at all — bit for bit, not just statistically.
+    #[test]
+    fn zero_capacity_tiers_reproduce_the_recompute_run_exactly() {
+        let requests: Vec<Request> = (0..12).map(|id| req(id, 0.0, 64, 200)).collect();
+        let trace = RequestTrace::new(requests);
+        let base = ServingConfig::paged(12, 1_024, 16);
+        let zero = base.with_tiers(KvTierModel::ddr_only(256.0 * 1024.0, 0));
+        assert!(!zero.tiers.enabled(), "zero capacity means disabled");
+        let a = sim(base).run(&trace);
+        let b = sim(zero).run(&trace);
+        assert_eq!(a, b);
+        assert!(a.paged.unwrap().preemptions > 0, "the comparison is live");
+    }
+
+    /// KV shipping delays admission by the modeled transfer: a decode-pool
+    /// replica's first token waits for the prompt's KV to cross the
+    /// interconnect. A zero-cost ship is invisible except in the transfer
+    /// counter.
+    #[test]
+    fn kv_shipping_delays_admission_by_the_transfer() {
+        let trace = RequestTrace::new(vec![req(0, 1.0, 512, 8)]);
+        let ship = KvShipSpec {
+            bytes_per_token: 300_000.0,
+            bandwidth_gbps: 50.0,
+            latency_us: 10.0,
+        };
+        let transfer = ship.transfer_seconds(512);
+        assert!(transfer > 1e-4, "the transfer must be visible");
+        for config in [
+            ServingConfig::continuous(8, 4_096),
+            ServingConfig::paged(8, 4_096, 16),
+        ] {
+            let base = sim(config).run(&trace);
+            let shipped = sim(config.with_kv_ship(ship)).run(&trace);
+            assert_eq!(shipped.completed(), 1);
+            let delay = shipped.records[0].first_token_s - base.records[0].first_token_s;
+            assert!(
+                (delay - transfer).abs() < 1e-12,
+                "TTFT shifted by {delay} vs transfer {transfer}"
+            );
+        }
+        // Free shipping moves nothing: the paged records match bit for bit
+        // and only the transfer counter tells the runs apart.
+        let free = KvShipSpec {
+            bytes_per_token: 300_000.0,
+            bandwidth_gbps: f64::INFINITY,
+            latency_us: 0.0,
+        };
+        let paged = ServingConfig::paged(8, 4_096, 16);
+        let base = sim(paged).run(&trace);
+        let freighted = sim(paged.with_kv_ship(free)).run(&trace);
+        assert_eq!(base.records, freighted.records);
+        assert_eq!(freighted.paged.unwrap().kv_transfers, 1);
+    }
+
+    /// Cold prefix subtrees demote to DDR instead of vanishing: a later
+    /// same-session turn promotes them back at transfer cost, skipping
+    /// their prefill compute — cheaper than the no-tier run, which must
+    /// re-prefill everything the eviction destroyed.
+    #[test]
+    fn demoted_prefixes_promote_back_instead_of_reprefilling() {
+        let stream = TokenStream::session(7, 16);
+        let turn1 = Request {
+            id: 0,
+            arrival_s: 0.0,
+            prompt_tokens: 64,
+            output_tokens: 32,
+            stream,
+        };
+        // An unrelated request big enough to force eviction of turn 1's
+        // cached blocks while the session thinks.
+        let intruder = req(1, 50.0, 100, 1);
+        let turn2 = Request {
+            id: 2,
+            arrival_s: 100.0,
+            prompt_tokens: 64 + 32 + 16,
+            output_tokens: 8,
+            stream,
+        };
+        let trace = RequestTrace::new(vec![turn1, intruder, turn2]);
+        // 10 blocks of 16 tokens: turn 1 leaves 6 cached blocks, the
+        // intruder needs 7, so cold blocks must go.
+        let base = ServingConfig::paged(4, 160, 16).with_prefix_sharing(true);
+        let tiered = base.with_tiers(KvTierModel::ddr_only(256.0 * 1024.0, 64));
+        let cold = sim(base).run(&trace);
+        let warm = sim(tiered).run(&trace);
+        for report in [&cold, &warm] {
+            assert_eq!(report.completed(), 3);
+            assert_eq!(report.rejected, 0);
+        }
+        let warm_stats = warm.paged.expect("paged stats");
+        assert!(warm_stats.tier_demotions > 0, "evictions must demote");
+        assert!(warm_stats.tier_promotions > 0, "the return must promote");
+        assert!(warm_stats.peak_ddr_blocks <= 64);
+        // Turn 2's first token: promotion replaces tens of prefill
+        // milliseconds with a microsecond transfer.
+        assert!(
+            warm.records[2].ttft_s() < cold.records[2].ttft_s(),
+            "warm {} vs cold {}",
+            warm.records[2].ttft_s(),
+            cold.records[2].ttft_s()
+        );
+        assert_eq!(warm, sim(tiered).run(&trace), "deterministic");
     }
 }

@@ -340,6 +340,10 @@ struct PagedRunState<'a> {
 
 impl<'a> PagedRunState<'a> {
     fn new(config: ServingConfig, requests: &'a [crate::workload::Request]) -> Self {
+        assert!(
+            !config.tiers.enabled() && !config.kv_ship.enabled(),
+            "the reference scheduler models neither KV tiers nor KV shipping"
+        );
         let allocator =
             BlockAllocator::from_token_budget(config.block_size, config.kv_budget_tokens);
         let total_blocks = allocator.total_blocks();
@@ -462,6 +466,9 @@ impl<'a> PagedRunState<'a> {
                 context_tokens: 0,
                 remaining_decode: 0,
                 cached_prefix_tokens: cached_tokens,
+                promoted_tokens: 0,
+                promote_wait_s: 0.0,
+                swapping: false,
                 blocks,
                 done_s: None,
             });
@@ -719,6 +726,16 @@ impl<'a> PagedRunState<'a> {
                 cache_peak_resident_blocks: cache_stats.peak_resident_blocks,
                 prefix_hit_tokens: self.prefix_hit_tokens,
                 prefix_uncached_tokens: self.prefix_uncached_tokens,
+                swap_outs: 0,
+                swap_ins: 0,
+                swapped_out_blocks: 0,
+                tier_demotions: 0,
+                tier_promotions: 0,
+                kv_transfers: 0,
+                peak_ddr_blocks: 0,
+                peak_disk_blocks: 0,
+                mean_ddr_occupancy: 0.0,
+                mean_disk_occupancy: 0.0,
             }),
         }
     }

@@ -9,10 +9,11 @@ use deca_kernels::Engine;
 use deca_llm::{footprint, parallel, InterconnectModel, LlmModel, ShardSpec};
 use deca_roofsurface::MachineConfig;
 
-use crate::cost::EstimatorCostModel;
+use crate::cost::{DecodePoolCostModel, EstimatorCostModel, ServingCostModel};
 use crate::metrics::{percentile, RequestRecord, ServingMetrics, SloTarget};
 use crate::scheduler::{ServingConfig, ServingReport, ServingSimulator};
-use crate::workload::{RequestTrace, WorkloadSpec};
+use crate::tier::KvShipSpec;
+use crate::workload::{Request, RequestTrace, WorkloadSpec};
 
 /// The KV budget (tokens) the HBM headroom sustains for a model/scheme, or
 /// `None` when the compressed weights alone do not fit in HBM (such schemes
@@ -296,6 +297,203 @@ pub fn simulate_fleet(
     )
 }
 
+/// A disaggregated prefill/decode deployment: `prefill_replicas` sockets
+/// run nothing but prefills, `decode_replicas` sockets run nothing but
+/// decode, and every prefilled request's KV ships from its prefill
+/// replica to its decode replica at [`KvShipSpec`] cost.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DisaggSpec {
+    /// Sockets in the prefill pool (≥ 1).
+    pub prefill_replicas: usize,
+    /// Sockets in the decode pool (≥ 1).
+    pub decode_replicas: usize,
+    /// Pricing of the prefill → decode KV transfer.
+    pub kv_ship: KvShipSpec,
+}
+
+impl DisaggSpec {
+    /// Total sockets across both pools.
+    #[must_use]
+    pub fn sockets(&self) -> usize {
+        self.prefill_replicas + self.decode_replicas
+    }
+}
+
+/// The outcome of one disaggregated run: both pools' raw fleet reports
+/// plus the stitched end-to-end per-request records.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DisaggReport {
+    /// The deployment that produced this report.
+    pub spec: DisaggSpec,
+    /// The prefill pool's fleet report (its records' completions are
+    /// *first tokens*, not end-to-end finishes).
+    pub prefill: FleetReport,
+    /// The decode pool's fleet report (its records' arrivals are prefill
+    /// completions, its TTFTs are meaningless — see `records`).
+    pub decode: FleetReport,
+    /// End-to-end records: original arrival, first token from the prefill
+    /// pool, completion from the decode pool (or from the prefill pool
+    /// for single-token outputs). Sorted by request id.
+    pub records: Vec<RequestRecord>,
+    /// Requests rejected by either pool.
+    pub rejected: usize,
+}
+
+impl DisaggReport {
+    /// Deployment makespan: the slower pool's.
+    #[must_use]
+    pub fn makespan_s(&self) -> f64 {
+        self.prefill.makespan_s().max(self.decode.makespan_s())
+    }
+
+    /// Aggregate end-to-end metrics.
+    #[must_use]
+    pub fn metrics(&self) -> ServingMetrics {
+        ServingMetrics::from_records(&self.records, self.rejected, self.makespan_s())
+    }
+
+    /// End-to-end goodput under `slo`.
+    #[must_use]
+    pub fn goodput_rps(&self, slo: &SloTarget) -> f64 {
+        ServingMetrics::goodput_rps(&self.records, slo, self.makespan_s())
+    }
+}
+
+/// Simulates a disaggregated prefill/decode deployment with one cost
+/// model per socket drawn from `cost`.
+///
+/// Three phases, all deterministic:
+///
+/// 1. **Prefill pool** — the trace's requests, truncated to their first
+///    output token, split round-robin over the prefill replicas under
+///    `config` (KV shipping off: prompts arrive as tokens, not KV).
+/// 2. **Decode pool** — every multi-token request re-arrives at the
+///    instant its first token was produced, with [`KvShipSpec`] enabled
+///    in the config so the shipped-KV transfer delays admission, and a
+///    [`DecodePoolCostModel`] so "prefill" costs nothing but the decode
+///    steps price normally. Requests the prefill pool rejected never
+///    ship.
+/// 3. **Stitch** — each completed request's end-to-end record keeps its
+///    original arrival, takes its first token from the prefill pool and
+///    its completion from the decode pool. The KV transfer therefore
+///    lands exactly between TTFT and the first decode step.
+///
+/// # Panics
+///
+/// Panics if either pool is empty.
+pub fn simulate_disaggregated_with<C, F>(
+    mut cost: F,
+    config: &ServingConfig,
+    spec: &DisaggSpec,
+    trace: &RequestTrace,
+) -> DisaggReport
+where
+    C: ServingCostModel + Send,
+    F: FnMut() -> C,
+{
+    assert!(
+        spec.prefill_replicas > 0 && spec.decode_replicas > 0,
+        "a disaggregated deployment needs both pools"
+    );
+    // Phase 1: prefill-only requests (the first output token is the
+    // prefill's product; everything after it belongs to the decode pool).
+    let prefill_requests: Vec<Request> = trace
+        .requests()
+        .iter()
+        .map(|r| Request {
+            output_tokens: 1,
+            ..*r
+        })
+        .collect();
+    let prefill_trace = RequestTrace::new(prefill_requests);
+    let prefill_config = config.with_kv_ship(KvShipSpec::disabled());
+    let prefill = simulate_fleet_with(
+        &mut cost,
+        &prefill_config,
+        spec.prefill_replicas,
+        &prefill_trace,
+    );
+
+    // Phase 2: re-offer every prefilled multi-token request to the decode
+    // pool at the instant its first token existed.
+    let prefill_records = prefill.records();
+    let by_id: std::collections::HashMap<usize, RequestRecord> =
+        prefill_records.iter().map(|r| (r.id, *r)).collect();
+    let decode_requests: Vec<Request> = trace
+        .requests()
+        .iter()
+        .filter(|r| r.output_tokens > 1)
+        .filter_map(|r| {
+            by_id.get(&r.id).map(|done| Request {
+                arrival_s: done.first_token_s,
+                ..*r
+            })
+        })
+        .collect();
+    let decode_trace = RequestTrace::new(decode_requests);
+    let decode_config = config.with_kv_ship(spec.kv_ship);
+    let decode = simulate_fleet_with(
+        || DecodePoolCostModel::new(cost()),
+        &decode_config,
+        spec.decode_replicas,
+        &decode_trace,
+    );
+
+    // Phase 3: stitch end-to-end records.
+    let mut records: Vec<RequestRecord> = Vec::with_capacity(prefill_records.len());
+    let decoded: std::collections::HashMap<usize, RequestRecord> =
+        decode.records().iter().map(|r| (r.id, *r)).collect();
+    for request in trace.requests() {
+        let Some(first) = by_id.get(&request.id) else {
+            continue; // rejected by the prefill pool
+        };
+        if request.output_tokens == 1 {
+            records.push(*first);
+            continue;
+        }
+        let Some(done) = decoded.get(&request.id) else {
+            continue; // rejected by the decode pool
+        };
+        records.push(RequestRecord {
+            id: request.id,
+            arrival_s: request.arrival_s,
+            first_token_s: first.first_token_s,
+            completion_s: done.completion_s,
+            prompt_tokens: request.prompt_tokens,
+            output_tokens: request.output_tokens,
+        });
+    }
+    records.sort_by_key(|r| r.id);
+    let rejected = trace.len() - records.len();
+    DisaggReport {
+        spec: *spec,
+        prefill,
+        decode,
+        records,
+        rejected,
+    }
+}
+
+/// [`simulate_disaggregated_with`] with one [`EstimatorCostModel`] per
+/// socket — the disaggregated counterpart of [`simulate_fleet`].
+#[must_use]
+pub fn simulate_disaggregated(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    engine: Engine,
+    config: &ServingConfig,
+    spec: &DisaggSpec,
+    trace: &RequestTrace,
+) -> DisaggReport {
+    simulate_disaggregated_with(
+        || EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine),
+        config,
+        spec,
+        trace,
+    )
+}
+
 /// Parameters of an SLO capacity search on one replica.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct CapacitySpec {
@@ -436,8 +634,17 @@ pub fn capacity_search_warm<F: FnMut(f64) -> RequestTrace>(
         spec: *spec,
         trace_for_rate,
     };
-    let mut run = |rate: f64| probe.run(rate);
+    bracket_and_bisect(spec, &mut |rate| probe.run(rate))
+}
 
+/// The knee-finding core shared by every capacity search: double out of
+/// `spec.min_rate` until `run` reports infeasible (or `max_rate` is
+/// reached), then bisect `spec.iterations` times. `run` maps a probed
+/// rate to (feasible, result-at-that-rate).
+fn bracket_and_bisect(
+    spec: &CapacitySpec,
+    run: &mut dyn FnMut(f64) -> (bool, CapacityResult),
+) -> CapacityResult {
     let (feasible, result) = run(spec.min_rate);
     if !feasible {
         return CapacityResult {
@@ -474,6 +681,125 @@ pub fn capacity_search_warm<F: FnMut(f64) -> RequestTrace>(
         }
     }
     best
+}
+
+/// One pool split's sustained capacity, from
+/// [`disagg_capacity_search_with`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PoolSplitResult {
+    /// Sockets assigned to the prefill pool.
+    pub prefill_replicas: usize,
+    /// Sockets assigned to the decode pool.
+    pub decode_replicas: usize,
+    /// The split's capacity-search outcome.
+    pub capacity: CapacityResult,
+}
+
+/// Extends the capacity search across *pool splits*: for every way of
+/// partitioning `sockets` into a non-empty prefill pool and a non-empty
+/// decode pool, finds the highest arrival rate the disaggregated
+/// deployment sustains within the p99 SLO (same bracketing/bisection as
+/// [`capacity_search_with`], feasibility judged on the stitched
+/// end-to-end records). Pick the winner with [`best_pool_split`].
+pub fn disagg_capacity_search_with<C, F, T>(
+    mut cost: F,
+    config: &ServingConfig,
+    sockets: usize,
+    kv_ship: KvShipSpec,
+    spec: &CapacitySpec,
+    mut trace_for_rate: T,
+) -> Vec<PoolSplitResult>
+where
+    C: ServingCostModel + Send,
+    F: FnMut() -> C,
+    T: FnMut(f64) -> RequestTrace,
+{
+    assert!(sockets >= 2, "a split needs a socket in each pool");
+    (1..sockets)
+        .map(|prefill_replicas| {
+            let split = DisaggSpec {
+                prefill_replicas,
+                decode_replicas: sockets - prefill_replicas,
+                kv_ship,
+            };
+            let capacity = bracket_and_bisect(spec, &mut |rate| {
+                let trace = trace_for_rate(rate);
+                let report = simulate_disaggregated_with(&mut cost, config, &split, &trace);
+                let ttft: Vec<f64> = report.records.iter().map(RequestRecord::ttft_s).collect();
+                let tpot: Vec<f64> = report.records.iter().map(RequestRecord::tpot_s).collect();
+                let p99_ttft = percentile(&ttft, 99.0);
+                let p99_tpot = percentile(&tpot, 99.0);
+                let feasible = report.rejected == 0
+                    && p99_ttft <= spec.slo.ttft_s
+                    && p99_tpot <= spec.slo.tpot_s;
+                let result = CapacityResult {
+                    max_rate_rps: rate,
+                    p99_ttft_s: p99_ttft,
+                    p99_tpot_s: p99_tpot,
+                    goodput_rps: report.goodput_rps(&spec.slo),
+                };
+                (feasible, result)
+            });
+            PoolSplitResult {
+                prefill_replicas,
+                decode_replicas: sockets - prefill_replicas,
+                capacity,
+            }
+        })
+        .collect()
+}
+
+/// The capacity search over a *colocated* fleet: the highest arrival rate
+/// `replicas` identical prefill+decode replicas sustain within the p99
+/// SLO — the same-socket-count baseline a disaggregated pool split must
+/// beat. Same bracketing/bisection as [`capacity_search_with`],
+/// feasibility judged on the fleet's pooled records.
+pub fn fleet_capacity_search_with<C, F, T>(
+    mut cost: F,
+    config: &ServingConfig,
+    replicas: usize,
+    spec: &CapacitySpec,
+    mut trace_for_rate: T,
+) -> CapacityResult
+where
+    C: ServingCostModel + Send,
+    F: FnMut() -> C,
+    T: FnMut(f64) -> RequestTrace,
+{
+    bracket_and_bisect(spec, &mut |rate| {
+        let trace = trace_for_rate(rate);
+        let fleet = simulate_fleet_with(&mut cost, config, replicas, &trace);
+        let records = fleet.records();
+        let ttft: Vec<f64> = records.iter().map(RequestRecord::ttft_s).collect();
+        let tpot: Vec<f64> = records.iter().map(RequestRecord::tpot_s).collect();
+        let p99_ttft = percentile(&ttft, 99.0);
+        let p99_tpot = percentile(&tpot, 99.0);
+        let feasible =
+            fleet.rejected() == 0 && p99_ttft <= spec.slo.ttft_s && p99_tpot <= spec.slo.tpot_s;
+        let result = CapacityResult {
+            max_rate_rps: rate,
+            p99_ttft_s: p99_ttft,
+            p99_tpot_s: p99_tpot,
+            goodput_rps: fleet.goodput_rps(&spec.slo),
+        };
+        (feasible, result)
+    })
+}
+
+/// The winning split of a [`disagg_capacity_search_with`] sweep: highest
+/// sustained rate, goodput breaking ties (earlier split on exact ties).
+#[must_use]
+pub fn best_pool_split(results: &[PoolSplitResult]) -> Option<&PoolSplitResult> {
+    results.iter().reduce(|best, candidate| {
+        let better = candidate.capacity.max_rate_rps > best.capacity.max_rate_rps
+            || (candidate.capacity.max_rate_rps == best.capacity.max_rate_rps
+                && candidate.capacity.goodput_rps > best.capacity.goodput_rps);
+        if better {
+            candidate
+        } else {
+            best
+        }
+    })
 }
 
 #[cfg(test)]
@@ -612,6 +938,87 @@ mod tests {
         // any queueing, strictly faster at the tail).
         assert!(four.metrics().e2e.p99_s <= one.metrics().e2e.p99_s);
         assert_eq!(four.records().len(), 60);
+    }
+
+    /// A disaggregated run must conserve the trace: every request either
+    /// completes with a stitched end-to-end record or counts as rejected,
+    /// first tokens come from the prefill pool, and completions land
+    /// after the shipped-KV transfer plus the remaining decode steps.
+    #[test]
+    fn disaggregated_runs_stitch_prefill_and_decode_records() {
+        let trace = WorkloadSpec::chat(4.0, 80, 17).generate();
+        let config = ServingConfig::continuous(16, 1_000_000);
+        let ship = KvShipSpec {
+            bytes_per_token: 300_000.0,
+            bandwidth_gbps: 50.0,
+            latency_us: 10.0,
+        };
+        let spec = DisaggSpec {
+            prefill_replicas: 1,
+            decode_replicas: 1,
+            kv_ship: ship,
+        };
+        let report =
+            simulate_disaggregated_with(LinearCostModel::default_70b, &config, &spec, &trace);
+        assert_eq!(report.records.len() + report.rejected, 80);
+        assert!(report.rejected == 0, "generous budget admits everything");
+        let min_transfer = ship.transfer_seconds(1);
+        for (record, request) in report.records.iter().zip(trace.requests()) {
+            assert_eq!(record.id, request.id);
+            assert_eq!(record.arrival_s, request.arrival_s, "original arrival");
+            assert!(record.first_token_s > record.arrival_s);
+            if request.output_tokens > 1 {
+                // The KV transfer plus at least one decode step separates
+                // the first token from the completion.
+                assert!(
+                    record.completion_s > record.first_token_s + min_transfer + 0.9 * 0.03,
+                    "request {}: completion {:.4} vs first token {:.4}",
+                    record.id,
+                    record.completion_s,
+                    record.first_token_s
+                );
+            } else {
+                assert_eq!(record.completion_s, record.first_token_s);
+            }
+        }
+        // Determinism: same inputs, same stitched report.
+        let again =
+            simulate_disaggregated_with(LinearCostModel::default_70b, &config, &spec, &trace);
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn pool_split_search_covers_every_partition_and_picks_the_best() {
+        let spec = CapacitySpec {
+            slo: SloTarget::interactive(),
+            requests: 40,
+            seed: 23,
+            min_rate: 0.25,
+            max_rate: 16.0,
+            iterations: 3,
+        };
+        let config = ServingConfig::continuous(16, 1_000_000);
+        let results = disagg_capacity_search_with(
+            LinearCostModel::default_70b,
+            &config,
+            4,
+            KvShipSpec {
+                bytes_per_token: 300_000.0,
+                bandwidth_gbps: 50.0,
+                latency_us: 10.0,
+            },
+            &spec,
+            |rate| WorkloadSpec::chat(rate, spec.requests, spec.seed).generate(),
+        );
+        assert_eq!(results.len(), 3, "splits 1+3, 2+2, 3+1");
+        for (i, result) in results.iter().enumerate() {
+            assert_eq!(result.prefill_replicas, i + 1);
+            assert_eq!(result.decode_replicas, 4 - (i + 1));
+        }
+        let best = best_pool_split(&results).expect("non-empty");
+        assert!(results
+            .iter()
+            .all(|r| r.capacity.max_rate_rps <= best.capacity.max_rate_rps));
     }
 
     /// The capacity search works against any cost model; exercise its

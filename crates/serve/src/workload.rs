@@ -650,6 +650,129 @@ impl Iterator for SharedPrefixChatStream {
 
 impl ExactSizeIterator for SharedPrefixChatStream {}
 
+/// A cold-session chat workload: conversations open with a burst of
+/// `first_turns` closely spaced turns, go idle for a long `idle_s` gap
+/// (the user walks away), then come back for `return_turns` more turns
+/// that still carry the whole transcript as their prompt.
+///
+/// This is the workload the KV tier hierarchy ([`crate::KvTierModel`])
+/// exists for: during the idle gap the session's blocks go cold and get
+/// evicted from HBM, so the returning turn either re-prefills its entire
+/// accumulated context (recompute) or promotes the demoted blocks back
+/// from DDR/disk at transfer cost — the swap-vs-recompute comparison
+/// `bench_disagg` prices.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ColdSessionSpec {
+    /// Session (conversation) arrival rate, sessions per second.
+    pub rate_per_sec: f64,
+    /// Number of conversations.
+    pub sessions: usize,
+    /// Turns in the opening burst (≥ 1).
+    pub first_turns: usize,
+    /// Turns after the idle gap (may be 0 for fire-and-forget sessions).
+    pub return_turns: usize,
+    /// System-prompt tokens shared by every session.
+    pub system_prompt_tokens: usize,
+    /// Length of each turn's fresh user message.
+    pub user_tokens: LengthDistribution,
+    /// Length of each turn's generated reply.
+    pub output_tokens: LengthDistribution,
+    /// Mean think time between turns inside a burst (exponential).
+    pub think_time_s: f64,
+    /// Mean idle gap between the opening burst and the return (an
+    /// exponential draw, so returns don't arrive in lockstep). Must be
+    /// much larger than `think_time_s` for the sessions to actually go
+    /// cold.
+    pub idle_s: f64,
+    /// RNG seed: the same spec always generates the same trace.
+    pub seed: u64,
+}
+
+impl ColdSessionSpec {
+    /// A cold-return fleet: sessions open with two turns over a 256-token
+    /// system prompt, accumulate a substantial transcript, go idle for
+    /// ~5 simulated minutes, then return for two more turns.
+    #[must_use]
+    pub fn fleet(rate_per_sec: f64, sessions: usize, seed: u64) -> Self {
+        ColdSessionSpec {
+            rate_per_sec,
+            sessions,
+            first_turns: 2,
+            return_turns: 2,
+            system_prompt_tokens: 256,
+            user_tokens: LengthDistribution::Uniform { min: 64, max: 192 },
+            output_tokens: LengthDistribution::Uniform { min: 48, max: 160 },
+            think_time_s: 10.0,
+            idle_s: 300.0,
+            seed,
+        }
+    }
+
+    /// The same sessions offered at a different rate (the capacity-search
+    /// knob).
+    #[must_use]
+    pub fn with_rate(self, rate_per_sec: f64) -> Self {
+        ColdSessionSpec {
+            rate_per_sec,
+            ..self
+        }
+    }
+
+    /// Requests the generated trace will contain.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.sessions * (self.first_turns.max(1) + self.return_turns)
+    }
+
+    /// Generates the replayable trace this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session rate is not positive.
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        assert!(self.rate_per_sec > 0.0, "session rate must be positive");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut requests = Vec::with_capacity(self.requests());
+        let mut session_start = 0.0f64;
+        let think_rate = 1.0 / self.think_time_s.max(1e-6);
+        let idle_rate = 1.0 / self.idle_s.max(1e-6);
+        for session in 0..self.sessions {
+            session_start += exponential_gap(rng.gen(), self.rate_per_sec);
+            let stream = TokenStream::session(
+                splitmix64(self.seed ^ splitmix64(session as u64)),
+                self.system_prompt_tokens,
+            );
+            let mut transcript = self.system_prompt_tokens;
+            let mut arrival = session_start;
+            let turns = self.first_turns.max(1) + self.return_turns;
+            for turn in 0..turns {
+                if turn == self.first_turns.max(1) {
+                    // The user walks away; the session's KV goes cold.
+                    arrival += exponential_gap(rng.gen(), idle_rate) + self.idle_s;
+                }
+                let user = self.user_tokens.sample(&mut rng);
+                let output = self.output_tokens.sample(&mut rng);
+                transcript += user;
+                requests.push(Request {
+                    id: 0, // assigned in arrival order below
+                    arrival_s: arrival,
+                    prompt_tokens: transcript,
+                    output_tokens: output,
+                    stream,
+                });
+                transcript += output;
+                arrival += exponential_gap(rng.gen(), think_rate) + output as f64 * 0.06;
+            }
+        }
+        let mut trace = RequestTrace::new(requests);
+        for (index, request) in trace.requests.iter_mut().enumerate() {
+            request.id = index;
+        }
+        trace
+    }
+}
+
 /// An ordered, replayable list of requests. Traces can come from
 /// [`WorkloadSpec::generate`] or be constructed directly (e.g. replayed from
 /// a serialized production log).
@@ -968,6 +1091,39 @@ mod tests {
             assert_eq!(stream.len(), spec.requests(), "exact size hint");
             let streamed: Vec<Request> = stream.collect();
             assert_eq!(streamed.as_slice(), spec.generate().requests());
+        }
+    }
+
+    #[test]
+    fn cold_sessions_return_after_a_long_idle_gap_with_their_transcript() {
+        let spec = ColdSessionSpec::fleet(1.0, 8, 13);
+        let trace = spec.generate();
+        assert_eq!(trace.len(), spec.requests());
+        assert_eq!(trace, spec.generate(), "deterministic");
+        for (index, request) in trace.requests().iter().enumerate() {
+            assert_eq!(request.id, index, "ids are arrival-ordered");
+        }
+        let mut by_session: std::collections::HashMap<u64, Vec<&Request>> =
+            std::collections::HashMap::new();
+        for request in trace.requests() {
+            by_session
+                .entry(request.stream.session)
+                .or_default()
+                .push(request);
+        }
+        assert_eq!(by_session.len(), 8);
+        for turns in by_session.values_mut() {
+            turns.sort_by(|a, b| a.arrival_s.total_cmp(&b.arrival_s));
+            assert_eq!(turns.len(), spec.first_turns + spec.return_turns);
+            // Transcript keeps growing across the gap: the returning turn
+            // still carries everything said before the idle.
+            for pair in turns.windows(2) {
+                assert!(pair[1].prompt_tokens > pair[0].prompt_tokens + pair[0].output_tokens);
+            }
+            // The gap between the opening burst and the return dwarfs any
+            // in-burst think time.
+            let gap = turns[spec.first_turns].arrival_s - turns[spec.first_turns - 1].arrival_s;
+            assert!(gap >= spec.idle_s, "idle gap {gap:.1}s");
         }
     }
 

@@ -24,13 +24,21 @@
 //!    the reserve-up-front scheduler's completion and rejection sets,
 //! 8. paged runs conserve requests and respect the pool even under heavy
 //!    preemption.
+//!
+//! The tiered-offload subsystem ([`deca_serve::tier`]) adds:
+//!
+//! 9. tiered runs conserve requests too, no tier ever holds more blocks
+//!    than its capacity, and every swap-out is matched by a swap-in,
+//! 10. the degenerate configs are exact: a zero-capacity tier reproduces
+//!     the recompute-only paged run bit for bit, and a zero-cost KV ship
+//!     leaves every record untouched.
 
 use std::collections::HashSet;
 
 use deca_serve::{
-    simulate_fleet_with, ArrivalProcess, BlockAllocator, LengthDistribution, LinearCostModel,
-    PrefixCache, RequestRecord, SchedulerKind, ServingConfig, ServingSimulator,
-    SharedPrefixChatSpec, SloTarget, TokenStream, WorkloadSpec,
+    simulate_fleet_with, ArrivalProcess, BlockAllocator, KvShipSpec, KvTierModel, KvTierSpec,
+    LengthDistribution, LinearCostModel, PrefixCache, RequestRecord, SchedulerKind, ServingConfig,
+    ServingSimulator, SharedPrefixChatSpec, SloTarget, TokenStream, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -385,6 +393,102 @@ proptest! {
         }
         let mut again = ServingSimulator::new(LinearCostModel::default_70b(), config);
         prop_assert_eq!(again.run(&trace), report);
+    }
+
+    /// Invariant 9: tiered paged runs under swap-preemption pressure
+    /// conserve requests, never hold more blocks in a tier than its
+    /// capacity, match every swap-out with a swap-in by the time the run
+    /// drains, stay deterministic, and keep records physically sane.
+    #[test]
+    fn tiered_swap_preemption_conserves_and_respects_tier_capacity(
+        seed in 0u64..10_000,
+        sessions in 2usize..10,
+        max_batch in 2usize..12,
+        blocks in 24usize..96,
+        ddr_blocks in 0usize..192,
+        disk_blocks in 0usize..192,
+    ) {
+        let spec = SharedPrefixChatSpec {
+            turns_per_session: 2,
+            system_prompt_tokens: 48,
+            user_tokens: LengthDistribution::Uniform { min: 16, max: 64 },
+            output_tokens: LengthDistribution::Uniform { min: 8, max: 96 },
+            think_time_s: 2.0,
+            ..SharedPrefixChatSpec::fleet(4.0, sessions, seed)
+        };
+        let trace = spec.generate();
+        let block_size = 16;
+        let tiers = KvTierModel {
+            block_kv_bytes: 256.0 * 1024.0,
+            ddr: KvTierSpec::ddr(ddr_blocks),
+            disk: KvTierSpec::nvme(disk_blocks),
+        };
+        let config = ServingConfig::paged(max_batch, blocks * block_size, block_size)
+            .with_prefix_sharing(true)
+            .with_tiers(tiers);
+        let mut sim = ServingSimulator::new(LinearCostModel::default_70b(), config);
+        let report = sim.run(&trace);
+
+        prop_assert_eq!(report.completed() + report.rejected, trace.len());
+        prop_assert_eq!(report.admitted, report.completed());
+        let paged = report.paged.expect("paged run");
+        prop_assert!(paged.peak_allocated_blocks <= paged.total_blocks);
+        // No tier ever exceeds its capacity — demotions and swap
+        // reservations included.
+        prop_assert!(paged.peak_ddr_blocks <= ddr_blocks);
+        prop_assert!(paged.peak_disk_blocks <= disk_blocks);
+        // Every swapped-out sequence swapped back in and retired.
+        prop_assert_eq!(paged.swap_ins, paged.swap_outs);
+        prop_assert!(paged.swap_outs <= paged.preemptions);
+        for r in &report.records {
+            prop_assert!(r.first_token_s > r.arrival_s);
+            prop_assert!(r.completion_s >= r.first_token_s);
+        }
+        let mut again = ServingSimulator::new(LinearCostModel::default_70b(), config);
+        prop_assert_eq!(again.run(&trace), report);
+    }
+
+    /// Invariant 10, the degenerate-config guarantee the subsystem's
+    /// equivalence story rests on: a zero-capacity DDR tier reproduces
+    /// the plain recompute-only paged run *bit for bit*, and a zero-cost
+    /// (infinite-bandwidth, zero-latency) KV ship leaves every record
+    /// untouched — only the transfer counter moves.
+    #[test]
+    fn degenerate_tiers_and_free_shipping_reproduce_the_plain_paged_run(
+        seed in 0u64..10_000,
+        sessions in 1usize..10,
+        max_batch in 1usize..12,
+        blocks in 24usize..160,
+        sharing in proptest::prop::bool::ANY,
+    ) {
+        let spec = SharedPrefixChatSpec {
+            turns_per_session: 2,
+            ..SharedPrefixChatSpec::fleet(3.0, sessions, seed)
+        };
+        let trace = spec.generate();
+        let block_size = 16;
+        let base = ServingConfig::paged(max_batch, blocks * block_size, block_size)
+            .with_prefix_sharing(sharing);
+        let mut plain = ServingSimulator::new(LinearCostModel::default_70b(), base);
+        let plain_report = plain.run(&trace);
+
+        let tiered = base.with_tiers(KvTierModel::ddr_only(256.0 * 1024.0, 0));
+        let mut sim = ServingSimulator::new(LinearCostModel::default_70b(), tiered);
+        prop_assert_eq!(sim.run(&trace), plain_report.clone());
+
+        let shipped = base.with_kv_ship(KvShipSpec {
+            bytes_per_token: 300.0 * 1024.0,
+            bandwidth_gbps: f64::INFINITY,
+            latency_us: 0.0,
+        });
+        let mut sim = ServingSimulator::new(LinearCostModel::default_70b(), shipped);
+        let ship_report = sim.run(&trace);
+        prop_assert_eq!(&ship_report.records, &plain_report.records);
+        prop_assert_eq!(ship_report.rejected, plain_report.rejected);
+        prop_assert_eq!(
+            ship_report.paged.expect("paged run").kv_transfers,
+            trace.len() as u64
+        );
     }
 }
 

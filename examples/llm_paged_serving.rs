@@ -6,8 +6,10 @@
 //! 2. paged: block-granular on-demand KV allocation,
 //! 3. paged + radix-tree prefix sharing,
 //!
-//! printing KV utilization, prefix hit rate, preemption counters, and the
-//! capacity delta at the interactive p99 SLO.
+//! printing KV utilization, prefix hit rate, preemption counters, the
+//! capacity delta at the interactive p99 SLO, and — under an overloaded
+//! pool with a DDR tier behind it — the swap/demotion/promotion counters
+//! of the tiered KV offload path.
 //!
 //! Run with: `cargo run --release --example llm_paged_serving`
 
@@ -16,8 +18,8 @@ use deca_kernels::Engine;
 use deca_llm::{footprint, LlmModel};
 use deca_roofsurface::MachineConfig;
 use deca_serve::{
-    capacity_search_warm, hbm_kv_budget_tokens, CapacitySpec, EstimatorCostModel, ServingConfig,
-    ServingSimulator, SharedPrefixChatSpec, SloTarget,
+    capacity_search_warm, hbm_kv_budget_tokens, CapacitySpec, EstimatorCostModel, KvTierModel,
+    ServingConfig, ServingSimulator, SharedPrefixChatSpec, SloTarget,
 };
 
 const MAX_BATCH: usize = 16;
@@ -139,7 +141,9 @@ fn capacity_table(
 }
 
 /// A deliberately tiny pool under the same load: preemption-by-recompute
-/// and prefix-cache eviction both fire, and the trace still drains.
+/// and prefix-cache eviction both fire, and the trace still drains. Then
+/// the same pool with a DDR offload tier behind it: preempted and evicted
+/// KV swaps out and comes back instead of being re-prefilled.
 fn overload_demo(
     machine: &MachineConfig,
     model: &LlmModel,
@@ -166,6 +170,22 @@ fn overload_demo(
         paged.prefix_hit_rate() * 100.0,
     );
     assert_eq!(report.completed() + report.rejected, trace.len());
+
+    let block_kv_bytes = footprint::kv_cache_bytes_per_sequence(model, BLOCK_SIZE) as f64;
+    let tiered = config.with_tiers(KvTierModel::ddr_only(block_kv_bytes, 1_024));
+    let mut server = ServingSimulator::new(cost_model(machine, model, scheme), tiered);
+    let report = server.run(&trace);
+    let paged = report.paged.expect("paged run");
+    println!("  with a DDR tier behind the pool:");
+    println!(
+        "  swap-outs {} | swap-ins {} | demotions {} | promotions {} | peak DDR blocks {} | prefilled tokens {}",
+        paged.swap_outs,
+        paged.swap_ins,
+        paged.tier_demotions,
+        paged.tier_promotions,
+        paged.peak_ddr_blocks,
+        paged.prefix_uncached_tokens,
+    );
 }
 
 fn main() {
