@@ -1309,6 +1309,306 @@ pub fn disagg_results() -> Json {
     ])
 }
 
+/// Chat requests of the chunked-prefill experiment's mixed trace (shrunk
+/// in debug builds so plain `cargo test` stays fast; the committed
+/// baseline is regenerated in release mode).
+const CHUNKED_CHAT_REQUESTS: usize = if cfg!(debug_assertions) { 24 } else { 96 };
+/// Fixed chat arrival rate of the TPOT-isolation comparison (the document
+/// lane rides at an eighth of it, per [`deca_serve::DocChatMixSpec`]).
+const CHUNKED_CHAT_RATE: f64 = 0.25;
+/// The prefill chunk budget of the headline chunked runs (tokens per
+/// batch step).
+const CHUNKED_BUDGET_TOKENS: usize = 512;
+/// Tokens per KV block of the chunked experiment's paged replicas.
+const CHUNKED_BLOCK_SIZE: usize = 32;
+/// Decode batch limit of the chunked experiment's replicas.
+const CHUNKED_MAX_BATCH: usize = 16;
+/// Draft tokens per speculative burst of the acceptance-rate curves.
+const CHUNKED_DRAFT_TOKENS: usize = 4;
+/// Trace and acceptance-draw seed of the chunked experiment.
+const CHUNKED_SEED: u64 = 41;
+
+/// The mixed long-document + chat workload of `bench_chunked`: the fleet
+/// document lane with short (autocomplete-style) chat turns, so a turn's
+/// decode window fits inside a document backlog and prefill stalls land
+/// directly in the turn's TPOT instead of amortizing away.
+fn chunked_mix() -> deca_serve::DocChatMixSpec {
+    deca_serve::DocChatMixSpec {
+        chat_output_tokens: deca_serve::LengthDistribution::Uniform { min: 8, max: 32 },
+        ..deca_serve::DocChatMixSpec::fleet(CHUNKED_CHAT_RATE, CHUNKED_CHAT_REQUESTS, CHUNKED_SEED)
+    }
+}
+
+/// Splits a report's records into (chat, document) lanes and returns the
+/// chat lane's p99 TPOT (ms) and the document lane's p99 TTFT (s).
+fn chunked_lane_tails(
+    mix: &deca_serve::DocChatMixSpec,
+    trace: &deca_serve::RequestTrace,
+    report: &ServingReport,
+) -> (f64, f64) {
+    let mut chat_tpot = Vec::new();
+    let mut doc_ttft = Vec::new();
+    for record in &report.records {
+        if mix.is_document(&trace.requests()[record.id]) {
+            doc_ttft.push(record.ttft_s());
+        } else {
+            chat_tpot.push(record.tpot_s());
+        }
+    }
+    (
+        deca_serve::percentile(&chat_tpot, 99.0) * 1e3,
+        deca_serve::percentile(&doc_ttft, 99.0),
+    )
+}
+
+/// The TPOT-isolation leg of `bench_chunked`: chunked vs unchunked on the
+/// mixed long-document + chat trace, per engine. Returns the per-engine
+/// rows and the DECA headline.
+fn chunked_isolation_section(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: CompressionScheme,
+    config: &ServingConfig,
+    mix: &deca_serve::DocChatMixSpec,
+    trace: &deca_serve::RequestTrace,
+) -> (Vec<Json>, String) {
+    let mut isolation_rows = Vec::new();
+    let mut isolation_headline = String::new();
+    for (engine_label, engine) in [
+        ("software", Engine::software()),
+        ("deca", Engine::deca_default()),
+    ] {
+        let mut cost = EstimatorCostModel::new(machine.clone(), model.clone(), scheme, engine);
+        let mut run = |chunk_budget: Option<usize>| {
+            let mut sim =
+                ServingSimulator::new(cost.clone(), config.with_chunked_prefill(chunk_budget));
+            let report = sim.run(trace);
+            cost = sim.into_cost_model();
+            report
+        };
+        let unchunked = run(None);
+        let chunked = run(Some(CHUNKED_BUDGET_TOKENS));
+        let (unchunked_chat_tpot, unchunked_doc_ttft) = chunked_lane_tails(mix, trace, &unchunked);
+        let (chunked_chat_tpot, chunked_doc_ttft) = chunked_lane_tails(mix, trace, &chunked);
+        if engine_label == "deca" {
+            isolation_headline = format!(
+                "a {CHUNKED_BUDGET_TOKENS}-token chunk budget cuts chat p99 TPOT from \
+                 {unchunked_chat_tpot:.1} ms to {chunked_chat_tpot:.1} ms under co-resident \
+                 long-document prefill on one DECA socket ({} {})",
+                model.name(),
+                scheme.label(),
+            );
+        }
+        isolation_rows.push(Json::obj(vec![
+            ("engine", Json::str(engine_label)),
+            ("unchunked_chat_p99_tpot_ms", num(unchunked_chat_tpot)),
+            ("chunked_chat_p99_tpot_ms", num(chunked_chat_tpot)),
+            (
+                "chunked_vs_unchunked_tpot",
+                num(chunked_chat_tpot / unchunked_chat_tpot),
+            ),
+            ("unchunked_doc_p99_ttft_s", num(unchunked_doc_ttft)),
+            ("chunked_doc_p99_ttft_s", num(chunked_doc_ttft)),
+            ("chunk_steps", num(chunked.chunk_steps as f64)),
+            (
+                "chunked_prefill_tokens",
+                num(chunked.chunked_prefill_tokens as f64),
+            ),
+        ]));
+    }
+    (isolation_rows, isolation_headline)
+}
+
+/// The speculation leg of `bench_chunked`: goodput vs acceptance rate with
+/// a Llama-2-7B draft against the 70B target, per engine, on a
+/// decode-heavy chat trace. Returns the per-engine rows and the DECA
+/// headline.
+fn chunked_speculation_section(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: CompressionScheme,
+    slo: &SloTarget,
+    budget: usize,
+) -> (Vec<Json>, String) {
+    let draft = LlmModel::llama2_7b();
+    let chat_trace = WorkloadSpec::chat(2.0, CHUNKED_CHAT_REQUESTS, CHUNKED_SEED).generate();
+    let chat_config = ServingConfig::paged(CHUNKED_MAX_BATCH, budget, CHUNKED_BLOCK_SIZE);
+    let rates = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut speculation_rows = Vec::new();
+    let mut speculation_headline = String::new();
+    for (engine_label, engine) in [
+        ("software", Engine::software()),
+        ("deca", Engine::deca_default()),
+    ] {
+        let mut cost = EstimatorCostModel::new(machine.clone(), model.clone(), scheme, engine)
+            .with_draft_model(deca_llm::DraftSpec::new(
+                draft.clone(),
+                CHUNKED_DRAFT_TOKENS,
+            ));
+        let curve = deca_serve::speculation_goodput_curve_with(
+            &mut cost,
+            &chat_config,
+            slo,
+            CHUNKED_DRAFT_TOKENS,
+            CHUNKED_SEED,
+            &rates,
+            &chat_trace,
+        );
+        if engine_label == "deca" {
+            let (first, last) = (&curve[0], &curve[curve.len() - 1]);
+            speculation_headline = format!(
+                "with a {} draft at acceptance 1.0, one DECA socket's chat p99 TPOT drops from \
+                 {:.1} ms to {:.1} ms ({} target, k={CHUNKED_DRAFT_TOKENS})",
+                draft.name(),
+                first.p99_tpot_s * 1e3,
+                last.p99_tpot_s * 1e3,
+                model.name(),
+            );
+        }
+        let points: Vec<Json> = curve
+            .iter()
+            .map(|point| {
+                Json::obj(vec![
+                    ("acceptance_rate", num(point.acceptance_rate)),
+                    ("p99_ttft_s", num(point.p99_ttft_s)),
+                    ("p99_tpot_ms", num(point.p99_tpot_s * 1e3)),
+                    ("goodput_rps", num(point.goodput_rps)),
+                    ("bursts", num(point.decode_steps as f64)),
+                ])
+            })
+            .collect();
+        speculation_rows.push(Json::obj(vec![
+            ("engine", Json::str(engine_label)),
+            ("points", Json::Arr(points)),
+        ]));
+    }
+    (speculation_rows, speculation_headline)
+}
+
+/// The chunked-prefill + speculative-decoding experiment (`bench_chunked`):
+///
+/// * **TPOT isolation** — on the mixed long-document + chat trace at a
+///   fixed rate, the chat lane's p99 TPOT and the document lane's p99
+///   TTFT, chunked versus unchunked, software versus DECA. Chunking bounds
+///   the decode stall a monolithic document prefill inflicts on
+///   co-resident chats; the document pays its prefill in installments.
+/// * **Chunk-budget capacity sweep** (DECA) — the chat rate one replica
+///   sustains at the interactive p99 SLO across chunk budgets, locating
+///   the knee between stall isolation and per-chunk step overhead.
+/// * **Goodput vs acceptance rate** — speculative decoding with a
+///   Llama-2-7B draft model against the 70B target on a decode-heavy chat
+///   trace: p99 TPOT and SLO goodput as the acceptance rate rises from 0
+///   to 1, software versus DECA.
+///
+/// Fully deterministic (only the surrounding `wall_ms` is volatile).
+#[must_use]
+pub fn chunked_results() -> Json {
+    let machine = MachineConfig::spr_hbm();
+    let model = LlmModel::llama2_70b();
+    let scheme = CompressionScheme::bf8_sparse(0.05);
+    let slo = SloTarget::interactive();
+    let budget = hbm_kv_budget_tokens(&model, &scheme).expect("Q8_5% fits");
+    let config = ServingConfig::paged(CHUNKED_MAX_BATCH, budget, CHUNKED_BLOCK_SIZE)
+        .with_prefix_sharing(true);
+    let mix = chunked_mix();
+    let trace = mix.generate();
+
+    let (isolation_rows, isolation_headline) =
+        chunked_isolation_section(&machine, &model, scheme, &config, &mix, &trace);
+
+    // Chunk-budget capacity sweep on DECA: where is the knee? The
+    // interactive SLO can never admit a document lane (an 8k-token prefill
+    // alone runs ~25 s), so the sweep judges against a document-tolerant
+    // target: TTFT bounded by the backlog budget, TPOT by a streaming
+    // bound loose enough that only unchunked (or over-coarse) runs blow
+    // through it.
+    let doc_slo = SloTarget {
+        ttft_s: 60.0,
+        tpot_s: 2.0,
+    };
+    let spec = CapacitySpec {
+        slo: doc_slo,
+        requests: mix.requests(),
+        seed: CHUNKED_SEED,
+        min_rate: 0.05,
+        max_rate: 1.0,
+        iterations: if cfg!(debug_assertions) { 3 } else { 5 },
+    };
+    let mut sweep_cost = EstimatorCostModel::new(
+        machine.clone(),
+        model.clone(),
+        scheme,
+        Engine::deca_default(),
+    );
+    let sweep_points = deca_serve::chunk_budget_capacity_sweep_with(
+        &mut sweep_cost,
+        &config,
+        &spec,
+        &[None, Some(256), Some(CHUNKED_BUDGET_TOKENS), Some(2_048)],
+        |rate| mix.with_rate(rate).generate(),
+    );
+    let sweep_rows: Vec<Json> = sweep_points
+        .iter()
+        .map(|point| {
+            Json::obj(vec![
+                (
+                    "chunk_budget_tokens",
+                    point
+                        .chunk_budget_tokens
+                        .map_or(Json::Null, |b| num(b as f64)),
+                ),
+                ("max_rate_rps", num(point.capacity.max_rate_rps)),
+                ("p99_ttft_s", num(point.capacity.p99_ttft_s)),
+                ("p99_tpot_ms", num(point.capacity.p99_tpot_s * 1e3)),
+                ("goodput_rps", num(point.capacity.goodput_rps)),
+            ])
+        })
+        .collect();
+
+    let (speculation_rows, speculation_headline) =
+        chunked_speculation_section(&machine, &model, scheme, &slo, budget);
+
+    Json::obj(vec![
+        ("machine", Json::str(machine.name.clone())),
+        ("model", Json::str(model.name().to_string())),
+        ("scheme", Json::str(scheme.label())),
+        ("block_size", num(CHUNKED_BLOCK_SIZE as f64)),
+        ("max_batch", num(CHUNKED_MAX_BATCH as f64)),
+        ("chat_rate_rps", num(CHUNKED_CHAT_RATE)),
+        ("chat_requests", num(CHUNKED_CHAT_REQUESTS as f64)),
+        ("doc_requests", num(mix.doc_requests as f64)),
+        ("chunk_budget_tokens", num(CHUNKED_BUDGET_TOKENS as f64)),
+        (
+            "isolation",
+            Json::obj(vec![
+                ("engines", Json::Arr(isolation_rows)),
+                ("headline", Json::str(isolation_headline)),
+            ]),
+        ),
+        (
+            "budget_sweep",
+            Json::obj(vec![
+                ("slo_ttft_s", num(doc_slo.ttft_s)),
+                ("slo_tpot_ms", num(doc_slo.tpot_s * 1e3)),
+                ("points", Json::Arr(sweep_rows)),
+            ]),
+        ),
+        (
+            "speculation",
+            Json::obj(vec![
+                (
+                    "draft_model",
+                    Json::str(LlmModel::llama2_7b().name().to_string()),
+                ),
+                ("draft_tokens", num(CHUNKED_DRAFT_TOKENS as f64)),
+                ("slo_tpot_ms", num(slo.tpot_s * 1e3)),
+                ("engines", Json::Arr(speculation_rows)),
+                ("headline", Json::str(speculation_headline)),
+            ]),
+        ),
+    ])
+}
+
 /// Sessions in the sim-speed trace: a million in release — the ROADMAP's
 /// "millions of users" scale, and the CI `simspeed` gate — shrunk in debug
 /// builds so `cargo test` exercises the same code in moments.
@@ -1434,12 +1734,14 @@ pub fn single_experiment_document(name: &str, run: fn() -> Json) -> Json {
     ])
 }
 
-/// Runs every baseline experiment, recording wall time per experiment, and
-/// assembles the full document.
+/// An experiment runner, as registered in [`experiments`].
+pub type ExperimentFn = fn() -> Json;
+
+/// The baseline experiment registry, in document order — the single list
+/// [`collect`] runs and `bench_drift --write --experiment` refreshes from.
 #[must_use]
-pub fn collect() -> Json {
-    type ExperimentFn = fn() -> Json;
-    let experiments: Vec<(&str, ExperimentFn)> = vec![
+pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
         ("roofsurface", roofsurface_results),
         ("pipeline", pipeline_results),
         ("llm_latency", llm_latency_results),
@@ -1449,8 +1751,15 @@ pub fn collect() -> Json {
         ("bench_paged", paged_results),
         ("bench_disagg", disagg_results),
         ("bench_simspeed", simspeed_results),
-    ];
-    let records = experiments
+        ("bench_chunked", chunked_results),
+    ]
+}
+
+/// Runs every baseline experiment, recording wall time per experiment, and
+/// assembles the full document.
+#[must_use]
+pub fn collect() -> Json {
+    let records = experiments()
         .into_iter()
         .map(|(name, run)| experiment_record(name, run))
         .collect();
@@ -1459,6 +1768,71 @@ pub fn collect() -> Json {
         ("command", Json::str(REGENERATE_COMMAND)),
         ("experiments", Json::Arr(records)),
     ])
+}
+
+/// Renders `doc` and writes it to `path` with the committed-artifact
+/// convention (compact JSON, trailing newline) — the write half of
+/// `bench_drift --write`.
+///
+/// # Errors
+///
+/// Propagates the I/O error when the path cannot be written.
+pub fn write_artifact(path: &std::path::Path, doc: &Json) -> std::io::Result<()> {
+    let mut rendered = doc.render();
+    rendered.push('\n');
+    std::fs::write(path, rendered)
+}
+
+/// Re-runs the registered experiment `name` and replaces its records in
+/// `doc` in place (every other experiment's committed numbers are left
+/// untouched) — the selective half of `bench_drift --write`.
+///
+/// # Errors
+///
+/// Returns a message naming the registry when `name` is not a registered
+/// experiment, or when `doc` carries no record of it to replace.
+pub fn refresh_experiment(doc: Json, name: &str) -> Result<Json, String> {
+    let Some((_, run)) = experiments().into_iter().find(|(n, _)| *n == name) else {
+        let known: Vec<&str> = experiments().iter().map(|(n, _)| *n).collect();
+        return Err(format!(
+            "no registered experiment {name:?} (registered: {})",
+            known.join(", ")
+        ));
+    };
+    let Json::Obj(entries) = doc else {
+        return Err("baseline document must be an object".to_string());
+    };
+    let mut replaced = false;
+    let entries = entries
+        .into_iter()
+        .map(|(key, value)| {
+            if key != "experiments" {
+                return (key, value);
+            }
+            let Json::Arr(records) = value else {
+                return (key, value);
+            };
+            let records = records
+                .into_iter()
+                .map(|record| {
+                    let is_named = matches!(&record, Json::Obj(fields)
+                        if fields.iter().any(|(k, v)| k == "name"
+                            && matches!(v, Json::Str(s) if s == name)));
+                    if is_named && !replaced {
+                        replaced = true;
+                        experiment_record(name, run)
+                    } else {
+                        record
+                    }
+                })
+                .collect();
+            (key, Json::Arr(records))
+        })
+        .collect();
+    if !replaced {
+        return Err(format!("the document carries no experiment {name:?}"));
+    }
+    Ok(Json::Obj(entries))
 }
 
 #[cfg(test)]
@@ -1502,7 +1876,8 @@ mod tests {
                 "bench_sharding",
                 "bench_paged",
                 "bench_disagg",
-                "bench_simspeed"
+                "bench_simspeed",
+                "bench_chunked"
             ]
         );
         for experiment in experiments {
@@ -1511,6 +1886,76 @@ mod tests {
                 other => panic!("wall_ms must be a number, got {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn write_then_check_is_clean() {
+        let path = std::env::temp_dir().join(format!(
+            "deca_bench_write_roundtrip_{}.json",
+            std::process::id()
+        ));
+        let doc = single_experiment_document("roofsurface", roofsurface_results);
+        write_artifact(&path, &doc).expect("artifact must be writable");
+        let text = std::fs::read_to_string(&path).expect("artifact must read back");
+        std::fs::remove_file(&path).ok();
+        assert!(text.ends_with('\n'), "artifact must end with a newline");
+        let reparsed = crate::drift::parse(&text).expect("artifact must reparse");
+        let fresh = single_experiment_document("roofsurface", roofsurface_results);
+        let lines = crate::drift::diff(
+            &crate::drift::strip_volatile(reparsed),
+            &crate::drift::strip_volatile(fresh),
+        );
+        assert!(lines.is_empty(), "write-then-check drifted: {lines:?}");
+    }
+
+    #[test]
+    fn refresh_experiment_replaces_only_the_named_record() {
+        let stale = |name: &str, results: &str| {
+            Json::obj(vec![
+                ("name", Json::str(name)),
+                ("wall_ms", num(0.0)),
+                ("results", Json::str(results)),
+            ])
+        };
+        let doc = Json::obj(vec![
+            ("schema_version", num(f64::from(SCHEMA_VERSION))),
+            ("command", Json::str(REGENERATE_COMMAND)),
+            (
+                "experiments",
+                Json::Arr(vec![
+                    stale("roofsurface", "stale"),
+                    stale("handwritten", "untouched"),
+                ]),
+            ),
+        ]);
+        let refreshed = refresh_experiment(doc.clone(), "roofsurface").expect("refresh must work");
+        let Json::Arr(records) = find(&refreshed, "experiments") else {
+            panic!("experiments must be an array");
+        };
+        assert_eq!(records.len(), 2, "record count must be preserved");
+        assert_eq!(
+            records[1],
+            stale("handwritten", "untouched"),
+            "unnamed records must be untouched"
+        );
+        let fresh = experiment_record("roofsurface", roofsurface_results);
+        let lines = crate::drift::diff(
+            &crate::drift::strip_volatile(records[0].clone()),
+            &crate::drift::strip_volatile(fresh),
+        );
+        assert!(lines.is_empty(), "refreshed record drifted: {lines:?}");
+
+        let unknown = refresh_experiment(doc, "no_such_experiment").unwrap_err();
+        assert!(
+            unknown.contains("roofsurface"),
+            "error must name the registry"
+        );
+        let missing = refresh_experiment(
+            single_experiment_document("roofsurface", roofsurface_results),
+            "bench_paged",
+        )
+        .unwrap_err();
+        assert!(missing.contains("bench_paged"), "error must name the miss");
     }
 
     #[test]

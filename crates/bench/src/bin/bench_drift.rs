@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! cargo run -p deca-bench --bin bench_drift -- [--experiment NAME] BASELINE CURRENT
+//! cargo run -p deca-bench --bin bench_drift -- --write [--experiment NAME] BASELINE
 //! cargo run -p deca-bench --bin bench_drift -- --list ARTIFACT...
 //! ```
 //!
@@ -13,8 +14,11 @@
 //! compared (so a partial artifact like CI's `BENCH_simspeed.json` can be
 //! checked against the full committed baseline); a name neither document
 //! carries fails with the available names. `--list` prints each
-//! artifact's experiment names and exits. Exits non-zero with one line
-//! per drifted path.
+//! artifact's experiment names and exits. `--write` regenerates the
+//! committed baseline in place instead of diffing: with `--experiment`
+//! only that experiment's records are re-run and replaced (everything
+//! else is preserved byte-for-byte), without it the whole document is
+//! rebuilt. Exits non-zero with one line per drifted path.
 
 use std::process::ExitCode;
 
@@ -57,9 +61,34 @@ fn select(doc: &Json, path: &str, name: &str) -> Result<Vec<Json>, String> {
     Ok(records)
 }
 
+/// `--write`: regenerate the baseline artifact at `path` in place — the
+/// whole document, or only experiment `name`'s records within it.
+fn write(path: &str, name: Option<&str>) -> ExitCode {
+    let document = match name {
+        Some(name) => match deca_bench::baseline::refresh_experiment(load(path), name) {
+            Ok(doc) => doc,
+            Err(message) => {
+                eprintln!("{message}");
+                return ExitCode::from(2);
+            }
+        },
+        None => deca_bench::baseline::collect(),
+    };
+    if let Err(e) = deca_bench::baseline::write_artifact(std::path::Path::new(path), &document) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::from(2);
+    }
+    match name {
+        Some(name) => println!("rewrote {name} in {path}"),
+        None => println!("rewrote {path} (all experiments)"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut experiment: Option<String> = None;
     let mut listing = false;
+    let mut writing = false;
     let mut paths = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -67,6 +96,8 @@ fn main() -> ExitCode {
             experiment = Some(args.next().expect("--experiment needs a name"));
         } else if arg == "--list" {
             listing = true;
+        } else if arg == "--write" {
+            writing = true;
         } else {
             paths.push(arg);
         }
@@ -77,6 +108,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
         return list(&paths);
+    }
+    if writing {
+        let [path] = paths.as_slice() else {
+            eprintln!("usage: bench_drift --write [--experiment NAME] BASELINE");
+            return ExitCode::from(2);
+        };
+        return write(path, experiment.as_deref());
     }
     let [baseline_path, current_path] = paths.as_slice() else {
         eprintln!("usage: bench_drift [--experiment NAME] BASELINE CURRENT | --list ARTIFACT...");

@@ -138,6 +138,57 @@ impl PrefillReport {
     }
 }
 
+/// The draft side of speculative decoding: a second, smaller model that
+/// proposes `draft_tokens` tokens per burst, each priced as one of *its*
+/// decode steps, before the target model verifies the whole burst in a
+/// single step. The spec is pure pricing data — acceptance behaviour
+/// (which drafts survive verification) is scheduler policy and lives with
+/// the serving layer.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DraftSpec {
+    model: LlmModel,
+    draft_tokens: usize,
+}
+
+impl DraftSpec {
+    /// A draft model proposing `draft_tokens` tokens per burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draft_tokens` is zero (a zero-draft burst is just a
+    /// decode step).
+    #[must_use]
+    pub fn new(model: LlmModel, draft_tokens: usize) -> Self {
+        assert!(
+            draft_tokens > 0,
+            "a draft burst proposes at least one token"
+        );
+        DraftSpec {
+            model,
+            draft_tokens,
+        }
+    }
+
+    /// The stock pairing: [`LlmModel::llama2_7b`] drafting for a Llama2
+    /// target.
+    #[must_use]
+    pub fn llama2_7b(draft_tokens: usize) -> Self {
+        DraftSpec::new(LlmModel::llama2_7b(), draft_tokens)
+    }
+
+    /// The draft model.
+    #[must_use]
+    pub fn model(&self) -> &LlmModel {
+        &self.model
+    }
+
+    /// Draft tokens proposed per burst.
+    #[must_use]
+    pub fn draft_tokens(&self) -> usize {
+        self.draft_tokens
+    }
+}
+
 /// Estimates next-token latency for a model/scheme/engine combination on a
 /// simulated machine.
 #[derive(Debug, Clone)]
@@ -246,6 +297,32 @@ impl InferenceEstimator {
             attention_seconds,
             other_seconds,
         }
+    }
+
+    /// Seconds of one speculative-decoding burst for a batch: the draft
+    /// model runs `draft.draft_tokens()` of its own decode steps (weights
+    /// streamed per drafted token), then the target model verifies the
+    /// whole burst in one forward pass, priced as one of *its* decode
+    /// steps — the standard approximation that scoring k drafted tokens
+    /// costs one target pass, since the weight stream (not the k extra
+    /// activation rows) is the bound.
+    #[must_use]
+    pub fn speculative_burst(
+        &self,
+        target: &LlmModel,
+        draft: &DraftSpec,
+        scheme: &CompressionScheme,
+        engine: Engine,
+        batch: usize,
+        context_tokens: usize,
+    ) -> f64 {
+        let draft_step = self
+            .next_token(draft.model(), scheme, engine, batch, context_tokens)
+            .total_seconds();
+        let verify = self
+            .next_token(target, scheme, engine, batch, context_tokens)
+            .total_seconds();
+        draft.draft_tokens() as f64 * draft_step + verify
     }
 
     fn gemm_seconds(&self, shape: &GemmShape, seconds_per_tile: f64) -> f64 {
@@ -555,5 +632,42 @@ mod tests {
         assert_eq!(word.decompress_engine, "word-parallel");
         // All backends are bit-exact, so the modeled latency is identical.
         assert!((scalar.total_ms() - word.total_ms()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn draft_spec_accessors_and_stock_pairing() {
+        let draft = DraftSpec::llama2_7b(4);
+        assert_eq!(draft.model().name(), "Llama2-7B");
+        assert_eq!(draft.draft_tokens(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_draft_tokens_panic() {
+        let _ = DraftSpec::llama2_7b(0);
+    }
+
+    #[test]
+    fn speculative_burst_prices_draft_steps_plus_one_verify() {
+        let estimator = hbm();
+        let target = LlmModel::llama2_70b();
+        let scheme = CompressionScheme::bf8_sparse(0.05);
+        let engine = Engine::deca_default();
+        let draft = DraftSpec::llama2_7b(4);
+        let burst = estimator.speculative_burst(&target, &draft, &scheme, engine, 4, 512);
+        let draft_step = estimator
+            .next_token(draft.model(), &scheme, engine, 4, 512)
+            .total_seconds();
+        let verify = estimator
+            .next_token(&target, &scheme, engine, 4, 512)
+            .total_seconds();
+        assert_eq!(
+            burst.to_bits(),
+            (4.0 * draft_step + verify).to_bits(),
+            "a burst is exactly k draft steps plus one verify step"
+        );
+        // The whole point: a 4-token burst on a 7B draft costs well under
+        // four target decode steps.
+        assert!(burst < 4.0 * verify);
     }
 }

@@ -51,7 +51,7 @@ mod inference;
 mod model;
 pub mod parallel;
 
-pub use inference::{InferenceEstimator, NextTokenReport, PrefillReport};
+pub use inference::{DraftSpec, InferenceEstimator, NextTokenReport, PrefillReport};
 pub use model::{LayerGeometry, LlmModel};
 pub use parallel::{
     InterconnectModel, ShardSpec, ShardedEstimator, ShardedNextTokenReport, ShardedPrefillReport,

@@ -147,6 +147,27 @@ impl LlmModel {
         }
     }
 
+    /// Llama2-7B: 32 layers, 4096 hidden, 11008 FFN, 32 heads (full MHA),
+    /// 32 k vocabulary — the stock *draft* model for speculative decoding
+    /// ([`crate::DraftSpec`]): same family and tokenizer as
+    /// [`LlmModel::llama2_70b`], a tenth of the weights.
+    #[must_use]
+    pub fn llama2_7b() -> Self {
+        LlmModel {
+            name: "Llama2-7B".to_string(),
+            layers: 32,
+            layer: LayerGeometry {
+                hidden: 4096,
+                ffn_hidden: 11_008,
+                heads: 32,
+                kv_heads: 32,
+                head_dim: 128,
+                ffn: FfnKind::SwiGlu,
+            },
+            vocab: 32_000,
+        }
+    }
+
     /// OPT-66B: 64 layers, 9216 hidden, 36864 FFN, 72 heads, 50 k vocabulary.
     #[must_use]
     pub fn opt_66b() -> Self {
@@ -245,6 +266,19 @@ mod tests {
         );
         assert_eq!(m.layers(), 80);
         assert_eq!(m.layer().kv_dim(), 1024);
+    }
+
+    #[test]
+    fn llama2_7b_parameter_count_is_about_7b() {
+        let m = LlmModel::llama2_7b();
+        let params = m.total_params() as f64;
+        assert!(
+            (6e9..7.5e9).contains(&params),
+            "Llama2-7B parameter count {params:.3e}"
+        );
+        assert_eq!(m.layers(), 32);
+        // Full MHA: every head keeps its own KV.
+        assert_eq!(m.layer().kv_dim(), 4096);
     }
 
     #[test]

@@ -1,21 +1,69 @@
-//! Per-step cost models: what one prefill or one decode step costs the
-//! serving engine.
+//! Per-step cost models: what one engine step costs the serving engine.
 //!
-//! The scheduler only ever asks two questions — "how long to prefill a
-//! `P`-token prompt?" and "how long is one decode step for a batch of `B`
-//! sequences at context `C`?" — so the cost model is a small trait. The
-//! production implementation drives [`ShardedEstimator`] (and therefore
-//! [`deca_llm::InferenceEstimator`] and the whole compressed-GeMM
-//! simulation stack underneath), for single-socket replicas and TP/PP
-//! sharded ones alike; a linear model exists for fast property tests and
-//! analytical what-ifs.
+//! The scheduler's unit of work is the *batch step*: a [`StepMix`] naming
+//! the prefill chunks and the decode batch the engine runs together at one
+//! batch boundary, priced as one unit through
+//! [`ServingCostModel::step_seconds`]. The classic whole-phase questions —
+//! "how long to prefill a `P`-token prompt?" and "how long is one decode
+//! step for a batch of `B` sequences at context `C`?" — remain the trait's
+//! primitive queries, and the step-mix pricing decomposes into them, so an
+//! unchunked step prices exactly as before; chunked prefill
+//! (Sarathi-style) and speculative decoding are scheduler policy layered
+//! on the same primitives. The production implementation drives
+//! [`ShardedEstimator`] (and therefore [`deca_llm::InferenceEstimator`]
+//! and the whole compressed-GeMM simulation stack underneath), for
+//! single-socket replicas and TP/PP sharded ones alike; a linear model
+//! exists for fast property tests and analytical what-ifs.
 
 use std::collections::HashMap;
 
 use deca_compress::{CompressionScheme, EngineKind};
 use deca_kernels::Engine;
-use deca_llm::{InterconnectModel, LlmModel, ShardSpec, ShardedEstimator};
+use deca_llm::{DraftSpec, InterconnectModel, LlmModel, ShardSpec, ShardedEstimator};
 use deca_roofsurface::MachineConfig;
+
+/// One prefill chunk inside a batch step: `suffix_tokens` prompt tokens
+/// streamed through the FC GeMMs while their attention reads everything
+/// already resident for the sequence — `cached_tokens` served by the
+/// prefix cache (or promoted from a lower tier) plus `committed_tokens`
+/// prefilled by this prompt's *earlier chunks*. Both resident kinds price
+/// identically (attention context, no compute), so the chunk collapses to
+/// one cached-prefill query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkWork {
+    /// Prompt tokens this chunk processes.
+    pub suffix_tokens: usize,
+    /// Prompt tokens already resident via the prefix cache / tier
+    /// promotion (never prefilled by this request).
+    pub cached_tokens: usize,
+    /// Prompt tokens committed by this prompt's earlier chunks.
+    pub committed_tokens: usize,
+}
+
+impl ChunkWork {
+    /// Tokens already resident when this chunk runs — the attention
+    /// context its suffix is charged against.
+    #[must_use]
+    pub fn context_tokens(&self) -> usize {
+        self.cached_tokens + self.committed_tokens
+    }
+}
+
+/// One batch step: the prefill chunks and the decode batch the engine runs
+/// together at a batch boundary, priced as one unit by
+/// [`ServingCostModel::step_seconds`]. A pure-prefill step has
+/// `decode_batch == 0`; a pure-decode step has no chunks. The degenerate
+/// mix — one whole-prompt chunk, no decodes — prices bit-identically to
+/// the classic [`ServingCostModel::prefill_seconds_cached`] query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepMix {
+    /// Prefill chunks of this step, in batch order.
+    pub prefill_chunks: Vec<ChunkWork>,
+    /// Sequences gaining one token this step (0 for a pure-prefill step).
+    pub decode_batch: usize,
+    /// Longest decoding sequence's context, in tokens.
+    pub max_context_tokens: usize,
+}
 
 /// What one engine step costs. Implementations must be deterministic: the
 /// same question always gets the same answer, so serving simulations are
@@ -42,6 +90,46 @@ pub trait ServingCostModel {
         let uncached = prompt_tokens.saturating_sub(cached_prefix_tokens);
         self.prefill_seconds(uncached)
     }
+
+    /// Seconds of one prefill chunk: `suffix_tokens` prompt tokens with
+    /// attention over everything already resident (cached *and* committed
+    /// context — the two price identically, so the chunk collapses onto
+    /// the cached-prefill query and shares its memo table instead of
+    /// keying a fresh suffix × cached × committed triple).
+    fn chunk_seconds(&mut self, chunk: ChunkWork) -> f64 {
+        let context = chunk.context_tokens();
+        self.prefill_seconds_cached(context + chunk.suffix_tokens, context)
+    }
+
+    /// Seconds of one batch step: every prefill chunk of the mix plus (if
+    /// any sequence is decoding) one decode step, as a single unit. The
+    /// decomposition into the primitive queries is exact, so a degenerate
+    /// mix reproduces the classic per-phase arithmetic bit for bit.
+    fn step_seconds(&mut self, mix: &StepMix) -> f64 {
+        let mut seconds = 0.0;
+        for &chunk in &mix.prefill_chunks {
+            seconds += self.chunk_seconds(chunk);
+        }
+        if mix.decode_batch > 0 {
+            seconds += self.decode_step_seconds(mix.decode_batch, mix.max_context_tokens);
+        }
+        seconds
+    }
+
+    /// Seconds of one speculative-decoding burst: `draft_tokens` drafted
+    /// tokens plus the target model's verify step for a batch of `batch`
+    /// sequences. The default has no draft model to price, so it charges
+    /// every drafted token as a full target decode step (speculation
+    /// without a cheaper draft buys nothing); [`EstimatorCostModel`]
+    /// overrides it when a [`DraftSpec`] is configured.
+    fn speculative_burst_seconds(
+        &mut self,
+        draft_tokens: usize,
+        batch: usize,
+        max_context_tokens: usize,
+    ) -> f64 {
+        (draft_tokens as f64 + 1.0) * self.decode_step_seconds(batch, max_context_tokens)
+    }
 }
 
 /// Contexts are bucketed (rounded up) to this granularity before hitting
@@ -53,6 +141,48 @@ const PROMPT_BUCKET_TOKENS: usize = 64;
 
 fn bucket_up(value: usize, bucket: usize) -> usize {
     value.max(1).div_ceil(bucket) * bucket
+}
+
+/// Hard bound on each memo table of [`EstimatorCostModel`]. Chunked
+/// prefill multiplies the query space (suffix × cached context × committed
+/// context), and although bucketing collapses the cached/committed axes
+/// into one context key, an adversarial trace could still walk an
+/// unbounded set of buckets — beyond this many entries per table, answers
+/// are computed but not cached.
+const MEMO_CAPACITY: usize = 4096;
+
+/// Memoization counters of an [`EstimatorCostModel`], for debugging cache
+/// behaviour in long sweeps ([`EstimatorCostModel::memo_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CostMemoStats {
+    /// Entries currently held across all memo tables (each bounded by an
+    /// internal capacity, so this never grows without limit).
+    pub entries: usize,
+    /// Queries answered from a memo table.
+    pub hits: u64,
+    /// Queries that had to run the estimator.
+    pub misses: u64,
+}
+
+impl CostMemoStats {
+    /// Fraction of queries answered from the memo tables.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Inserts into a memo table only while it is under [`MEMO_CAPACITY`] —
+/// the answer is still returned, just not cached.
+fn memo_insert<K: std::hash::Hash + Eq>(cache: &mut HashMap<K, f64>, key: K, seconds: f64) {
+    if cache.len() < MEMO_CAPACITY {
+        cache.insert(key, seconds);
+    }
 }
 
 /// The production cost model: every answer comes from the sharded
@@ -72,9 +202,15 @@ pub struct EstimatorCostModel {
     model: LlmModel,
     scheme: CompressionScheme,
     engine: Engine,
+    /// Draft model for speculative-decoding bursts (None: the trait
+    /// default prices drafts as target decode steps).
+    draft: Option<DraftSpec>,
     decode_cache: HashMap<(usize, usize), f64>,
     prefill_cache: HashMap<usize, f64>,
     cached_prefill_cache: HashMap<(usize, usize), f64>,
+    draft_cache: HashMap<(usize, usize), f64>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 impl EstimatorCostModel {
@@ -114,9 +250,46 @@ impl EstimatorCostModel {
             model,
             scheme,
             engine,
+            draft: None,
             decode_cache: HashMap::new(),
             prefill_cache: HashMap::new(),
             cached_prefill_cache: HashMap::new(),
+            draft_cache: HashMap::new(),
+            memo_hits: 0,
+            memo_misses: 0,
+        }
+    }
+
+    /// Attaches a draft model for speculative decoding: bursts are then
+    /// priced as `k` draft-model decode steps plus one target verify step
+    /// (`k` comes from the scheduler's speculation policy at each call;
+    /// the spec's own `draft_tokens` is its default burst length). The
+    /// draft rides the same shard plan, scheme and engine as the target.
+    #[must_use]
+    pub fn with_draft_model(mut self, draft: DraftSpec) -> Self {
+        self.draft_cache.clear();
+        self.draft = Some(draft);
+        self
+    }
+
+    /// The configured draft model, if any.
+    #[must_use]
+    pub fn draft_spec(&self) -> Option<&DraftSpec> {
+        self.draft.as_ref()
+    }
+
+    /// Memoization counters: entries across all tables (each bounded, so
+    /// chunked-prefill query storms cannot blow the memory), hits, misses
+    /// and the derived hit rate.
+    #[must_use]
+    pub fn memo_stats(&self) -> CostMemoStats {
+        CostMemoStats {
+            entries: self.decode_cache.len()
+                + self.prefill_cache.len()
+                + self.cached_prefill_cache.len()
+                + self.draft_cache.len(),
+            hits: self.memo_hits,
+            misses: self.memo_misses,
         }
     }
 
@@ -131,6 +304,7 @@ impl EstimatorCostModel {
         self.decode_cache.clear();
         self.prefill_cache.clear();
         self.cached_prefill_cache.clear();
+        self.draft_cache.clear();
         self
     }
 
@@ -163,13 +337,15 @@ impl ServingCostModel for EstimatorCostModel {
     fn prefill_seconds(&mut self, prompt_tokens: usize) -> f64 {
         let bucketed = bucket_up(prompt_tokens, PROMPT_BUCKET_TOKENS);
         if let Some(&seconds) = self.prefill_cache.get(&bucketed) {
+            self.memo_hits += 1;
             return seconds;
         }
+        self.memo_misses += 1;
         let seconds = self
             .estimator
             .prefill(&self.model, &self.scheme, self.engine, bucketed, 0)
             .total_seconds();
-        self.prefill_cache.insert(bucketed, seconds);
+        memo_insert(&mut self.prefill_cache, bucketed, seconds);
         seconds
     }
 
@@ -177,13 +353,15 @@ impl ServingCostModel for EstimatorCostModel {
         let batch = batch.max(1);
         let context = bucket_up(max_context_tokens, CONTEXT_BUCKET_TOKENS);
         if let Some(&seconds) = self.decode_cache.get(&(batch, context)) {
+            self.memo_hits += 1;
             return seconds;
         }
+        self.memo_misses += 1;
         let seconds = self
             .estimator
             .next_token(&self.model, &self.scheme, self.engine, batch, context)
             .total_seconds();
-        self.decode_cache.insert((batch, context), seconds);
+        memo_insert(&mut self.decode_cache, (batch, context), seconds);
         seconds
     }
 
@@ -194,18 +372,55 @@ impl ServingCostModel for EstimatorCostModel {
         }
         // Only the uncached suffix streams through the FC GeMMs, but its
         // attention still reads the cached context — the estimator's
-        // `context_tokens` argument prices exactly that.
+        // `context_tokens` argument prices exactly that. Chunked-prefill
+        // queries land here too (via the default
+        // [`ServingCostModel::chunk_seconds`]): cached and committed
+        // context collapse into the one bucketed `context` key, so the
+        // chunk axis adds no new key dimension to this table.
         let suffix = bucket_up(prompt_tokens - cached, PROMPT_BUCKET_TOKENS);
         let context = bucket_up(cached, CONTEXT_BUCKET_TOKENS);
         if let Some(&seconds) = self.cached_prefill_cache.get(&(suffix, context)) {
+            self.memo_hits += 1;
             return seconds;
         }
+        self.memo_misses += 1;
         let seconds = self
             .estimator
             .prefill(&self.model, &self.scheme, self.engine, suffix, context)
             .total_seconds();
-        self.cached_prefill_cache.insert((suffix, context), seconds);
+        memo_insert(&mut self.cached_prefill_cache, (suffix, context), seconds);
         seconds
+    }
+
+    fn speculative_burst_seconds(
+        &mut self,
+        draft_tokens: usize,
+        batch: usize,
+        max_context_tokens: usize,
+    ) -> f64 {
+        if self.draft.is_none() {
+            // No draft model configured: the trait default (drafts priced
+            // as target decode steps).
+            return (draft_tokens as f64 + 1.0)
+                * self.decode_step_seconds(batch, max_context_tokens);
+        }
+        let batch = batch.max(1);
+        let context = bucket_up(max_context_tokens, CONTEXT_BUCKET_TOKENS);
+        let draft_step = if let Some(&seconds) = self.draft_cache.get(&(batch, context)) {
+            self.memo_hits += 1;
+            seconds
+        } else {
+            self.memo_misses += 1;
+            let draft = self.draft.as_ref().expect("checked above");
+            let seconds = self
+                .estimator
+                .next_token(draft.model(), &self.scheme, self.engine, batch, context)
+                .total_seconds();
+            memo_insert(&mut self.draft_cache, (batch, context), seconds);
+            seconds
+        };
+        let verify = self.decode_step_seconds(batch, max_context_tokens);
+        draft_tokens as f64 * draft_step + verify
     }
 }
 
@@ -299,6 +514,23 @@ impl<C: ServingCostModel> ServingCostModel for DecodePoolCostModel<C> {
         _cached_prefix_tokens: usize,
     ) -> f64 {
         SHIPPED_PREFILL_EPSILON_S
+    }
+
+    // `chunk_seconds`/`step_seconds` inherit the defaults, which route the
+    // chunk side through `prefill_seconds_cached` — every chunk of a
+    // shipped prompt is a metadata registration, exactly like the whole
+    // prompt.
+
+    fn speculative_burst_seconds(
+        &mut self,
+        draft_tokens: usize,
+        batch: usize,
+        max_context_tokens: usize,
+    ) -> f64 {
+        // Decode work is real in the pool; delegate so a draft-configured
+        // inner model keeps pricing the drafts.
+        self.inner
+            .speculative_burst_seconds(draft_tokens, batch, max_context_tokens)
     }
 }
 
@@ -406,6 +638,120 @@ mod tests {
             base.prefill_seconds_cached(256, 128).to_bits(),
             tuned.prefill_seconds_cached(256, 128).to_bits()
         );
+    }
+
+    #[test]
+    fn chunk_pricing_collapses_onto_the_cached_prefill_query() {
+        let mut cost = EstimatorCostModel::new(
+            MachineConfig::spr_hbm(),
+            LlmModel::llama2_70b(),
+            CompressionScheme::bf8_sparse(0.05),
+            Engine::deca_default(),
+        );
+        // A whole-prompt chunk with no committed context is the classic
+        // cached-prefill query, bit for bit.
+        let chunk = ChunkWork {
+            suffix_tokens: 384,
+            cached_tokens: 128,
+            committed_tokens: 0,
+        };
+        assert_eq!(
+            cost.chunk_seconds(chunk).to_bits(),
+            cost.prefill_seconds_cached(512, 128).to_bits()
+        );
+        // Cached and committed context price identically — only their sum
+        // reaches the estimator.
+        let swapped = ChunkWork {
+            suffix_tokens: 384,
+            cached_tokens: 0,
+            committed_tokens: 128,
+        };
+        assert_eq!(
+            cost.chunk_seconds(chunk).to_bits(),
+            cost.chunk_seconds(swapped).to_bits()
+        );
+    }
+
+    #[test]
+    fn step_mix_is_the_sum_of_its_parts() {
+        let mut cost = LinearCostModel::default_70b();
+        let chunks = vec![
+            ChunkWork {
+                suffix_tokens: 256,
+                cached_tokens: 0,
+                committed_tokens: 0,
+            },
+            ChunkWork {
+                suffix_tokens: 256,
+                cached_tokens: 64,
+                committed_tokens: 256,
+            },
+        ];
+        let mix = StepMix {
+            prefill_chunks: chunks.clone(),
+            decode_batch: 8,
+            max_context_tokens: 1024,
+        };
+        let expected = cost.chunk_seconds(chunks[0])
+            + cost.chunk_seconds(chunks[1])
+            + cost.decode_step_seconds(8, 1024);
+        assert_eq!(cost.step_seconds(&mix).to_bits(), expected.to_bits());
+        // A pure-prefill mix prices no decode step.
+        let prefill_only = StepMix {
+            prefill_chunks: chunks,
+            decode_batch: 0,
+            max_context_tokens: 0,
+        };
+        assert!(cost.step_seconds(&prefill_only) < cost.step_seconds(&mix));
+    }
+
+    #[test]
+    fn memo_stats_count_hits_and_misses() {
+        let mut cost = EstimatorCostModel::new(
+            MachineConfig::spr_hbm(),
+            LlmModel::llama2_70b(),
+            CompressionScheme::bf8_sparse(0.05),
+            Engine::deca_default(),
+        );
+        assert_eq!(cost.memo_stats(), CostMemoStats::default());
+        let _ = cost.decode_step_seconds(4, 300);
+        let _ = cost.decode_step_seconds(4, 300);
+        let _ = cost.decode_step_seconds(4, 500); // same 256-token bucket
+        let stats = cost.memo_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speculative_bursts_price_the_draft_model_when_configured() {
+        let build = || {
+            EstimatorCostModel::new(
+                MachineConfig::spr_hbm(),
+                LlmModel::llama2_70b(),
+                CompressionScheme::bf8_sparse(0.05),
+                Engine::deca_default(),
+            )
+        };
+        let mut plain = build();
+        // Without a draft model the default pricing holds: k + 1 target
+        // decode steps, bit for bit.
+        let default_burst = plain.speculative_burst_seconds(4, 8, 1024);
+        let step = plain.decode_step_seconds(8, 1024);
+        assert_eq!(default_burst.to_bits(), (5.0 * step).to_bits());
+        // With the 7B draft attached, four drafted tokens cost far less
+        // than four target steps — but still more than the bare verify.
+        let mut drafted = build().with_draft_model(deca_llm::DraftSpec::llama2_7b(4));
+        assert!(drafted.draft_spec().is_some());
+        let burst = drafted.speculative_burst_seconds(4, 8, 1024);
+        assert!(burst < default_burst);
+        assert!(burst > step);
+        // The draft-step memo works: the second identical burst hits.
+        let before = drafted.memo_stats();
+        let again = drafted.speculative_burst_seconds(4, 8, 1024);
+        assert_eq!(burst.to_bits(), again.to_bits());
+        assert!(drafted.memo_stats().hits > before.hits);
     }
 
     #[test]

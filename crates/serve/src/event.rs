@@ -69,8 +69,14 @@ pub enum Event {
     },
     /// The engine finished a prefill wave (a batch boundary).
     PrefillDone,
-    /// The engine finished one decode step (a batch boundary).
+    /// The engine finished one decode step (a batch boundary). Under
+    /// speculative decoding the step is a draft-and-verify burst and every
+    /// decoding sequence retires its accepted tokens when this fires.
     DecodeDone,
+    /// The engine finished a chunked batch step (a batch boundary): the
+    /// prefill chunks of a [`crate::cost::StepMix`] plus the decode batch
+    /// that ran with them.
+    ChunkDone,
 }
 
 impl Event {
@@ -85,7 +91,7 @@ impl Event {
         match self {
             Event::Arrival { .. } | Event::KvTransferDone { .. } => 0,
             Event::Preemption { .. } | Event::SwapOutDone { .. } | Event::SwapInDone { .. } => 1,
-            Event::PrefillDone | Event::DecodeDone => 2,
+            Event::PrefillDone | Event::DecodeDone | Event::ChunkDone => 2,
         }
     }
 }
@@ -232,6 +238,17 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_completions_rank_with_the_step_completions() {
+        let mut q = EventQueue::new();
+        q.push(1.0, Event::ChunkDone);
+        q.push(1.0, Event::Arrival { request: 3 });
+        q.push(1.0, Event::Preemption { request: 7 });
+        assert_eq!(q.pop().unwrap().event, Event::Arrival { request: 3 });
+        assert_eq!(q.pop().unwrap().event, Event::Preemption { request: 7 });
+        assert_eq!(q.pop().unwrap().event, Event::ChunkDone);
     }
 
     #[test]

@@ -16,9 +16,12 @@
 //!   workload ([`SharedPrefixChatSpec`]) whose conversations share system
 //!   prompts and carry their transcripts forward,
 //! * [`cost`] — the [`ServingCostModel`] trait: prefill cost (new in
-//!   `deca-llm` for this layer), per-step decode cost, and the
-//!   cached-prefix prefill query that prices only a prompt's uncached
-//!   suffix, memoized in [`EstimatorCostModel`],
+//!   `deca-llm` for this layer), per-step decode cost, the cached-prefix
+//!   prefill query that prices only a prompt's uncached suffix, and the
+//!   batch-step interface — a [`StepMix`] of prefill [`ChunkWork`] plus a
+//!   decode batch priced as one unit, with draft-model speculative bursts
+//!   priced via [`deca_llm::DraftSpec`] — memoized (bounded, with
+//!   [`CostMemoStats`] hit counters) in [`EstimatorCostModel`],
 //! * [`event`] — the discrete-event core: a deterministic binary-heap
 //!   [`EventQueue`] over typed [`Event`]s (arrivals, prefill/decode step
 //!   completions, preemption re-queues) that advances simulation time in
@@ -35,7 +38,13 @@
 //!   ([`SchedulerKind::PagedContinuous`]): admission on *current* need,
 //!   on-demand block allocation per decode step, prefix-hit prefill
 //!   skipping, and preempt-by-recompute when the pool runs dry — with
-//!   preemption/eviction/hit-rate counters in [`PagedStats`],
+//!   preemption/eviction/hit-rate counters in [`PagedStats`] — plus two
+//!   policy axes on every scheduler: chunked prefill
+//!   ([`ServingConfig::with_chunked_prefill`]: long prompts split into
+//!   token-budget chunks interleaved with decode at batch boundaries,
+//!   completed chunks published into the prefix cache incrementally) and
+//!   speculative decoding ([`SpeculationSpec`]: draft-and-verify bursts
+//!   with deterministic seeded acceptance draws),
 //! * [`tier`] — the KV offload hierarchy: a priced HBM → DDR → disk
 //!   [`KvTierModel`] (per-tier capacity, bandwidth, latency — the same
 //!   shape as `deca_llm`'s interconnect pricing), the [`TierResidency`]
@@ -94,25 +103,30 @@ pub mod tier;
 pub mod workload;
 
 pub use cost::{
-    DecodePoolCostModel, EstimatorCostModel, LinearCostModel, ServingCostModel,
-    SHIPPED_PREFILL_EPSILON_S,
+    ChunkWork, CostMemoStats, DecodePoolCostModel, EstimatorCostModel, LinearCostModel,
+    ServingCostModel, StepMix, SHIPPED_PREFILL_EPSILON_S,
 };
 pub use event::{Event, EventQueue, Scheduled};
 pub use kv::{AllocatorStats, BlockAllocator, BlockId};
-pub use metrics::{LatencySummary, RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean};
+pub use metrics::{
+    percentile, LatencySummary, RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean,
+};
 pub use prefix::{PrefixCache, PrefixCacheStats};
 pub use scheduler::{
-    PagedStats, SchedulerKind, ServingConfig, ServingReport, ServingSimulator, DEFAULT_BLOCK_SIZE,
+    PagedStats, SchedulerKind, ServingConfig, ServingReport, ServingSimulator, SpeculationSpec,
+    DEFAULT_BLOCK_SIZE,
 };
 pub use sweep::{
     best_pool_split, capacity_search, capacity_search_warm, capacity_search_with,
-    disagg_capacity_search_with, fleet_capacity_search_with, hbm_kv_budget_tokens,
-    min_sockets_for_slo, sharded_kv_budget_tokens, sharding_sweep, simulate_disaggregated,
-    simulate_disaggregated_with, simulate_fleet, simulate_fleet_with, CapacityResult, CapacitySpec,
-    DisaggReport, DisaggSpec, FleetReport, PoolSplitResult, ShardingPlanResult, ShardingSearchSpec,
+    chunk_budget_capacity_sweep_with, disagg_capacity_search_with, fleet_capacity_search_with,
+    hbm_kv_budget_tokens, min_sockets_for_slo, sharded_kv_budget_tokens, sharding_sweep,
+    simulate_disaggregated, simulate_disaggregated_with, simulate_fleet, simulate_fleet_with,
+    speculation_goodput_curve_with, CapacityResult, CapacitySpec, ChunkBudgetPoint, DisaggReport,
+    DisaggSpec, FleetReport, PoolSplitResult, ShardingPlanResult, ShardingSearchSpec,
+    SpeculationPoint,
 };
 pub use tier::{KvShipSpec, KvTierModel, KvTierSpec, TierKind, TierResidency};
 pub use workload::{
-    ArrivalProcess, ColdSessionSpec, LengthDistribution, Request, RequestTrace,
+    ArrivalProcess, ColdSessionSpec, DocChatMixSpec, LengthDistribution, Request, RequestTrace,
     SharedPrefixChatSpec, TokenStream, WorkloadSpec,
 };

@@ -39,13 +39,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use crate::cost::ServingCostModel;
+use crate::cost::{ChunkWork, ServingCostModel, StepMix};
 use crate::event::{Event, EventQueue};
 use crate::kv::{BlockAllocator, BlockId};
 use crate::metrics::{RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean};
 use crate::prefix::PrefixCache;
 use crate::tier::{chain_hash, KvShipSpec, KvTierModel, TierKind, TierResidency, PATH_HASH_SEED};
-use crate::workload::{Request, RequestTrace};
+use crate::workload::{splitmix64, Request, RequestTrace};
 
 /// Which admission policy the simulated server runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -76,6 +76,86 @@ impl std::fmt::Display for SchedulerKind {
 /// Default tokens per KV block of the paged policy (vLLM's default).
 pub const DEFAULT_BLOCK_SIZE: usize = 16;
 
+/// Speculative-decoding policy of a replica: every *pure* decode step
+/// becomes a draft-and-verify burst of `draft_tokens` drafts priced by
+/// [`crate::cost::ServingCostModel::speculative_burst_seconds`], and each
+/// decoding sequence retires its accepted prefix (plus the verify step's
+/// own token) when the burst completes. Acceptance is a deterministic
+/// seeded draw per (request, burst), so two runs of the same trace accept
+/// the exact same tokens. Decodes that ride along inside a chunked batch
+/// step stay plain single-token decodes — speculation only pays off when
+/// the step is decode-bound.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpeculationSpec {
+    /// Draft tokens proposed per burst (0 disables speculation).
+    pub draft_tokens: usize,
+    /// Probability each draft token is accepted, conditioned on every
+    /// earlier draft in the burst being accepted (the standard
+    /// longest-accepted-prefix model).
+    pub acceptance_rate: f64,
+    /// Seed of the deterministic acceptance draws.
+    pub seed: u64,
+}
+
+impl SpeculationSpec {
+    /// Speculation switched off: every decode step emits one token.
+    #[must_use]
+    pub fn disabled() -> Self {
+        SpeculationSpec {
+            draft_tokens: 0,
+            acceptance_rate: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A burst of `draft_tokens` drafts accepted at `acceptance_rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the acceptance rate is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(draft_tokens: usize, acceptance_rate: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&acceptance_rate),
+            "acceptance rate must be in [0, 1]"
+        );
+        SpeculationSpec {
+            draft_tokens,
+            acceptance_rate,
+            seed,
+        }
+    }
+
+    /// Whether decode steps run as draft-and-verify bursts.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.draft_tokens > 0
+    }
+
+    /// Accepted draft tokens of one burst: the longest prefix of the
+    /// `draft_tokens` drafts whose seeded uniform draws all land under the
+    /// acceptance rate. Deterministic in `(seed, request_id, burst)`, so
+    /// replays and the reference loop reproduce the run bit for bit; rate
+    /// 1.0 accepts every draft, rate 0.0 none.
+    #[must_use]
+    pub fn accepted_tokens(&self, request_id: u64, burst: u64) -> usize {
+        let base = self
+            .seed
+            .wrapping_add(request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(burst.wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let mut accepted = 0;
+        for i in 0..self.draft_tokens as u64 {
+            let unit = (splitmix64(base.wrapping_add(i)) >> 11) as f64 / (1u64 << 53) as f64;
+            if unit < self.acceptance_rate {
+                accepted += 1;
+            } else {
+                break;
+            }
+        }
+        accepted
+    }
+}
+
 /// Configuration of one simulated serving replica.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ServingConfig {
@@ -104,6 +184,17 @@ pub struct ServingConfig {
     /// crosses the interconnect before the request becomes admissible.
     #[serde(default = "KvShipSpec::disabled")]
     pub kv_ship: KvShipSpec,
+    /// Chunked prefill: prompts are split into chunks of at most this many
+    /// tokens and interleaved with the decode batch inside chunked batch
+    /// steps ([`crate::cost::StepMix`]), so a long document never
+    /// monopolizes the engine for a whole prompt. `None` (the default)
+    /// prefills whole prompts in dedicated waves — the classic
+    /// prefill-prioritized schedule.
+    #[serde(default)]
+    pub chunk_budget_tokens: Option<usize>,
+    /// Speculative decoding policy. Disabled by default.
+    #[serde(default = "SpeculationSpec::disabled")]
+    pub speculation: SpeculationSpec,
 }
 
 impl ServingConfig {
@@ -118,6 +209,8 @@ impl ServingConfig {
             prefix_sharing: false,
             tiers: KvTierModel::disabled(),
             kv_ship: KvShipSpec::disabled(),
+            chunk_budget_tokens: None,
+            speculation: SpeculationSpec::disabled(),
         }
     }
 
@@ -142,6 +235,8 @@ impl ServingConfig {
             prefix_sharing: false,
             tiers: KvTierModel::disabled(),
             kv_ship: KvShipSpec::disabled(),
+            chunk_budget_tokens: None,
+            speculation: SpeculationSpec::disabled(),
         }
     }
 
@@ -170,6 +265,25 @@ impl ServingConfig {
     #[must_use]
     pub fn with_kv_ship(self, kv_ship: KvShipSpec) -> Self {
         ServingConfig { kv_ship, ..self }
+    }
+
+    /// The same replica with chunked prefill on (`Some(budget)`) or off
+    /// (`None`).
+    #[must_use]
+    pub fn with_chunked_prefill(self, chunk_budget_tokens: Option<usize>) -> Self {
+        ServingConfig {
+            chunk_budget_tokens,
+            ..self
+        }
+    }
+
+    /// The same replica under a speculative-decoding policy.
+    #[must_use]
+    pub fn with_speculation(self, speculation: SpeculationSpec) -> Self {
+        ServingConfig {
+            speculation,
+            ..self
+        }
     }
 }
 
@@ -260,6 +374,13 @@ struct Active {
     idx: usize,
     /// Whether the prompt has been processed.
     prefilled: bool,
+    /// Prompt tokens prefilled so far — the chunk cursor of chunked
+    /// prefill (equals the prompt once `prefilled`; unused, and left at
+    /// zero, when whole prompts prefill in dedicated waves).
+    prefilled_tokens: usize,
+    /// Draft-and-verify bursts this sequence has decoded through — the
+    /// per-sequence counter feeding the deterministic acceptance draws.
+    spec_bursts: u64,
     /// Time the first output token was produced (valid once prefilled).
     first_token_s: f64,
     /// Tokens currently in the KV cache (prompt + generated so far).
@@ -308,10 +429,20 @@ pub struct ServingReport {
     /// inter-event intervals (an arrival mid-step raises the depth from
     /// its own instant, not retroactively over the whole step).
     pub mean_queue_depth: f64,
-    /// Decode steps executed.
+    /// Decode steps executed. Under speculation each is one
+    /// draft-and-verify burst.
     pub decode_steps: u64,
     /// Prefill steps executed (one per admission wave).
     pub prefill_steps: u64,
+    /// Chunked batch steps executed (prefill chunks interleaved with the
+    /// decode batch; zero when chunked prefill is off).
+    #[serde(default)]
+    pub chunk_steps: u64,
+    /// Prompt tokens prefilled inside chunked batch steps. Summed over a
+    /// run without preemption this equals the admitted prompt tokens —
+    /// the chunk-boundary conservation law the property suite pins.
+    #[serde(default)]
+    pub chunked_prefill_tokens: u64,
     /// Paged-KV counters (`None` for the reserve-up-front policies).
     pub paged: Option<PagedStats>,
 }
@@ -349,12 +480,21 @@ impl<C: ServingCostModel> ServingSimulator<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `max_batch` or the KV budget is zero, or — for the paged
-    /// policy — if the budget does not hold at least one whole block.
+    /// Panics if `max_batch` or the KV budget is zero, if a configured
+    /// chunk budget is zero, if the speculative acceptance rate leaves
+    /// `[0, 1]`, or — for the paged policy — if the budget does not hold
+    /// at least one whole block.
     #[must_use]
     pub fn new(cost: C, config: ServingConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
         assert!(config.kv_budget_tokens > 0, "KV budget must be positive");
+        if let Some(budget) = config.chunk_budget_tokens {
+            assert!(budget > 0, "chunk budget must be positive");
+        }
+        assert!(
+            (0.0..=1.0).contains(&config.speculation.acceptance_rate),
+            "acceptance rate must be in [0, 1]"
+        );
         if config.scheduler == SchedulerKind::PagedContinuous {
             assert!(config.block_size > 0, "block size must be positive");
             assert!(
@@ -454,6 +594,8 @@ struct RunCore<I> {
     peak_queue: usize,
     decode_steps: u64,
     prefill_steps: u64,
+    chunk_steps: u64,
+    chunked_prefill_tokens: u64,
     queue_depth: TimeWeightedMean,
     occupancy: TimeWeightedMean,
 }
@@ -483,6 +625,8 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
             peak_queue: 0,
             decode_steps: 0,
             prefill_steps: 0,
+            chunk_steps: 0,
+            chunked_prefill_tokens: 0,
             queue_depth: TimeWeightedMean::new(),
             occupancy: TimeWeightedMean::new(),
         }
@@ -541,7 +685,7 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
                 self.queue.push_back(request);
                 false
             }
-            Event::PrefillDone | Event::DecodeDone => true,
+            Event::PrefillDone | Event::DecodeDone | Event::ChunkDone => true,
             // The reserve-up-front policies never preempt or swap.
             Event::Preemption { .. } | Event::SwapOutDone { .. } | Event::SwapInDone { .. } => {
                 unreachable!("reserve-up-front runs schedule no preemption or swap I/O")
@@ -624,6 +768,8 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
             self.running.push(Active {
                 idx: head,
                 prefilled: false,
+                prefilled_tokens: 0,
+                spec_bursts: 0,
                 first_token_s: 0.0,
                 context_tokens: 0,
                 remaining_decode: 0,
@@ -637,47 +783,156 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
     /// Launches one engine step — prefill-prioritized, then decode. The
     /// step's progress is applied now (identical arithmetic to the
     /// reference loop) and its completion event scheduled `dt` ahead.
+    /// Chunked prefill and speculation branch into their own step kinds;
+    /// with both off, the classic wave/decode paths run unchanged.
     fn start_step<C: ServingCostModel>(&mut self, cost: &mut C) {
         self.peak_batch = self.peak_batch.max(self.running.len());
         let (completion, dt) = if self.pending_prefill > 0 {
-            self.prefill_steps += 1;
-            // The new prompts run back to back; each request's first token
-            // appears as its own prefill finishes.
-            let mut cursor = self.now;
-            for active in self.running.iter_mut().filter(|a| !a.prefilled) {
-                let request = &self.slots[active.idx];
-                cursor += cost.prefill_seconds(request.prompt_tokens);
-                active.prefilled = true;
-                active.first_token_s = cursor;
-                active.context_tokens = request.prompt_tokens + 1;
-                // Saturating: a deserialized trace can bypass
-                // `RequestTrace::new`'s output_tokens ≥ 1 normalization, and
-                // an underflow here would wedge the run.
-                active.remaining_decode = request.output_tokens.saturating_sub(1);
-                self.sum_context += active.context_tokens;
+            if self.config.chunk_budget_tokens.is_some() {
+                (Event::ChunkDone, self.chunked_step(cost))
+            } else {
+                (Event::PrefillDone, self.prefill_wave(cost))
             }
-            self.pending_prefill = 0;
-            (Event::PrefillDone, cursor - self.now)
+        } else if self.config.speculation.enabled() {
+            (Event::DecodeDone, self.speculative_decode_step(cost))
         } else {
-            self.decode_steps += 1;
-            let batch = self.running.len();
-            let max_context = self
-                .running
-                .iter()
-                .map(|a| a.context_tokens)
-                .fold(0, usize::max);
-            let dt = cost.decode_step_seconds(batch, max_context);
-            for active in &mut self.running {
-                if active.remaining_decode > 0 {
-                    active.remaining_decode -= 1;
-                    active.context_tokens += 1;
-                    self.sum_context += 1;
-                }
-            }
-            (Event::DecodeDone, dt)
+            (Event::DecodeDone, self.decode_step(cost))
         };
         self.peak_occupied = self.peak_occupied.max(self.sum_context);
         self.events.push(self.now + dt, completion);
+    }
+
+    /// The classic prefill wave: the new prompts run back to back; each
+    /// request's first token appears as its own prefill finishes.
+    fn prefill_wave<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.prefill_steps += 1;
+        let mut cursor = self.now;
+        for active in self.running.iter_mut().filter(|a| !a.prefilled) {
+            let request = &self.slots[active.idx];
+            cursor += cost.prefill_seconds(request.prompt_tokens);
+            active.prefilled = true;
+            active.first_token_s = cursor;
+            active.context_tokens = request.prompt_tokens + 1;
+            // Saturating: a deserialized trace can bypass
+            // `RequestTrace::new`'s output_tokens ≥ 1 normalization, and
+            // an underflow here would wedge the run.
+            active.remaining_decode = request.output_tokens.saturating_sub(1);
+            self.sum_context += active.context_tokens;
+        }
+        self.pending_prefill = 0;
+        cursor - self.now
+    }
+
+    /// One plain decode step: every running sequence gains a token.
+    fn decode_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.decode_steps += 1;
+        let batch = self.running.len();
+        let max_context = self
+            .running
+            .iter()
+            .map(|a| a.context_tokens)
+            .fold(0, usize::max);
+        let dt = cost.decode_step_seconds(batch, max_context);
+        for active in &mut self.running {
+            if active.remaining_decode > 0 {
+                active.remaining_decode -= 1;
+                active.context_tokens += 1;
+                self.sum_context += 1;
+            }
+        }
+        dt
+    }
+
+    /// One chunked batch step: each unprefilled sequence contributes its
+    /// next prompt chunk, FIFO against the shared token budget, while the
+    /// already-prefilled sequences decode one token alongside — the whole
+    /// [`StepMix`] priced as one unit. A sequence whose last chunk lands
+    /// here emits its first token at the step's end and starts decoding
+    /// *next* step (its token does not ride the decode batch it was not
+    /// part of).
+    fn chunked_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.chunk_steps += 1;
+        let budget = self
+            .config
+            .chunk_budget_tokens
+            .expect("chunked dispatch requires a budget");
+        let mut budget_left = budget;
+        // (running index, chunk tokens) of this step's prefill side.
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
+        let mut mix = StepMix::default();
+        let mut decoders: Vec<usize> = Vec::new();
+        for (pos, active) in self.running.iter().enumerate() {
+            if active.prefilled {
+                if active.remaining_decode > 0 {
+                    decoders.push(pos);
+                    mix.max_context_tokens = mix.max_context_tokens.max(active.context_tokens);
+                }
+            } else if budget_left > 0 {
+                let prompt = self.slots[active.idx].prompt_tokens;
+                let take = (prompt - active.prefilled_tokens).min(budget_left);
+                budget_left -= take;
+                chunks.push((pos, take));
+                mix.prefill_chunks.push(ChunkWork {
+                    suffix_tokens: take,
+                    cached_tokens: 0,
+                    committed_tokens: active.prefilled_tokens,
+                });
+            }
+        }
+        mix.decode_batch = decoders.len();
+        let dt = cost.step_seconds(&mix);
+        let end = self.now + dt;
+        // Decode progress first, so a prefill completing in this step does
+        // not also decode in it.
+        for &pos in &decoders {
+            let active = &mut self.running[pos];
+            active.remaining_decode -= 1;
+            active.context_tokens += 1;
+            self.sum_context += 1;
+        }
+        for (pos, take) in chunks {
+            self.chunked_prefill_tokens += take as u64;
+            let active = &mut self.running[pos];
+            active.prefilled_tokens += take;
+            let request = &self.slots[active.idx];
+            if active.prefilled_tokens == request.prompt_tokens {
+                active.prefilled = true;
+                active.first_token_s = end;
+                active.context_tokens = request.prompt_tokens + 1;
+                active.remaining_decode = request.output_tokens.saturating_sub(1);
+                self.sum_context += active.context_tokens;
+                self.pending_prefill -= 1;
+            }
+        }
+        dt
+    }
+
+    /// One draft-and-verify burst: the step is priced as `draft_tokens`
+    /// draft steps plus one verify, and every decoding sequence retires
+    /// its accepted draft prefix plus the verify step's own token.
+    fn speculative_decode_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.decode_steps += 1;
+        let spec = self.config.speculation;
+        let batch = self.running.len();
+        let max_context = self
+            .running
+            .iter()
+            .map(|a| a.context_tokens)
+            .fold(0, usize::max);
+        let dt = cost.speculative_burst_seconds(spec.draft_tokens, batch, max_context);
+        let slots = &self.slots;
+        for active in &mut self.running {
+            if active.remaining_decode > 0 {
+                let accepted =
+                    spec.accepted_tokens(slots[active.idx].id as u64, active.spec_bursts);
+                active.spec_bursts += 1;
+                let gained = (accepted + 1).min(active.remaining_decode);
+                active.remaining_decode -= gained;
+                active.context_tokens += gained;
+                self.sum_context += gained;
+            }
+        }
+        dt
     }
 
     /// Stamps generation-finish times and retires finished sequences.
@@ -756,6 +1011,8 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
             mean_queue_depth: self.queue_depth.mean(),
             decode_steps: self.decode_steps,
             prefill_steps: self.prefill_steps,
+            chunk_steps: self.chunk_steps,
+            chunked_prefill_tokens: self.chunked_prefill_tokens,
             paged: None,
         }
     }
@@ -768,6 +1025,13 @@ struct PagedActive {
     idx: usize,
     /// Whether the (possibly resumed) prompt has been processed.
     prefilled: bool,
+    /// Prompt tokens committed so far (cached + promoted + chunked
+    /// prefill) — the chunk cursor of chunked prefill. Unused when whole
+    /// prompts prefill in dedicated waves.
+    prefilled_tokens: usize,
+    /// Draft-and-verify bursts this sequence has decoded through — the
+    /// per-sequence counter feeding the deterministic acceptance draws.
+    spec_bursts: u64,
     /// Tokens currently resident (prompt + generated so far).
     context_tokens: usize,
     /// Decode tokens still to generate in this residency.
@@ -913,6 +1177,8 @@ struct PagedRunCore<I> {
     peak_queue: usize,
     decode_steps: u64,
     prefill_steps: u64,
+    chunk_steps: u64,
+    chunked_prefill_tokens: u64,
     queue_depth: TimeWeightedMean,
     occupancy: TimeWeightedMean,
     block_util: TimeWeightedMean,
@@ -971,6 +1237,8 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             peak_queue: 0,
             decode_steps: 0,
             prefill_steps: 0,
+            chunk_steps: 0,
+            chunked_prefill_tokens: 0,
             queue_depth: TimeWeightedMean::new(),
             occupancy: TimeWeightedMean::new(),
             block_util: TimeWeightedMean::new(),
@@ -1136,7 +1404,7 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 self.swap_ins += 1;
                 false
             }
-            Event::PrefillDone | Event::DecodeDone => true,
+            Event::PrefillDone | Event::DecodeDone | Event::ChunkDone => true,
         }
     }
 
@@ -1321,6 +1589,10 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             self.running.push(PagedActive {
                 idx: head,
                 prefilled: false,
+                // The cached and promoted prefix is already committed
+                // context: chunked prefill resumes after it.
+                prefilled_tokens: cached_tokens + promoted_tokens,
+                spec_bursts: 0,
                 context_tokens: 0,
                 remaining_decode: 0,
                 cached_prefix_tokens: cached_tokens,
@@ -1374,6 +1646,8 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
         self.running.push(PagedActive {
             idx: head,
             prefilled: true,
+            prefilled_tokens: swapped.context_tokens,
+            spec_bursts: 0,
             context_tokens: swapped.context_tokens,
             remaining_decode: swapped.remaining_decode,
             cached_prefix_tokens: 0,
@@ -1424,11 +1698,18 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
 
     /// Launches one engine step — prefill-prioritized, then decode — and
     /// schedules its completion (plus any preemption re-queues) `dt`
-    /// ahead.
+    /// ahead. Chunked prefill and speculation branch into their own step
+    /// kinds; with both off, the classic wave/decode paths run unchanged.
     fn start_step<C: ServingCostModel>(&mut self, cost: &mut C) {
         self.peak_batch = self.peak_batch.max(self.running.len());
         let (completion, dt) = if self.pending_prefill > 0 {
-            (Event::PrefillDone, self.prefill_step(cost))
+            if self.config.chunk_budget_tokens.is_some() {
+                (Event::ChunkDone, self.chunked_step(cost))
+            } else {
+                (Event::PrefillDone, self.prefill_step(cost))
+            }
+        } else if self.config.speculation.enabled() {
+            (Event::DecodeDone, self.speculative_decode_step(cost))
         } else {
             (Event::DecodeDone, self.decode_step(cost))
         };
@@ -1527,6 +1808,182 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             active.remaining_decode -= 1;
             self.sum_context += 1;
             i += 1;
+        }
+        dt
+    }
+
+    /// One chunked batch step: each unprefilled sequence contributes its
+    /// next prompt chunk, FIFO against the shared token budget, while the
+    /// already-prefilled sequences decode one token alongside — the whole
+    /// [`StepMix`] priced as one unit, plus any promoted prefix's swap-in
+    /// wait at its sequence's first chunk. Chunk-completed full blocks
+    /// publish into the prefix cache *incrementally*, so a concurrent
+    /// same-prefix arrival hits mid-document. Chunks are keyed by slot id:
+    /// the decode side can preempt and shift running indices, but
+    /// mid-prefill sequences are never victims (their `remaining_decode`
+    /// is zero), so they survive the step.
+    fn chunked_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.chunk_steps += 1;
+        let budget = self
+            .config
+            .chunk_budget_tokens
+            .expect("chunked dispatch requires a budget");
+        let mut budget_left = budget;
+        // (slot id, chunk tokens) of this step's prefill side.
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
+        let mut mix = StepMix::default();
+        let mut decode_batch = 0;
+        let mut promote_wait = 0.0;
+        for active in &self.running {
+            if active.prefilled {
+                if active.remaining_decode > 0 && !active.swapping {
+                    decode_batch += 1;
+                    mix.max_context_tokens = mix.max_context_tokens.max(active.context_tokens);
+                }
+            } else if budget_left > 0 {
+                let prompt = self.effective_prompt(active.idx);
+                let committed = active.cached_prefix_tokens + active.promoted_tokens;
+                let take = (prompt - active.prefilled_tokens).min(budget_left);
+                budget_left -= take;
+                if active.prefilled_tokens == committed {
+                    // First chunk: the promoted prefix's transfer lands
+                    // inside this step.
+                    promote_wait += active.promote_wait_s;
+                }
+                chunks.push((active.idx, take));
+                mix.prefill_chunks.push(ChunkWork {
+                    suffix_tokens: take,
+                    cached_tokens: committed,
+                    committed_tokens: active.prefilled_tokens - committed,
+                });
+            }
+        }
+        mix.decode_batch = decode_batch;
+        let dt = cost.step_seconds(&mix) + promote_wait;
+        let end = self.now + dt;
+        // Decode progress first (so a prefill completing in this step does
+        // not also decode in it), mirroring the plain decode step's
+        // grow-and-preempt loop.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].remaining_decode == 0 || self.running[i].swapping {
+                i += 1;
+                continue;
+            }
+            let active = &self.running[i];
+            let needs_block =
+                self.allocator.blocks_for_tokens(active.context_tokens + 1) > active.blocks.len();
+            if needs_block {
+                match self.grow(i, cost) {
+                    Some(at) => i = at,
+                    None => continue, // self-preempted; `i` names the next sequence
+                }
+            }
+            let active = &mut self.running[i];
+            active.context_tokens += 1;
+            active.remaining_decode -= 1;
+            self.sum_context += 1;
+            i += 1;
+        }
+        for (slot, take) in chunks {
+            self.chunked_prefill_tokens += take as u64;
+            let pos = self
+                .running
+                .iter()
+                .position(|a| a.idx == slot)
+                .expect("mid-prefill sequences are never preempted");
+            let active = &mut self.running[pos];
+            active.prefilled_tokens += take;
+            // Committed context is resident context: growing it with the
+            // cursor keeps the shared-block occupancy arithmetic exact
+            // while the document streams in.
+            let before = active.context_tokens;
+            active.context_tokens = active.prefilled_tokens;
+            self.sum_context += active.context_tokens - before;
+            let slot_state = &mut self.slots[slot];
+            let request = slot_state.request;
+            let prompt = request.prompt_tokens + slot_state.generated_before;
+            if active.prefilled_tokens == prompt {
+                active.prefilled = true;
+                active.context_tokens = prompt + 1;
+                self.sum_context += 1;
+                active.remaining_decode = request
+                    .output_tokens
+                    .saturating_sub(1 + slot_state.generated_before);
+                if slot_state.first_token.is_none() {
+                    slot_state.first_token = Some(end);
+                }
+                if active.remaining_decode == 0 {
+                    active.done_s = Some(end);
+                }
+                self.prefix_hit_tokens += active.cached_prefix_tokens as u64;
+                self.prefix_uncached_tokens +=
+                    (prompt - active.cached_prefix_tokens - active.promoted_tokens) as u64;
+                self.pending_prefill -= 1;
+            }
+            if let Some(cache) = &mut self.cache {
+                // Publish the chunk-completed blocks now, not at the end
+                // of the whole prompt.
+                let active = &self.running[pos];
+                let ids = request.stream.token_ids(active.prefilled_tokens);
+                cache.insert(&ids, &active.blocks, &mut self.allocator);
+            }
+        }
+        dt
+    }
+
+    /// One draft-and-verify burst: the step is priced as `draft_tokens`
+    /// draft steps plus one verify, and every decoding sequence retires
+    /// its accepted draft prefix plus the verify step's own token —
+    /// growing blocks token by token, with the plain step's
+    /// evict-then-preempt fallback. A sequence that must preempt *itself*
+    /// mid-burst keeps nothing from the burst's remainder (the recompute
+    /// prefill covers what it had committed).
+    fn speculative_decode_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.decode_steps += 1;
+        let spec = self.config.speculation;
+        let batch = self.running.len();
+        let max_context = self
+            .running
+            .iter()
+            .map(|a| a.context_tokens)
+            .fold(0, usize::max);
+        let dt = cost.speculative_burst_seconds(spec.draft_tokens, batch, max_context);
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].remaining_decode == 0 || self.running[i].swapping {
+                i += 1;
+                continue;
+            }
+            let accepted = {
+                let active = &mut self.running[i];
+                let id = self.slots[active.idx].request.id as u64;
+                let accepted = spec.accepted_tokens(id, active.spec_bursts);
+                active.spec_bursts += 1;
+                accepted
+            };
+            let gained = (accepted + 1).min(self.running[i].remaining_decode);
+            let mut preempted_self = false;
+            for _ in 0..gained {
+                let active = &self.running[i];
+                let needs_block = self.allocator.blocks_for_tokens(active.context_tokens + 1)
+                    > active.blocks.len();
+                if needs_block {
+                    if let Some(at) = self.grow(i, cost) {
+                        i = at;
+                    } else {
+                        preempted_self = true;
+                        break;
+                    }
+                }
+                let active = &mut self.running[i];
+                active.context_tokens += 1;
+                active.remaining_decode -= 1;
+                self.sum_context += 1;
+            }
+            if !preempted_self {
+                i += 1;
+            }
         }
         dt
     }
@@ -1693,6 +2150,8 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             mean_queue_depth: self.queue_depth.mean(),
             decode_steps: self.decode_steps,
             prefill_steps: self.prefill_steps,
+            chunk_steps: self.chunk_steps,
+            chunked_prefill_tokens: self.chunked_prefill_tokens,
             paged: Some(PagedStats {
                 block_size: self.config.block_size,
                 total_blocks: allocator_stats.total_blocks,
@@ -2256,6 +2715,205 @@ mod tests {
         let freighted = sim(paged.with_kv_ship(free)).run(&trace);
         assert_eq!(base.records, freighted.records);
         assert_eq!(freighted.paged.unwrap().kv_transfers, 1);
+    }
+
+    /// Chunked prefill splits a long prompt across several batch steps and
+    /// lets a co-resident chat sequence keep decoding between the chunks —
+    /// the TPOT-isolation effect the headline experiment measures. The
+    /// unchunked run stalls the chat decode for the whole document
+    /// prefill.
+    #[test]
+    fn chunked_prefill_interleaves_decode_with_a_long_document() {
+        // A short chat request whose decode window sits inside the
+        // document prefill: unchunked it stalls for the whole 4096-token
+        // wave; chunked it rides the chunk boundaries.
+        let trace = RequestTrace::new(vec![req(0, 0.0, 16, 12), req(1, 0.1, 4_096, 8)]);
+        let base = ServingConfig::continuous(8, 16_000);
+        let unchunked = sim(base).run(&trace);
+        let chunked = sim(base.with_chunked_prefill(Some(256))).run(&trace);
+        for report in [&unchunked, &chunked] {
+            assert_eq!(report.completed(), 2);
+            assert_eq!(report.rejected, 0);
+        }
+        // 4096 tokens at 256 per chunk = 16 chunked steps (the chat
+        // prompt rides the first one).
+        assert!(
+            chunked.chunk_steps >= 16,
+            "{} chunk steps",
+            chunked.chunk_steps
+        );
+        assert_eq!(
+            chunked.chunked_prefill_tokens,
+            16 + 4_096,
+            "every admitted prompt token prefills through a chunk"
+        );
+        assert_eq!(unchunked.chunk_steps, 0);
+        assert_eq!(unchunked.chunked_prefill_tokens, 0);
+        // The chat request keeps decoding between chunks instead of
+        // stalling for the whole document prefill, so both its completion
+        // time and its per-token latency improve even though each chunked
+        // step is pricier than a plain decode.
+        let chat_unchunked = unchunked.records[0];
+        let chat_chunked = chunked.records[0];
+        assert!(
+            chat_chunked.completion_s < chat_unchunked.completion_s,
+            "chunked chat completion {} must beat unchunked {}",
+            chat_chunked.completion_s,
+            chat_unchunked.completion_s
+        );
+        assert!(
+            chat_chunked.tpot_s() < chat_unchunked.tpot_s(),
+            "chunked chat TPOT {} must beat unchunked {}",
+            chat_chunked.tpot_s(),
+            chat_unchunked.tpot_s()
+        );
+        // Determinism on the new axis.
+        assert_eq!(
+            chunked,
+            sim(base.with_chunked_prefill(Some(256))).run(&trace)
+        );
+    }
+
+    /// Chunk-boundary conservation on the paged policy under preemption
+    /// pressure: every admitted prompt token passes through exactly one
+    /// chunk per prefill pass, so the counter equals the prompt total when
+    /// nothing recomputes and can only grow beyond it with preemption.
+    #[test]
+    fn chunked_paged_conserves_prompt_tokens() {
+        let requests: Vec<Request> = (0..12).map(|id| req(id, 0.0, 64, 200)).collect();
+        let trace = RequestTrace::new(requests);
+        let config = ServingConfig::paged(12, 1_024, 16).with_chunked_prefill(Some(48));
+        let report = sim(config).run(&trace);
+        assert_eq!(report.completed(), 12);
+        assert_eq!(report.rejected, 0);
+        let prompt_total: u64 = 12 * 64;
+        assert!(
+            report.chunked_prefill_tokens >= prompt_total,
+            "chunked {} must cover the {} prompt tokens",
+            report.chunked_prefill_tokens,
+            prompt_total
+        );
+        let paged = report.paged.expect("paged stats");
+        assert!(paged.preemptions > 0, "the pool must have run dry");
+        // Recomputed prefills re-chunk `generated_before` context too.
+        assert_eq!(
+            report.chunked_prefill_tokens,
+            paged.prefix_hit_tokens + paged.prefix_uncached_tokens,
+            "chunks partition the (effective) prompt stream"
+        );
+        // A preemption-free run is exact.
+        let roomy =
+            sim(ServingConfig::paged(12, 8_192, 16).with_chunked_prefill(Some(48))).run(&trace);
+        assert_eq!(roomy.paged.expect("paged stats").preemptions, 0);
+        assert_eq!(roomy.chunked_prefill_tokens, prompt_total);
+    }
+
+    /// Chunked prefill publishes completed blocks into the prefix cache
+    /// *incrementally*: a same-prefix arrival landing mid-document hits
+    /// the chunks already committed, before the first request finishes.
+    #[test]
+    fn chunked_prefill_publishes_chunks_into_the_prefix_cache() {
+        let stream = TokenStream::session(11, 2_048);
+        let doc = |id: usize, arrival_s: f64| Request {
+            id,
+            arrival_s,
+            prompt_tokens: 2_048,
+            output_tokens: 4,
+            stream,
+        };
+        // The second document arrives while the first is mid-prefill
+        // (chunk budget 128 stretches the 2048-token prefill over 16
+        // steps of ~35ms each), late enough that roughly half the chunks
+        // have been committed — and published — by the time it admits.
+        let trace = RequestTrace::new(vec![doc(0, 0.0), doc(1, 0.3)]);
+        let config = ServingConfig::paged(4, 8_192, 16)
+            .with_prefix_sharing(true)
+            .with_chunked_prefill(Some(128));
+        let report = sim(config).run(&trace);
+        assert_eq!(report.completed(), 2);
+        let paged = report.paged.expect("paged stats");
+        assert!(
+            paged.prefix_hit_tokens > 0,
+            "the second document must hit the first's committed chunks"
+        );
+        // Admission-time lookup sees only the chunks committed so far —
+        // several, but not the whole prompt. Without incremental
+        // publication the hit would be zero; without chunking it would be
+        // the full prompt.
+        assert!(
+            (512..2_048).contains(&(paged.prefix_hit_tokens as usize)),
+            "hit {} tokens",
+            paged.prefix_hit_tokens
+        );
+    }
+
+    /// Speculative decoding at acceptance rate 1.0 retires
+    /// `draft_tokens + 1` tokens per burst, cutting decode steps by that
+    /// factor; rate 0.0 accepts nothing and decodes one token per burst,
+    /// matching the plain run's step count exactly.
+    #[test]
+    fn speculation_retires_accepted_tokens_per_burst() {
+        let trace = RequestTrace::new(vec![req(0, 0.0, 32, 81)]);
+        let base = ServingConfig::continuous(4, 2_000);
+        let plain = sim(base).run(&trace);
+        assert_eq!(plain.decode_steps, 80);
+        let always = sim(base.with_speculation(SpeculationSpec::new(4, 1.0, 7))).run(&trace);
+        // 80 decode tokens at 5 per burst = 16 bursts.
+        assert_eq!(always.decode_steps, 16);
+        let never = sim(base.with_speculation(SpeculationSpec::new(4, 0.0, 7))).run(&trace);
+        assert_eq!(never.decode_steps, 80);
+        // Token totals are conserved on every run.
+        for report in [&plain, &always, &never] {
+            assert_eq!(report.completed(), 1);
+            assert_eq!(report.records[0].output_tokens, 81);
+        }
+        // Each rejected-draft burst still costs the drafts: the
+        // never-accept run is strictly slower than the plain one.
+        assert!(never.makespan_s > plain.makespan_s);
+    }
+
+    /// The acceptance draws are deterministic and mid-rate runs land
+    /// between the all-accept and none-accept extremes.
+    #[test]
+    fn speculative_acceptance_draws_are_seeded_and_monotone() {
+        let spec = SpeculationSpec::new(8, 0.7, 42);
+        for burst in 0..4 {
+            assert_eq!(
+                spec.accepted_tokens(3, burst),
+                spec.accepted_tokens(3, burst),
+                "draws are pure"
+            );
+        }
+        assert_eq!(SpeculationSpec::new(8, 1.0, 42).accepted_tokens(5, 0), 8);
+        assert_eq!(SpeculationSpec::new(8, 0.0, 42).accepted_tokens(5, 0), 0);
+        let trace = WorkloadSpec::chat(6.0, 60, 9).generate();
+        let base = ServingConfig::paged(16, 50_000, 16);
+        let steps = |rate: f64| {
+            sim(base.with_speculation(SpeculationSpec::new(4, rate, 11)))
+                .run(&trace)
+                .decode_steps
+        };
+        let (lo, mid, hi) = (steps(0.0), steps(0.6), steps(1.0));
+        assert!(
+            hi < mid && mid < lo,
+            "steps must fall with acceptance: {lo} {mid} {hi}"
+        );
+        // Determinism across repeat runs of the same seeded config.
+        let config = base.with_speculation(SpeculationSpec::new(4, 0.6, 11));
+        assert_eq!(sim(config).run(&trace), sim(config).run(&trace));
+    }
+
+    /// Config validation of the new axes.
+    #[test]
+    #[should_panic(expected = "chunk budget must be positive")]
+    fn zero_chunk_budget_panics() {
+        let _ = sim(ServingConfig::continuous(4, 1_000).with_chunked_prefill(Some(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "acceptance rate must be in [0, 1]")]
+    fn out_of_range_acceptance_rate_panics() {
+        let _ = SpeculationSpec::new(4, 1.5, 0);
     }
 
     /// Cold prefix subtrees demote to DDR instead of vanishing: a later

@@ -19,7 +19,7 @@
 use proptest::prelude::*;
 
 use super::reference;
-use super::{SchedulerKind, ServingConfig, ServingReport, ServingSimulator};
+use super::{SchedulerKind, ServingConfig, ServingReport, ServingSimulator, SpeculationSpec};
 use crate::cost::LinearCostModel;
 use crate::workload::{
     ArrivalProcess, LengthDistribution, RequestTrace, SharedPrefixChatSpec, WorkloadSpec,
@@ -144,6 +144,104 @@ proptest! {
             ServingConfig::paged(max_batch, budget_blocks * 16, 16).with_prefix_sharing(true),
         ] {
             assert_equivalent(config, &trace);
+        }
+    }
+
+    /// Chunked-prefill equivalence: the event core's chunked batch steps —
+    /// chunk cursors, interleaved decodes, incremental cache publication —
+    /// reproduce the reference loop's on every policy, across chunk
+    /// budgets from smaller than one prompt to larger than the whole wave.
+    #[test]
+    fn chunked_runs_are_trace_equivalent(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..300,
+        requests in 2usize..40,
+        max_batch in 1usize..16,
+        budget_blocks in 64usize..1_500,
+        chunk_budget in 8usize..2_048,
+        bursty in proptest::prop::bool::ANY,
+        prefix_sharing in proptest::prop::bool::ANY,
+    ) {
+        let trace = workload(seed, rate_x10, requests, bursty);
+        for config in [
+            ServingConfig::continuous(max_batch, budget_blocks * 16),
+            ServingConfig::static_batching(max_batch, budget_blocks * 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16)
+                .with_prefix_sharing(prefix_sharing),
+        ] {
+            assert_equivalent(config.with_chunked_prefill(Some(chunk_budget)), &trace);
+        }
+    }
+
+    /// Speculative-decoding equivalence: the event core's draft-and-verify
+    /// bursts — seeded acceptance draws, per-token block growth on the
+    /// paged policy — reproduce the reference loop's, with and without
+    /// chunked prefill underneath.
+    #[test]
+    fn speculative_runs_are_trace_equivalent(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..300,
+        requests in 2usize..40,
+        max_batch in 1usize..16,
+        budget_blocks in 64usize..1_500,
+        draft_tokens in 1usize..8,
+        acceptance_x100 in 0u32..=100,
+        spec_seed in 0u64..1_000,
+        chunked in proptest::prop::bool::ANY,
+        prefix_sharing in proptest::prop::bool::ANY,
+    ) {
+        let trace = workload(seed, rate_x10, requests, false);
+        let speculation =
+            SpeculationSpec::new(draft_tokens, f64::from(acceptance_x100) / 100.0, spec_seed);
+        let chunk_budget = chunked.then_some(256);
+        for config in [
+            ServingConfig::continuous(max_batch, budget_blocks * 16),
+            ServingConfig::static_batching(max_batch, budget_blocks * 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16)
+                .with_prefix_sharing(prefix_sharing),
+        ] {
+            assert_equivalent(
+                config
+                    .with_speculation(speculation)
+                    .with_chunked_prefill(chunk_budget),
+                &trace,
+            );
+        }
+    }
+
+    /// The degenerate axes are invisible: an infinite chunk budget
+    /// (`None`) plus speculation off (zero draft tokens, whatever the
+    /// acceptance rate or seed says) reproduces the plain run bit for bit
+    /// — full report equality, time-weighted means included — on every
+    /// policy, with prefix sharing on and off.
+    #[test]
+    fn degenerate_chunk_and_speculation_axes_are_bit_invisible(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..300,
+        requests in 2usize..40,
+        max_batch in 1usize..16,
+        budget_blocks in 48usize..1_500,
+        acceptance_x100 in 0u32..=100,
+        spec_seed in 0u64..1_000,
+        bursty in proptest::prop::bool::ANY,
+    ) {
+        let trace = workload(seed, rate_x10, requests, bursty);
+        // Zero draft tokens disables speculation regardless of the rest of
+        // the spec — the config is degenerate, not merely similar.
+        let disabled =
+            SpeculationSpec::new(0, f64::from(acceptance_x100) / 100.0, spec_seed);
+        for config in [
+            ServingConfig::continuous(max_batch, budget_blocks * 16),
+            ServingConfig::static_batching(max_batch, budget_blocks * 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16).with_prefix_sharing(true),
+        ] {
+            let mut plain = ServingSimulator::new(LinearCostModel::default_70b(), config);
+            let mut degenerate = ServingSimulator::new(
+                LinearCostModel::default_70b(),
+                config.with_chunked_prefill(None).with_speculation(disabled),
+            );
+            prop_assert_eq!(plain.run(&trace), degenerate.run(&trace));
         }
     }
 }

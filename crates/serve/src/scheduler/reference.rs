@@ -15,7 +15,7 @@
 use std::collections::VecDeque;
 
 use super::{Active, PagedActive, PagedStats, SchedulerKind, ServingConfig, ServingReport};
-use crate::cost::ServingCostModel;
+use crate::cost::{ChunkWork, ServingCostModel, StepMix};
 use crate::kv::BlockAllocator;
 use crate::metrics::RequestRecord;
 use crate::prefix::PrefixCache;
@@ -92,6 +92,8 @@ struct RunState<'a> {
     peak_queue: usize,
     decode_steps: u64,
     prefill_steps: u64,
+    chunk_steps: u64,
+    chunked_prefill_tokens: u64,
     queue_depth_integral: f64,
     occupancy_integral: f64,
     elapsed: f64,
@@ -116,6 +118,8 @@ impl<'a> RunState<'a> {
             peak_queue: 0,
             decode_steps: 0,
             prefill_steps: 0,
+            chunk_steps: 0,
+            chunked_prefill_tokens: 0,
             queue_depth_integral: 0.0,
             occupancy_integral: 0.0,
             elapsed: 0.0,
@@ -163,6 +167,8 @@ impl<'a> RunState<'a> {
             self.running.push(Active {
                 idx: head,
                 prefilled: false,
+                prefilled_tokens: 0,
+                spec_bursts: 0,
                 first_token_s: 0.0,
                 context_tokens: 0,
                 remaining_decode: 0,
@@ -173,12 +179,17 @@ impl<'a> RunState<'a> {
         self.peak_reserved = self.peak_reserved.max(self.reserved);
     }
 
-    /// One engine step — prefill-prioritized, then decode. Returns the step
-    /// duration and advances per-request progress (but not the clock).
+    /// One engine step — prefill-prioritized, then decode, with chunked
+    /// prefill and speculation branching exactly as the event core does.
+    /// Returns the step duration and advances per-request progress (but
+    /// not the clock).
     fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
         self.peak_batch = self.peak_batch.max(self.running.len());
         let pending_prefill = self.running.iter().any(|a| !a.prefilled);
         if pending_prefill {
+            if self.config.chunk_budget_tokens.is_some() {
+                return self.chunked_step(cost);
+            }
             self.prefill_steps += 1;
             let mut cursor = self.now;
             for active in self.running.iter_mut().filter(|a| !a.prefilled) {
@@ -190,6 +201,8 @@ impl<'a> RunState<'a> {
                 active.remaining_decode = request.output_tokens.saturating_sub(1);
             }
             cursor - self.now
+        } else if self.config.speculation.enabled() {
+            self.speculative_step(cost)
         } else {
             self.decode_steps += 1;
             let batch = self.running.len();
@@ -207,6 +220,88 @@ impl<'a> RunState<'a> {
             }
             dt
         }
+    }
+
+    /// One chunked batch step, mirroring the event core's arithmetic: the
+    /// unprefilled sequences' next chunks (FIFO against the budget) plus
+    /// one decode token for the already-prefilled ones, priced as one
+    /// [`StepMix`]; decode progress lands before chunk progress.
+    fn chunked_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.chunk_steps += 1;
+        let budget = self
+            .config
+            .chunk_budget_tokens
+            .expect("chunked dispatch requires a budget");
+        let mut budget_left = budget;
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
+        let mut mix = StepMix::default();
+        let mut decoders: Vec<usize> = Vec::new();
+        for (pos, active) in self.running.iter().enumerate() {
+            if active.prefilled {
+                if active.remaining_decode > 0 {
+                    decoders.push(pos);
+                    mix.max_context_tokens = mix.max_context_tokens.max(active.context_tokens);
+                }
+            } else if budget_left > 0 {
+                let prompt = self.requests[active.idx].prompt_tokens;
+                let take = (prompt - active.prefilled_tokens).min(budget_left);
+                budget_left -= take;
+                chunks.push((pos, take));
+                mix.prefill_chunks.push(ChunkWork {
+                    suffix_tokens: take,
+                    cached_tokens: 0,
+                    committed_tokens: active.prefilled_tokens,
+                });
+            }
+        }
+        mix.decode_batch = decoders.len();
+        let dt = cost.step_seconds(&mix);
+        let end = self.now + dt;
+        for &pos in &decoders {
+            let active = &mut self.running[pos];
+            active.remaining_decode -= 1;
+            active.context_tokens += 1;
+        }
+        for (pos, take) in chunks {
+            self.chunked_prefill_tokens += take as u64;
+            let active = &mut self.running[pos];
+            active.prefilled_tokens += take;
+            let request = &self.requests[active.idx];
+            if active.prefilled_tokens == request.prompt_tokens {
+                active.prefilled = true;
+                active.first_token_s = end;
+                active.context_tokens = request.prompt_tokens + 1;
+                active.remaining_decode = request.output_tokens.saturating_sub(1);
+            }
+        }
+        dt
+    }
+
+    /// One draft-and-verify burst, mirroring the event core: the same
+    /// seeded acceptance draws, keyed by request id and per-sequence burst
+    /// count.
+    fn speculative_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.decode_steps += 1;
+        let spec = self.config.speculation;
+        let batch = self.running.len();
+        let max_context = self
+            .running
+            .iter()
+            .map(|a| a.context_tokens)
+            .fold(0, usize::max);
+        let dt = cost.speculative_burst_seconds(spec.draft_tokens, batch, max_context);
+        let requests = self.requests;
+        for active in &mut self.running {
+            if active.remaining_decode > 0 {
+                let accepted =
+                    spec.accepted_tokens(requests[active.idx].id as u64, active.spec_bursts);
+                active.spec_bursts += 1;
+                let gained = (accepted + 1).min(active.remaining_decode);
+                active.remaining_decode -= gained;
+                active.context_tokens += gained;
+            }
+        }
+        dt
     }
 
     /// Advances the clock and the time-weighted statistics by one step —
@@ -296,6 +391,8 @@ impl<'a> RunState<'a> {
             },
             decode_steps: self.decode_steps,
             prefill_steps: self.prefill_steps,
+            chunk_steps: self.chunk_steps,
+            chunked_prefill_tokens: self.chunked_prefill_tokens,
             paged: None,
         }
     }
@@ -325,6 +422,8 @@ struct PagedRunState<'a> {
     peak_queue: usize,
     decode_steps: u64,
     prefill_steps: u64,
+    chunk_steps: u64,
+    chunked_prefill_tokens: u64,
     queue_depth_integral: f64,
     occupancy_integral: f64,
     block_util_integral: f64,
@@ -373,6 +472,8 @@ impl<'a> PagedRunState<'a> {
             peak_queue: 0,
             decode_steps: 0,
             prefill_steps: 0,
+            chunk_steps: 0,
+            chunked_prefill_tokens: 0,
             queue_depth_integral: 0.0,
             occupancy_integral: 0.0,
             block_util_integral: 0.0,
@@ -463,6 +564,8 @@ impl<'a> PagedRunState<'a> {
             self.running.push(PagedActive {
                 idx: head,
                 prefilled: false,
+                prefilled_tokens: cached_tokens,
+                spec_bursts: 0,
                 context_tokens: 0,
                 remaining_decode: 0,
                 cached_prefix_tokens: cached_tokens,
@@ -493,12 +596,19 @@ impl<'a> PagedRunState<'a> {
         }
     }
 
-    /// One engine step — prefill-prioritized, then decode.
+    /// One engine step — prefill-prioritized, then decode, with chunked
+    /// prefill and speculation branching exactly as the event core does.
     fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
         self.peak_batch = self.peak_batch.max(self.running.len());
         let pending_prefill = self.running.iter().any(|a| !a.prefilled);
         if pending_prefill {
-            self.prefill_step(cost)
+            if self.config.chunk_budget_tokens.is_some() {
+                self.chunked_step(cost)
+            } else {
+                self.prefill_step(cost)
+            }
+        } else if self.config.speculation.enabled() {
+            self.speculative_step(cost)
         } else {
             self.decode_step(cost)
         }
@@ -563,6 +673,152 @@ impl<'a> PagedRunState<'a> {
             active.context_tokens += 1;
             active.remaining_decode -= 1;
             i += 1;
+        }
+        dt
+    }
+
+    /// One chunked batch step, mirroring the paged event core: chunks are
+    /// keyed by request index (the decode side can preempt and shift
+    /// running positions, but mid-prefill sequences are never victims),
+    /// committed context grows with the cursor, and chunk-completed full
+    /// blocks publish into the prefix cache incrementally.
+    fn chunked_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.chunk_steps += 1;
+        let budget = self
+            .config
+            .chunk_budget_tokens
+            .expect("chunked dispatch requires a budget");
+        let mut budget_left = budget;
+        let mut chunks: Vec<(usize, usize)> = Vec::new();
+        let mut mix = StepMix::default();
+        let mut decode_batch = 0;
+        for active in &self.running {
+            if active.prefilled {
+                if active.remaining_decode > 0 {
+                    decode_batch += 1;
+                    mix.max_context_tokens = mix.max_context_tokens.max(active.context_tokens);
+                }
+            } else if budget_left > 0 {
+                let prompt = self.effective_prompt(active.idx);
+                let committed = active.cached_prefix_tokens;
+                let take = (prompt - active.prefilled_tokens).min(budget_left);
+                budget_left -= take;
+                chunks.push((active.idx, take));
+                mix.prefill_chunks.push(ChunkWork {
+                    suffix_tokens: take,
+                    cached_tokens: committed,
+                    committed_tokens: active.prefilled_tokens - committed,
+                });
+            }
+        }
+        mix.decode_batch = decode_batch;
+        let dt = cost.step_seconds(&mix);
+        let end = self.now + dt;
+        // Decode progress first, with the plain step's grow-and-preempt
+        // loop.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].remaining_decode == 0 {
+                i += 1;
+                continue;
+            }
+            let active = &self.running[i];
+            let needs_block =
+                self.allocator.blocks_for_tokens(active.context_tokens + 1) > active.blocks.len();
+            if needs_block {
+                match self.grow(i) {
+                    Some(at) => i = at,
+                    None => continue, // self-preempted
+                }
+            }
+            let active = &mut self.running[i];
+            active.context_tokens += 1;
+            active.remaining_decode -= 1;
+            i += 1;
+        }
+        for (idx, take) in chunks {
+            self.chunked_prefill_tokens += take as u64;
+            let pos = self
+                .running
+                .iter()
+                .position(|a| a.idx == idx)
+                .expect("mid-prefill sequences are never preempted");
+            let active = &mut self.running[pos];
+            active.prefilled_tokens += take;
+            active.context_tokens = active.prefilled_tokens;
+            let request = &self.requests[idx];
+            let prompt = request.prompt_tokens + self.generated_before[idx];
+            if active.prefilled_tokens == prompt {
+                active.prefilled = true;
+                active.context_tokens = prompt + 1;
+                active.remaining_decode = request
+                    .output_tokens
+                    .saturating_sub(1 + self.generated_before[idx]);
+                if self.first_token[idx].is_none() {
+                    self.first_token[idx] = Some(end);
+                }
+                if active.remaining_decode == 0 {
+                    active.done_s = Some(end);
+                }
+                self.prefix_hit_tokens += active.cached_prefix_tokens as u64;
+                self.prefix_uncached_tokens += (prompt - active.cached_prefix_tokens) as u64;
+            }
+            if let Some(cache) = &mut self.cache {
+                let active = &self.running[pos];
+                let ids = request.stream.token_ids(active.prefilled_tokens);
+                cache.insert(&ids, &active.blocks, &mut self.allocator);
+            }
+        }
+        dt
+    }
+
+    /// One draft-and-verify burst, mirroring the paged event core: the
+    /// same seeded draws, accepted tokens landing one by one through the
+    /// grow-and-preempt loop.
+    fn speculative_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        self.decode_steps += 1;
+        let spec = self.config.speculation;
+        let batch = self.running.len();
+        let max_context = self
+            .running
+            .iter()
+            .map(|a| a.context_tokens)
+            .fold(0, usize::max);
+        let dt = cost.speculative_burst_seconds(spec.draft_tokens, batch, max_context);
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].remaining_decode == 0 {
+                i += 1;
+                continue;
+            }
+            let accepted = {
+                let active = &mut self.running[i];
+                let id = self.requests[active.idx].id as u64;
+                let accepted = spec.accepted_tokens(id, active.spec_bursts);
+                active.spec_bursts += 1;
+                accepted
+            };
+            let gained = (accepted + 1).min(self.running[i].remaining_decode);
+            let mut preempted_self = false;
+            for _ in 0..gained {
+                let active = &self.running[i];
+                let needs_block = self.allocator.blocks_for_tokens(active.context_tokens + 1)
+                    > active.blocks.len();
+                if needs_block {
+                    if let Some(at) = self.grow(i) {
+                        i = at;
+                    } else {
+                        preempted_self = true;
+                        break;
+                    }
+                }
+                let active = &mut self.running[i];
+                active.context_tokens += 1;
+                active.remaining_decode -= 1;
+            }
+            if !preempted_self {
+                i += 1;
+            }
         }
         dt
     }
@@ -715,6 +971,8 @@ impl<'a> PagedRunState<'a> {
             mean_queue_depth: normalize(self.queue_depth_integral),
             decode_steps: self.decode_steps,
             prefill_steps: self.prefill_steps,
+            chunk_steps: self.chunk_steps,
+            chunked_prefill_tokens: self.chunked_prefill_tokens,
             paged: Some(PagedStats {
                 block_size: self.config.block_size,
                 total_blocks: allocator_stats.total_blocks,

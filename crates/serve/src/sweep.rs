@@ -11,7 +11,7 @@ use deca_roofsurface::MachineConfig;
 
 use crate::cost::{DecodePoolCostModel, EstimatorCostModel, ServingCostModel};
 use crate::metrics::{percentile, RequestRecord, ServingMetrics, SloTarget};
-use crate::scheduler::{ServingConfig, ServingReport, ServingSimulator};
+use crate::scheduler::{ServingConfig, ServingReport, ServingSimulator, SpeculationSpec};
 use crate::tier::KvShipSpec;
 use crate::workload::{Request, RequestTrace, WorkloadSpec};
 
@@ -558,22 +558,26 @@ impl<F: FnMut(f64) -> RequestTrace> CapacityProbe<'_, F> {
         let mut simulator = ServingSimulator::new(self.cost.clone(), self.config);
         let report = simulator.run(&trace);
         *self.cost = simulator.into_cost_model();
-
-        let ttft: Vec<f64> = report.records.iter().map(RequestRecord::ttft_s).collect();
-        let tpot: Vec<f64> = report.records.iter().map(RequestRecord::tpot_s).collect();
-        let p99_ttft = percentile(&ttft, 99.0);
-        let p99_tpot = percentile(&tpot, 99.0);
-        let feasible = report.rejected == 0
-            && p99_ttft <= self.spec.slo.ttft_s
-            && p99_tpot <= self.spec.slo.tpot_s;
-        let result = CapacityResult {
-            max_rate_rps: rate,
-            p99_ttft_s: p99_ttft,
-            p99_tpot_s: p99_tpot,
-            goodput_rps: report.goodput_rps(&self.spec.slo),
-        };
-        (feasible, result)
+        judge_probe(&report, &self.spec, rate)
     }
+}
+
+/// Judges one probed rate's report against the capacity spec's p99 SLO —
+/// the feasibility rule every capacity search shares.
+fn judge_probe(report: &ServingReport, spec: &CapacitySpec, rate: f64) -> (bool, CapacityResult) {
+    let ttft: Vec<f64> = report.records.iter().map(RequestRecord::ttft_s).collect();
+    let tpot: Vec<f64> = report.records.iter().map(RequestRecord::tpot_s).collect();
+    let p99_ttft = percentile(&ttft, 99.0);
+    let p99_tpot = percentile(&tpot, 99.0);
+    let feasible =
+        report.rejected == 0 && p99_ttft <= spec.slo.ttft_s && p99_tpot <= spec.slo.tpot_s;
+    let result = CapacityResult {
+        max_rate_rps: rate,
+        p99_ttft_s: p99_ttft,
+        p99_tpot_s: p99_tpot,
+        goodput_rps: report.goodput_rps(&spec.slo),
+    };
+    (feasible, result)
 }
 
 /// Finds the highest Poisson arrival rate one replica sustains while its
@@ -786,6 +790,111 @@ where
     })
 }
 
+/// One chunk budget's sustained capacity, from
+/// [`chunk_budget_capacity_sweep_with`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChunkBudgetPoint {
+    /// The probed per-step prefill chunk budget (`None` = unchunked:
+    /// whole prompts prefill in one wave).
+    pub chunk_budget_tokens: Option<usize>,
+    /// The budget's capacity-search outcome.
+    pub capacity: CapacityResult,
+}
+
+/// Extends the capacity search across *prefill chunk budgets*: for every
+/// probed budget (including `None`, the unchunked baseline), finds the
+/// highest arrival rate one replica sustains within the p99 SLO. Small
+/// budgets bound the decode stall a long-document prefill inflicts on
+/// co-resident chats (better p99 TPOT) but pay per-chunk step overhead;
+/// the sweep locates the knee. Same bracketing/bisection as
+/// [`capacity_search_with`].
+pub fn chunk_budget_capacity_sweep_with<C, F>(
+    cost: &mut C,
+    config: &ServingConfig,
+    spec: &CapacitySpec,
+    budgets: &[Option<usize>],
+    mut trace_for_rate: F,
+) -> Vec<ChunkBudgetPoint>
+where
+    C: ServingCostModel + Clone,
+    F: FnMut(f64) -> RequestTrace,
+{
+    budgets
+        .iter()
+        .map(|&chunk_budget_tokens| {
+            let chunked = config.with_chunked_prefill(chunk_budget_tokens);
+            let capacity = bracket_and_bisect(spec, &mut |rate| {
+                let trace = trace_for_rate(rate);
+                let mut simulator = ServingSimulator::new(cost.clone(), chunked);
+                let report = simulator.run(&trace);
+                *cost = simulator.into_cost_model();
+                judge_probe(&report, spec, rate)
+            });
+            ChunkBudgetPoint {
+                chunk_budget_tokens,
+                capacity,
+            }
+        })
+        .collect()
+}
+
+/// One acceptance rate's outcome on a fixed trace, from
+/// [`speculation_goodput_curve_with`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpeculationPoint {
+    /// The probed draft acceptance rate, in `[0, 1]`.
+    pub acceptance_rate: f64,
+    /// p99 TTFT on the trace, seconds.
+    pub p99_ttft_s: f64,
+    /// p99 TPOT on the trace, seconds.
+    pub p99_tpot_s: f64,
+    /// SLO goodput on the trace, requests/sec.
+    pub goodput_rps: f64,
+    /// Draft-and-verify bursts the run took (decode steps when the rate
+    /// retires one token per burst).
+    pub decode_steps: u64,
+}
+
+/// Sweeps speculative decoding's acceptance rate on a *fixed* trace: each
+/// probed rate replays the same requests with
+/// [`crate::SpeculationSpec::new`]`(draft_tokens, rate, draw_seed)` and
+/// reports tail latency and SLO goodput — the goodput-vs-acceptance curve
+/// that says how good a draft model must be before speculation pays on
+/// this hardware. A `draft_tokens` of zero degenerates every point to the
+/// plain run (the baseline the curve is read against).
+pub fn speculation_goodput_curve_with<C>(
+    cost: &mut C,
+    config: &ServingConfig,
+    slo: &SloTarget,
+    draft_tokens: usize,
+    draw_seed: u64,
+    acceptance_rates: &[f64],
+    trace: &RequestTrace,
+) -> Vec<SpeculationPoint>
+where
+    C: ServingCostModel + Clone,
+{
+    acceptance_rates
+        .iter()
+        .map(|&acceptance_rate| {
+            let speculation = SpeculationSpec::new(draft_tokens, acceptance_rate, draw_seed);
+            let mut simulator =
+                ServingSimulator::new(cost.clone(), config.with_speculation(speculation));
+            let report = simulator.run(trace);
+            *cost = simulator.into_cost_model();
+            let ttft: Vec<f64> = report.records.iter().map(RequestRecord::ttft_s).collect();
+            let tpot: Vec<f64> = report.records.iter().map(RequestRecord::tpot_s).collect();
+            SpeculationPoint {
+                acceptance_rate,
+                p99_ttft_s: percentile(&ttft, 99.0),
+                p99_tpot_s: percentile(&tpot, 99.0),
+                goodput_rps: report.goodput_rps(slo),
+                decode_steps: report.decode_steps,
+            }
+        })
+        .collect()
+}
+
 /// The winning split of a [`disagg_capacity_search_with`] sweep: highest
 /// sustained rate, goodput breaking ties (earlier split on exact ties).
 #[must_use]
@@ -827,6 +936,81 @@ mod tests {
                 .collect();
             assert_eq!(fleet.reports, sequential);
         }
+    }
+
+    /// The chunk-budget sweep probes every budget (unchunked first) and
+    /// its degenerate entry reproduces the plain capacity search exactly.
+    #[test]
+    fn chunk_budget_sweep_covers_the_unchunked_baseline() {
+        use crate::workload::DocChatMixSpec;
+        let spec = CapacitySpec {
+            slo: SloTarget {
+                ttft_s: 2.0,
+                tpot_s: 0.12,
+            },
+            requests: 48,
+            seed: 21,
+            min_rate: 0.25,
+            max_rate: 8.0,
+            iterations: 4,
+        };
+        let config = ServingConfig::paged(16, 200_000, 16);
+        let mix = DocChatMixSpec::fleet(1.0, 40, 21);
+        let mut cost = LinearCostModel::default_70b();
+        let points = chunk_budget_capacity_sweep_with(
+            &mut cost,
+            &config,
+            &spec,
+            &[None, Some(512), Some(2_048)],
+            |rate| mix.with_rate(rate).generate(),
+        );
+        assert_eq!(points.len(), 3);
+        assert_eq!(points[0].chunk_budget_tokens, None);
+        let cost = LinearCostModel::default_70b();
+        let baseline = bracket_and_bisect(&spec, &mut |rate| {
+            let trace = mix.with_rate(rate).generate();
+            let report = ServingSimulator::new(cost, config).run(&trace);
+            judge_probe(&report, &spec, rate)
+        });
+        assert_eq!(points[0].capacity, baseline);
+        for point in &points {
+            assert!(point.capacity.max_rate_rps >= 0.0);
+        }
+    }
+
+    /// Higher acceptance rates can only help: on a decode-heavy trace the
+    /// all-accept end of the curve beats the none-accept end on p99 TPOT,
+    /// and a zero-draft curve is flat at the plain run.
+    #[test]
+    fn speculation_curve_improves_with_acceptance() {
+        let trace = WorkloadSpec::chat(2.0, 48, 23).generate();
+        let config = ServingConfig::continuous(16, 200_000);
+        let slo = SloTarget {
+            ttft_s: 2.0,
+            tpot_s: 0.12,
+        };
+        let mut cost = LinearCostModel::default_70b();
+        let curve = speculation_goodput_curve_with(
+            &mut cost,
+            &config,
+            &slo,
+            4,
+            7,
+            &[0.0, 0.5, 1.0],
+            &trace,
+        );
+        assert_eq!(curve.len(), 3);
+        // All-accept retires 5 tokens per burst; none-accept pays the same
+        // burst for 1. Fewer steps, lower tail.
+        assert!(curve[2].decode_steps < curve[0].decode_steps);
+        assert!(curve[2].p99_tpot_s < curve[0].p99_tpot_s);
+        // Zero draft tokens: every point is the plain run.
+        let mut cost = LinearCostModel::default_70b();
+        let flat =
+            speculation_goodput_curve_with(&mut cost, &config, &slo, 0, 7, &[0.0, 1.0], &trace);
+        let outcome =
+            |p: &SpeculationPoint| (p.p99_ttft_s, p.p99_tpot_s, p.goodput_rps, p.decode_steps);
+        assert_eq!(outcome(&flat[0]), outcome(&flat[1]));
     }
 
     #[test]

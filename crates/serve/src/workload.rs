@@ -8,10 +8,11 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// `splitmix64`: the token-id mixer behind [`TokenStream`]. Cheap, and a
+/// `splitmix64`: the token-id mixer behind [`TokenStream`] (and the
+/// scheduler's seeded speculative-acceptance draws). Cheap, and a
 /// bijection on `u64`, so distinct (stream, position) pairs essentially
 /// never collide into equal block keys.
-fn splitmix64(mut x: u64) -> u64 {
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -773,6 +774,154 @@ impl ColdSessionSpec {
     }
 }
 
+/// A mixed long-document + interactive-chat workload: two independent
+/// Poisson streams share one server. Chat requests are short-prompt,
+/// decode-heavy, and latency-sensitive; document requests carry
+/// multi-thousand-token prompts whose monolithic prefill waves stall every
+/// co-resident chat decode — the head-of-line interference chunked prefill
+/// ([`crate::ServingConfig::with_chunked_prefill`]) exists to bound, and
+/// the traffic the `bench_chunked` experiment measures p99 chat TPOT
+/// under.
+///
+/// Document prompts are strictly longer than the longest chat prompt, so
+/// [`DocChatMixSpec::is_document`] can classify a generated request from
+/// its prompt length alone (the merged trace re-ids requests in arrival
+/// order, so provenance is not recoverable from the id).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DocChatMixSpec {
+    /// Chat arrival rate, requests per second.
+    pub chat_rate_per_sec: f64,
+    /// Document arrival rate, requests per second.
+    pub doc_rate_per_sec: f64,
+    /// Number of chat requests.
+    pub chat_requests: usize,
+    /// Number of document requests.
+    pub doc_requests: usize,
+    /// Chat prompt lengths. Must stay strictly below every document
+    /// prompt for [`DocChatMixSpec::is_document`] to classify correctly.
+    pub chat_prompt_tokens: LengthDistribution,
+    /// Chat reply lengths (decode-heavy).
+    pub chat_output_tokens: LengthDistribution,
+    /// Document prompt lengths (prefill-heavy).
+    pub doc_prompt_tokens: LengthDistribution,
+    /// Document output lengths (short summaries).
+    pub doc_output_tokens: LengthDistribution,
+    /// RNG seed: the same spec always generates the same trace.
+    pub seed: u64,
+}
+
+impl DocChatMixSpec {
+    /// The headline mix: latency-sensitive chat at `chat_rate_per_sec`
+    /// with one 4k–12k-token document ingestion for every ~8 chats riding
+    /// the same server.
+    #[must_use]
+    pub fn fleet(chat_rate_per_sec: f64, chat_requests: usize, seed: u64) -> Self {
+        DocChatMixSpec {
+            chat_rate_per_sec,
+            doc_rate_per_sec: chat_rate_per_sec / 8.0,
+            chat_requests,
+            doc_requests: (chat_requests / 8).max(1),
+            chat_prompt_tokens: LengthDistribution::Uniform { min: 32, max: 256 },
+            chat_output_tokens: LengthDistribution::Uniform { min: 64, max: 224 },
+            doc_prompt_tokens: LengthDistribution::Uniform {
+                min: 4_096,
+                max: 12_288,
+            },
+            doc_output_tokens: LengthDistribution::Uniform { min: 16, max: 64 },
+            seed,
+        }
+    }
+
+    /// The same mix offered at a different chat rate, document traffic
+    /// scaled proportionally (the capacity-search knob).
+    #[must_use]
+    pub fn with_rate(self, chat_rate_per_sec: f64) -> Self {
+        let scale = chat_rate_per_sec / self.chat_rate_per_sec;
+        DocChatMixSpec {
+            chat_rate_per_sec,
+            doc_rate_per_sec: self.doc_rate_per_sec * scale,
+            ..self
+        }
+    }
+
+    /// Requests the generated trace will contain.
+    #[must_use]
+    pub fn requests(&self) -> usize {
+        self.chat_requests + self.doc_requests
+    }
+
+    /// Whether a generated request is a document ingestion (as opposed to
+    /// a chat turn), judged by prompt length.
+    #[must_use]
+    pub fn is_document(&self, request: &Request) -> bool {
+        request.prompt_tokens > self.chat_prompt_tokens.max_len()
+    }
+
+    /// Generates the replayable trace: both Poisson streams drawn from
+    /// seeded RNGs, merged in arrival order with ids reassigned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is not positive while its request count is,
+    /// or if the longest chat prompt reaches the shortest possible
+    /// document prompt (which would break classification).
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        let doc_floor = match self.doc_prompt_tokens {
+            LengthDistribution::Fixed(len) => len,
+            LengthDistribution::Uniform { min, .. } => min,
+            LengthDistribution::Bimodal { short, long, .. } => short.min(long),
+        };
+        assert!(
+            self.chat_prompt_tokens.max_len() < doc_floor,
+            "chat prompts must stay strictly shorter than document prompts"
+        );
+        let mut requests = Vec::with_capacity(self.requests());
+        let mut lane = |count: usize,
+                        rate: f64,
+                        prompts: LengthDistribution,
+                        outputs: LengthDistribution,
+                        salt: u64| {
+            if count == 0 {
+                return;
+            }
+            assert!(rate > 0.0, "arrival rate must be positive");
+            let mut rng = StdRng::seed_from_u64(splitmix64(self.seed ^ salt));
+            let mut t = 0.0f64;
+            for _ in 0..count {
+                t += exponential_gap(rng.gen(), rate);
+                requests.push(Request {
+                    id: 0, // assigned in arrival order below
+                    arrival_s: t,
+                    prompt_tokens: prompts.sample(&mut rng),
+                    output_tokens: outputs.sample(&mut rng),
+                    stream: TokenStream::unique(0),
+                });
+            }
+        };
+        lane(
+            self.chat_requests,
+            self.chat_rate_per_sec,
+            self.chat_prompt_tokens,
+            self.chat_output_tokens,
+            0x5EED_C4A7,
+        );
+        lane(
+            self.doc_requests,
+            self.doc_rate_per_sec,
+            self.doc_prompt_tokens,
+            self.doc_output_tokens,
+            0xD0C_F00D,
+        );
+        let mut trace = RequestTrace::new(requests);
+        for (index, request) in trace.requests.iter_mut().enumerate() {
+            request.id = index;
+            request.stream = TokenStream::unique(index);
+        }
+        trace
+    }
+}
+
 /// An ordered, replayable list of requests. Traces can come from
 /// [`WorkloadSpec::generate`] or be constructed directly (e.g. replayed from
 /// a serialized production log).
@@ -1144,5 +1293,32 @@ mod tests {
         // The offered rate is what the spec says: ~16 sessions/s of
         // arrivals, so 200 sessions span roughly 12.5 simulated seconds.
         assert!(trace.duration_s() > 5.0 && trace.duration_s() < 60.0);
+    }
+
+    #[test]
+    fn doc_chat_mix_interleaves_classifiable_lanes() {
+        let spec = DocChatMixSpec::fleet(4.0, 64, 19);
+        assert_eq!(spec.requests(), 72, "64 chats + 8 documents");
+        let trace = spec.generate();
+        assert_eq!(trace.len(), 72);
+        assert_eq!(trace, spec.generate(), "fixed seed: byte-identical");
+        let docs = trace
+            .requests()
+            .iter()
+            .filter(|r| spec.is_document(r))
+            .count();
+        assert_eq!(docs, spec.doc_requests);
+        for (index, request) in trace.requests().iter().enumerate() {
+            assert_eq!(request.id, index, "ids follow arrival order");
+            if spec.is_document(request) {
+                assert!((4_096..=12_288).contains(&request.prompt_tokens));
+            } else {
+                assert!((32..=256).contains(&request.prompt_tokens));
+            }
+        }
+        // Scaling the rate keeps the mix ratio.
+        let faster = spec.with_rate(8.0);
+        assert!((faster.doc_rate_per_sec - 1.0).abs() < 1e-12);
+        assert!(faster.generate().duration_s() < trace.duration_s());
     }
 }

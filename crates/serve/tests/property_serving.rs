@@ -32,13 +32,31 @@
 //! 10. the degenerate configs are exact: a zero-capacity tier reproduces
 //!     the recompute-only paged run bit for bit, and a zero-cost KV ship
 //!     leaves every record untouched.
+//!
+//! The batch-step axes (chunked prefill and speculative decoding,
+//! [`deca_serve::ServingConfig::with_chunked_prefill`] /
+//! [`deca_serve::SpeculationSpec`]) add:
+//!
+//! 11. the degenerate configs are bit-exact: an infinite chunk budget plus
+//!     speculation off reproduces the plain run on every policy, prefix
+//!     sharing on or off (the equivalence suite in
+//!     `scheduler/equivalence_tests.rs` additionally pins the event core
+//!     against the reference loop on the live axes),
+//! 12. speculation never changes *what* is served: token totals and the
+//!     completion set match the plain run for any acceptance rate, and at
+//!     acceptance rate 1.0 the burst count never exceeds the plain run's
+//!     decode-step count,
+//! 13. chunk boundaries conserve prompt tokens: every admitted prompt
+//!     token passes through at least one chunk, even under
+//!     preemption-by-recompute and swap-tier pressure that force chunked
+//!     prefill passes to restart.
 
 use std::collections::HashSet;
 
 use deca_serve::{
     simulate_fleet_with, ArrivalProcess, BlockAllocator, KvShipSpec, KvTierModel, KvTierSpec,
     LengthDistribution, LinearCostModel, PrefixCache, RequestRecord, SchedulerKind, ServingConfig,
-    ServingSimulator, SharedPrefixChatSpec, SloTarget, TokenStream, WorkloadSpec,
+    ServingSimulator, SharedPrefixChatSpec, SloTarget, SpeculationSpec, TokenStream, WorkloadSpec,
 };
 use proptest::prelude::*;
 
@@ -489,6 +507,116 @@ proptest! {
             ship_report.paged.expect("paged run").kv_transfers,
             trace.len() as u64
         );
+    }
+
+    /// Invariant 12: speculation changes *when* tokens retire, never *what*
+    /// is served. For any acceptance rate the completed id set, every
+    /// record's token counts, and the rejection count match the plain run;
+    /// at acceptance rate 1.0 every burst retires at least one token, so
+    /// the burst count never exceeds the plain run's decode-step count.
+    #[test]
+    fn speculation_never_changes_what_is_served(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..300,
+        requests in 4usize..60,
+        max_batch in 1usize..16,
+        draft_tokens in 1usize..8,
+        acceptance_x100 in 0u32..=100,
+        spec_seed in 0u64..1_000,
+        paged in proptest::prop::bool::ANY,
+    ) {
+        let trace = workload(seed, rate_x10, requests, false).generate();
+        let base = if paged {
+            ServingConfig::paged(max_batch, 60_000, 16)
+        } else {
+            ServingConfig::continuous(max_batch, 60_000)
+        };
+        let run = |config: ServingConfig| {
+            ServingSimulator::new(LinearCostModel::default_70b(), config).run(&trace)
+        };
+        let plain = run(base);
+        let speculation =
+            SpeculationSpec::new(draft_tokens, f64::from(acceptance_x100) / 100.0, spec_seed);
+        let spec = run(base.with_speculation(speculation));
+
+        prop_assert_eq!(spec.rejected, plain.rejected);
+        let served = |records: &[RequestRecord]| -> Vec<(usize, usize)> {
+            records.iter().map(|r| (r.id, r.output_tokens)).collect()
+        };
+        let mut plain_served = served(&plain.records);
+        let mut spec_served = served(&spec.records);
+        plain_served.sort_unstable();
+        spec_served.sort_unstable();
+        prop_assert_eq!(plain_served, spec_served);
+
+        // Rate 1.0: every burst retires draft_tokens + 1, so bursts can
+        // only be fewer than the plain run's one-token decode steps.
+        let full = run(base.with_speculation(SpeculationSpec::new(draft_tokens, 1.0, spec_seed)));
+        prop_assert!(
+            full.decode_steps <= plain.decode_steps,
+            "rate-1.0 bursts {} exceed plain decode steps {}",
+            full.decode_steps,
+            plain.decode_steps
+        );
+    }
+
+    /// Invariant 13: chunk boundaries conserve prompt tokens. Every
+    /// admitted prompt token passes through at least one chunk —
+    /// `chunked_prefill_tokens` equals the admitted prompt total when
+    /// nothing recomputes, and can only grow beyond it when
+    /// preemption-by-recompute or swap-tier pressure forces a sequence's
+    /// chunked prefill to restart.
+    #[test]
+    fn chunk_boundaries_conserve_prompt_tokens_under_preemption(
+        seed in 0u64..10_000,
+        rate_x10 in 5u32..300,
+        requests in 4usize..48,
+        max_batch in 2usize..12,
+        blocks in 48usize..400,
+        chunk_budget in 8usize..512,
+        tiered in proptest::prop::bool::ANY,
+    ) {
+        let trace = workload(seed, rate_x10, requests, false).generate();
+        let block_size = 16;
+        let mut config = ServingConfig::paged(max_batch, blocks * block_size, block_size)
+            .with_chunked_prefill(Some(chunk_budget));
+        if tiered {
+            config = config.with_tiers(KvTierModel {
+                block_kv_bytes: 256.0 * 1024.0,
+                ddr: KvTierSpec::ddr(blocks),
+                disk: KvTierSpec::nvme(blocks),
+            });
+        }
+        let report =
+            ServingSimulator::new(LinearCostModel::default_70b(), config).run(&trace);
+        prop_assert_eq!(report.completed() + report.rejected, requests);
+        let admitted_prompt_total: u64 = report
+            .records
+            .iter()
+            .map(|r| trace.requests()[r.id].prompt_tokens as u64)
+            .sum();
+        prop_assert!(
+            report.chunked_prefill_tokens >= admitted_prompt_total,
+            "chunked {} tokens < admitted prompt total {}",
+            report.chunked_prefill_tokens,
+            admitted_prompt_total
+        );
+        let paged = report.paged.expect("paged run");
+        if paged.preemptions == 0 {
+            prop_assert_eq!(report.chunked_prefill_tokens, admitted_prompt_total);
+        }
+        // The reserve-up-front policies never preempt: conservation is
+        // exact there unconditionally.
+        let reserve = ServingConfig::continuous(max_batch, blocks * block_size)
+            .with_chunked_prefill(Some(chunk_budget));
+        let reserve_report =
+            ServingSimulator::new(LinearCostModel::default_70b(), reserve).run(&trace);
+        let reserve_admitted: u64 = reserve_report
+            .records
+            .iter()
+            .map(|r| trace.requests()[r.id].prompt_tokens as u64)
+            .sum();
+        prop_assert_eq!(reserve_report.chunked_prefill_tokens, reserve_admitted);
     }
 }
 
