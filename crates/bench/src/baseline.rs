@@ -20,10 +20,12 @@ use deca_llm::{
 use deca_roofsurface::{MachineConfig, RoofSurface};
 use deca_serve::{
     best_pool_split, capacity_search, capacity_search_warm, disagg_capacity_search_with,
-    fleet_capacity_search_with, hbm_kv_budget_tokens, sharded_kv_budget_tokens, sharding_sweep,
-    CapacityResult, CapacitySpec, ColdSessionSpec, EstimatorCostModel, KvShipSpec, KvTierModel,
-    LengthDistribution, SchedulerKind, ServingConfig, ServingReport, ServingSimulator,
-    ShardingPlanResult, ShardingSearchSpec, SharedPrefixChatSpec, SloTarget, WorkloadSpec,
+    fleet_capacity_search_with, hbm_kv_budget_tokens, qos_capacity_search_with,
+    sharded_kv_budget_tokens, sharding_sweep, AdapterModel, AgentLoopSpec, CapacityResult,
+    CapacitySpec, ClassOutcome, ColdSessionSpec, EstimatorCostModel, KvShipSpec, KvTierModel,
+    LengthDistribution, MultiTenantSpec, QosClass, RagSpec, RequestTrace, SchedulerKind,
+    ServingConfig, ServingReport, ServingSimulator, ShardingPlanResult, ShardingSearchSpec,
+    SharedPrefixChatSpec, SloTarget, WorkloadSpec,
 };
 
 use crate::json::Json;
@@ -1609,6 +1611,348 @@ pub fn chunked_results() -> Json {
     ])
 }
 
+/// Interactive requests of the multi-tenant experiment's headline trace
+/// (shrunk in debug builds so plain `cargo test` stays fast; the
+/// committed baseline is regenerated in release mode).
+const TENANT_INTERACTIVE_REQUESTS: usize = if cfg!(debug_assertions) { 16 } else { 48 };
+/// Bisection refinements of the per-class capacity search.
+const TENANT_SEARCH_ITERATIONS: usize = if cfg!(debug_assertions) { 3 } else { 5 };
+/// Tokens per KV block of the multi-tenant replicas.
+const TENANT_BLOCK_SIZE: usize = 32;
+/// Decode batch limit of the multi-tenant replicas.
+const TENANT_MAX_BATCH: usize = 16;
+/// Weight-token footprint of one LoRA adapter — the weight traffic a
+/// cache miss loads, priced like prefilling that many tokens.
+const TENANT_ADAPTER_TOKENS: usize = 64;
+/// Adapter cache slots of the headline runs: every one of the trace's
+/// twelve tenants fits, so after the warmup loads the cache absorbs the
+/// churn (the detail rows shrink it to show what thrash costs).
+const TENANT_CACHE_SLOTS: usize = 12;
+/// Adapter cache slots of the deliberately thrashing detail row.
+const TENANT_THRASH_SLOTS: usize = 2;
+/// Consecutive Interactive bypasses before a waiting Batch request is
+/// promoted to the queue front.
+const TENANT_QOS_AGING: usize = 8;
+/// Fixed interactive arrival rate of the adapter-cache detail rows
+/// (requests/sec).
+const TENANT_DETAIL_RATE: f64 = 0.25;
+/// p99 TTFT bound of the Batch lane's relaxed SLO (seconds):
+/// latency-tolerant, not unbounded — the anti-starvation check.
+const TENANT_BATCH_TTFT_S: f64 = 120.0;
+/// p99 TPOT bound of the Batch lane's relaxed SLO (seconds).
+const TENANT_BATCH_TPOT_S: f64 = 1.0;
+/// Documents of the RAG prefix-reuse corpus (eight sessions each).
+const TENANT_RAG_DOCUMENTS: usize = if cfg!(debug_assertions) { 4 } else { 8 };
+/// Agent runs of the agentic prefix-reuse trace.
+const TENANT_AGENT_SESSIONS: usize = if cfg!(debug_assertions) { 6 } else { 12 };
+/// Arrival rate of the prefix-reuse rows (requests or sessions per sec).
+const TENANT_PREFIX_RATE: f64 = 0.25;
+/// Trace seed of the multi-tenant experiment.
+const TENANT_SEED: u64 = 47;
+
+/// The mixed interactive/batch LoRA trace of `bench_multitenant` (the
+/// interactive rate is substituted per capacity probe; the batch lane
+/// scales with it).
+fn tenant_mix(interactive_rate: f64) -> MultiTenantSpec {
+    MultiTenantSpec::fleet(interactive_rate, TENANT_INTERACTIVE_REQUESTS, TENANT_SEED)
+}
+
+/// The Batch lane's relaxed SLO.
+fn tenant_batch_slo() -> SloTarget {
+    SloTarget {
+        ttft_s: TENANT_BATCH_TTFT_S,
+        tpot_s: TENANT_BATCH_TPOT_S,
+    }
+}
+
+/// The JSON fields one service class contributes to a row.
+fn tenant_class_fields(prefix: &str, outcome: &ClassOutcome) -> Vec<(String, Json)> {
+    vec![
+        (format!("{prefix}_p99_ttft_s"), num(outcome.p99_ttft_s)),
+        (
+            format!("{prefix}_p99_tpot_ms"),
+            num(outcome.p99_tpot_s * 1e3),
+        ),
+        (format!("{prefix}_goodput_rps"), num(outcome.goodput_rps)),
+    ]
+}
+
+/// The per-class capacity leg of `bench_multitenant`: the highest
+/// interactive rate one replica sustains on the mixed LoRA trace while
+/// the Interactive lane meets the interactive p99 SLO *and* the Batch
+/// lane meets its relaxed SLO (no starvation), per engine — plus the DECA
+/// headline with the winning rate's per-class goodput split.
+fn tenant_capacity_rows(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    slo: &SloTarget,
+) -> (Vec<Json>, String) {
+    let workload = tenant_mix(1.0);
+    let budget = hbm_kv_budget_tokens(model, scheme).expect("Q8_5% fits");
+    let config = ServingConfig::paged(TENANT_MAX_BATCH, budget, TENANT_BLOCK_SIZE)
+        .with_adapters(AdapterModel::new(TENANT_ADAPTER_TOKENS, TENANT_CACHE_SLOTS))
+        .with_qos_aging(TENANT_QOS_AGING);
+    let batch_slo = tenant_batch_slo();
+    let spec = CapacitySpec {
+        slo: *slo,
+        requests: workload.requests(),
+        seed: TENANT_SEED,
+        min_rate: 0.05,
+        max_rate: 16.0,
+        iterations: TENANT_SEARCH_ITERATIONS,
+    };
+    let mut rows = Vec::new();
+    let mut headline = String::new();
+    for (engine_label, engine) in [
+        ("software", Engine::software()),
+        ("deca", Engine::deca_default()),
+    ] {
+        let mut cost = EstimatorCostModel::new(machine.clone(), model.clone(), *scheme, engine);
+        let result = qos_capacity_search_with(&mut cost, &config, &spec, &batch_slo, |rate| {
+            workload.with_rate(rate).generate()
+        });
+        if engine_label == "deca" {
+            headline = format!(
+                "with {} paged LoRA tenants and QoS admission, one DECA socket sustains {:.2} \
+                 interactive req/s at the interactive p99 SLO while the batch lane holds its \
+                 relaxed SLO un-starved ({:.2} interactive vs {:.2} batch goodput req/s, {} {})",
+                workload.tenants,
+                result.max_rate_rps,
+                result.interactive.goodput_rps,
+                result.batch.goodput_rps,
+                model.name(),
+                scheme.label(),
+            );
+        }
+        let mut row: Vec<(String, Json)> = vec![
+            ("engine".to_string(), Json::str(engine_label)),
+            ("interactive_rps".to_string(), num(result.max_rate_rps)),
+        ];
+        row.extend(tenant_class_fields("interactive", &result.interactive));
+        row.extend(tenant_class_fields("batch", &result.batch));
+        rows.push(Json::Obj(row));
+    }
+    (rows, headline)
+}
+
+/// The adapter-cache leg of `bench_multitenant`: the mixed trace at one
+/// fixed rate (DECA) under no adapters, a deliberately thrashing
+/// [`TENANT_THRASH_SLOTS`]-slot cache, and the roomy headline cache —
+/// per-class tails plus the cache counters that explain the gap — and the
+/// QoS fairness counters of the roomy run.
+fn tenant_adapter_rows(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+    slo: &SloTarget,
+) -> (Vec<Json>, Json) {
+    let trace = tenant_mix(TENANT_DETAIL_RATE).generate();
+    let budget = hbm_kv_budget_tokens(model, scheme).expect("Q8_5% fits");
+    let base = ServingConfig::paged(TENANT_MAX_BATCH, budget, TENANT_BLOCK_SIZE)
+        .with_qos_aging(TENANT_QOS_AGING);
+    let batch_slo = tenant_batch_slo();
+    // One warm cost model across the three runs: its answers are pure
+    // functions of (batch, context), independent of the adapter config.
+    let mut cost = EstimatorCostModel::new(
+        machine.clone(),
+        model.clone(),
+        *scheme,
+        Engine::deca_default(),
+    );
+    let mut rows = Vec::new();
+    let mut qos_detail = Json::Null;
+    for (label, adapters) in [
+        ("no-adapters", AdapterModel::disabled()),
+        (
+            "thrash",
+            AdapterModel::new(TENANT_ADAPTER_TOKENS, TENANT_THRASH_SLOTS),
+        ),
+        (
+            "cached",
+            AdapterModel::new(TENANT_ADAPTER_TOKENS, TENANT_CACHE_SLOTS),
+        ),
+    ] {
+        let mut simulator = ServingSimulator::new(cost.clone(), base.with_adapters(adapters));
+        let report = simulator.run(&trace);
+        cost = simulator.into_cost_model();
+        let interactive = report.class_metrics(QosClass::Interactive);
+        let batch = report.class_metrics(QosClass::Batch);
+        rows.push(Json::obj(vec![
+            ("cache", Json::str(label)),
+            ("completed", num(report.completed() as f64)),
+            ("rejected", num(report.rejected as f64)),
+            ("makespan_s", num(report.makespan_s)),
+            ("interactive_p99_ttft_s", num(interactive.ttft.p99_s)),
+            ("interactive_p99_tpot_ms", num(interactive.tpot.p99_s * 1e3)),
+            (
+                "interactive_goodput_rps",
+                num(report.class_goodput_rps(QosClass::Interactive, slo)),
+            ),
+            ("batch_p99_ttft_s", num(batch.ttft.p99_s)),
+            (
+                "batch_goodput_rps",
+                num(report.class_goodput_rps(QosClass::Batch, &batch_slo)),
+            ),
+            ("adapter_loads", num(report.adapters.cache_loads as f64)),
+            ("adapter_hits", num(report.adapters.cache_hits as f64)),
+            ("adapter_hit_rate", num(report.adapters.hit_rate())),
+            ("adapter_evictions", num(report.adapters.evictions as f64)),
+            (
+                "adapter_reserved_blocks",
+                num(report.adapters.reserved_blocks as f64),
+            ),
+        ]));
+        if label == "cached" {
+            qos_detail = Json::obj(vec![
+                (
+                    "interactive_admitted",
+                    num(report.qos.interactive_admitted as f64),
+                ),
+                ("batch_admitted", num(report.qos.batch_admitted as f64)),
+                (
+                    "interactive_bypasses",
+                    num(report.qos.interactive_bypasses as f64),
+                ),
+                ("aging_promotions", num(report.qos.aging_promotions as f64)),
+                (
+                    "peak_interactive_run",
+                    num(report.qos.peak_interactive_run as f64),
+                ),
+            ]);
+        }
+    }
+    (rows, qos_detail)
+}
+
+/// The prefix-reuse leg of `bench_multitenant`: unique-prompt chat, the
+/// RAG corpus (many sessions per shared document), and the agentic
+/// tool-loop trace, each served on one paged + prefix-sharing DECA
+/// replica — the prefix-cache hit rate is the experiment's RAG-vs-chat
+/// headline number.
+fn tenant_prefix_rows(
+    machine: &MachineConfig,
+    model: &LlmModel,
+    scheme: &CompressionScheme,
+) -> (Vec<Json>, String) {
+    let budget = hbm_kv_budget_tokens(model, scheme).expect("Q8_5% fits");
+    let config =
+        ServingConfig::paged(TENANT_MAX_BATCH, budget, TENANT_BLOCK_SIZE).with_prefix_sharing(true);
+    let rag = RagSpec::fleet(TENANT_PREFIX_RATE, TENANT_RAG_DOCUMENTS, TENANT_SEED);
+    let chat = WorkloadSpec::chat(TENANT_PREFIX_RATE, rag.requests(), TENANT_SEED);
+    // Agent runs arrive slower than questions: each run fans out into
+    // `tool_calls + 1` requests of its own.
+    let agent = AgentLoopSpec::fleet(TENANT_PREFIX_RATE / 4.0, TENANT_AGENT_SESSIONS, TENANT_SEED);
+    let workloads: [(&str, RequestTrace); 3] = [
+        ("chat", chat.generate()),
+        ("rag", rag.generate()),
+        ("agentic", agent.generate()),
+    ];
+    let mut cost = EstimatorCostModel::new(
+        machine.clone(),
+        model.clone(),
+        *scheme,
+        Engine::deca_default(),
+    );
+    let mut rows = Vec::new();
+    let mut hit_rates = Vec::new();
+    for (label, trace) in workloads {
+        let mut simulator = ServingSimulator::new(cost.clone(), config);
+        let report = simulator.run(&trace);
+        cost = simulator.into_cost_model();
+        let paged = report.paged.expect("paged run");
+        hit_rates.push(paged.prefix_hit_rate());
+        rows.push(Json::obj(vec![
+            ("workload", Json::str(label)),
+            ("requests", num(trace.len() as f64)),
+            ("completed", num(report.completed() as f64)),
+            ("prefix_hit_rate", num(paged.prefix_hit_rate())),
+            ("prefix_hit_tokens", num(paged.prefix_hit_tokens as f64)),
+            (
+                "prefix_uncached_tokens",
+                num(paged.prefix_uncached_tokens as f64),
+            ),
+            ("p99_ttft_s", num(report.metrics().ttft.p99_s)),
+        ]));
+    }
+    let headline = format!(
+        "on one paged + prefix-sharing DECA socket, RAG sessions over {TENANT_RAG_DOCUMENTS} \
+         shared documents reuse {:.0}% of their prompt tokens from the radix cache versus \
+         {:.0}% for unique-prompt chat (agentic tool loops: {:.0}%)",
+        hit_rates[1] * 100.0,
+        hit_rates[0] * 100.0,
+        hit_rates[2] * 100.0,
+    );
+    (rows, headline)
+}
+
+/// The multi-tenant serving experiment (`bench_multitenant`):
+///
+/// * **Per-class capacity** — on the mixed interactive/batch LoRA trace
+///   (twelve tenant adapters paged through the block pool), the highest
+///   interactive rate one replica sustains with the Interactive lane at
+///   the interactive p99 SLO and the Batch lane within its relaxed SLO
+///   under priority admission with aging, software versus DECA.
+/// * **Adapter cache** — the same trace at a fixed rate under no
+///   adapters, a thrashing two-slot cache, and the roomy headline cache:
+///   cache-miss weight loads are priced like prefill, so thrash shows up
+///   directly in the makespan and the batch lane's tail.
+/// * **Prefix reuse** — chat vs RAG vs agentic traces on a paged +
+///   prefix-sharing replica: the RAG corpus's shared documents and the
+///   agents' growing transcripts turn into radix-cache hits that
+///   unique-prompt chat cannot get.
+///
+/// Fully deterministic (only the surrounding `wall_ms` is volatile).
+#[must_use]
+pub fn multitenant_results() -> Json {
+    let machine = MachineConfig::spr_hbm();
+    let model = LlmModel::llama2_70b();
+    let scheme = CompressionScheme::bf8_sparse(0.05);
+    let slo = SloTarget::interactive();
+
+    let (capacity_rows, capacity_headline) = tenant_capacity_rows(&machine, &model, &scheme, &slo);
+    let (adapter_rows, qos_detail) = tenant_adapter_rows(&machine, &model, &scheme, &slo);
+    let (prefix_rows, prefix_headline) = tenant_prefix_rows(&machine, &model, &scheme);
+
+    Json::obj(vec![
+        ("machine", Json::str(machine.name.clone())),
+        ("model", Json::str(model.name().to_string())),
+        ("scheme", Json::str(scheme.label())),
+        ("block_size", num(TENANT_BLOCK_SIZE as f64)),
+        ("max_batch", num(TENANT_MAX_BATCH as f64)),
+        ("tenants", num(tenant_mix(1.0).tenants as f64)),
+        ("adapter_weight_tokens", num(TENANT_ADAPTER_TOKENS as f64)),
+        ("adapter_cache_slots", num(TENANT_CACHE_SLOTS as f64)),
+        ("qos_aging", num(TENANT_QOS_AGING as f64)),
+        ("interactive_slo_ttft_s", num(slo.ttft_s)),
+        ("interactive_slo_tpot_ms", num(slo.tpot_s * 1e3)),
+        ("batch_slo_ttft_s", num(TENANT_BATCH_TTFT_S)),
+        ("batch_slo_tpot_ms", num(TENANT_BATCH_TPOT_S * 1e3)),
+        (
+            "capacity",
+            Json::obj(vec![
+                ("engines", Json::Arr(capacity_rows)),
+                ("headline", Json::str(capacity_headline)),
+            ]),
+        ),
+        (
+            "adapter_cache",
+            Json::obj(vec![
+                ("rate_rps", num(TENANT_DETAIL_RATE)),
+                ("rows", Json::Arr(adapter_rows)),
+                ("qos", qos_detail),
+            ]),
+        ),
+        (
+            "prefix_reuse",
+            Json::obj(vec![
+                ("rows", Json::Arr(prefix_rows)),
+                ("headline", Json::str(prefix_headline)),
+            ]),
+        ),
+    ])
+}
+
 /// Sessions in the sim-speed trace: a million in release — the ROADMAP's
 /// "millions of users" scale, and the CI `simspeed` gate — shrunk in debug
 /// builds so `cargo test` exercises the same code in moments.
@@ -1752,6 +2096,7 @@ pub fn experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("bench_disagg", disagg_results),
         ("bench_simspeed", simspeed_results),
         ("bench_chunked", chunked_results),
+        ("bench_multitenant", multitenant_results),
     ]
 }
 
@@ -1785,12 +2130,15 @@ pub fn write_artifact(path: &std::path::Path, doc: &Json) -> std::io::Result<()>
 
 /// Re-runs the registered experiment `name` and replaces its records in
 /// `doc` in place (every other experiment's committed numbers are left
-/// untouched) — the selective half of `bench_drift --write`.
+/// untouched) — the selective half of `bench_drift --write`. A registered
+/// experiment the document does not carry yet (a freshly added one) is
+/// appended instead, so growing the registry never forces a full-document
+/// regeneration.
 ///
 /// # Errors
 ///
 /// Returns a message naming the registry when `name` is not a registered
-/// experiment, or when `doc` carries no record of it to replace.
+/// experiment, or when `doc` carries no `experiments` array to extend.
 pub fn refresh_experiment(doc: Json, name: &str) -> Result<Json, String> {
     let Some((_, run)) = experiments().into_iter().find(|(n, _)| *n == name) else {
         let known: Vec<&str> = experiments().iter().map(|(n, _)| *n).collect();
@@ -1803,6 +2151,7 @@ pub fn refresh_experiment(doc: Json, name: &str) -> Result<Json, String> {
         return Err("baseline document must be an object".to_string());
     };
     let mut replaced = false;
+    let mut extended = false;
     let entries = entries
         .into_iter()
         .map(|(key, value)| {
@@ -1812,7 +2161,7 @@ pub fn refresh_experiment(doc: Json, name: &str) -> Result<Json, String> {
             let Json::Arr(records) = value else {
                 return (key, value);
             };
-            let records = records
+            let mut records: Vec<Json> = records
                 .into_iter()
                 .map(|record| {
                     let is_named = matches!(&record, Json::Obj(fields)
@@ -1826,11 +2175,19 @@ pub fn refresh_experiment(doc: Json, name: &str) -> Result<Json, String> {
                     }
                 })
                 .collect();
+            if !replaced {
+                // A registered experiment the artifact predates: append
+                // its first record, leaving every committed one intact.
+                records.push(experiment_record(name, run));
+                extended = true;
+            }
             (key, Json::Arr(records))
         })
         .collect();
-    if !replaced {
-        return Err(format!("the document carries no experiment {name:?}"));
+    if !replaced && !extended {
+        return Err(format!(
+            "the document carries no `experiments` array to refresh {name:?} in"
+        ));
     }
     Ok(Json::Obj(entries))
 }
@@ -1877,7 +2234,8 @@ mod tests {
                 "bench_paged",
                 "bench_disagg",
                 "bench_simspeed",
-                "bench_chunked"
+                "bench_chunked",
+                "bench_multitenant"
             ]
         );
         for experiment in experiments {
@@ -1950,12 +2308,35 @@ mod tests {
             unknown.contains("roofsurface"),
             "error must name the registry"
         );
-        let missing = refresh_experiment(
-            single_experiment_document("roofsurface", roofsurface_results),
-            "bench_paged",
-        )
-        .unwrap_err();
-        assert!(missing.contains("bench_paged"), "error must name the miss");
+    }
+
+    /// A registered experiment the committed artifact predates is appended
+    /// by `refresh_experiment` — the committed records stay byte-for-byte
+    /// intact, so adding an experiment never forces regenerating the rest.
+    #[test]
+    fn refresh_experiment_appends_a_missing_registered_experiment() {
+        let stale = Json::obj(vec![
+            ("name", Json::str("handwritten")),
+            ("wall_ms", num(0.0)),
+            ("results", Json::str("untouched")),
+        ]);
+        let doc = Json::obj(vec![
+            ("schema_version", num(f64::from(SCHEMA_VERSION))),
+            ("command", Json::str(REGENERATE_COMMAND)),
+            ("experiments", Json::Arr(vec![stale.clone()])),
+        ]);
+        let refreshed = refresh_experiment(doc, "roofsurface").expect("append must work");
+        let Json::Arr(records) = find(&refreshed, "experiments") else {
+            panic!("experiments must be an array");
+        };
+        assert_eq!(records.len(), 2, "the new record must be appended");
+        assert_eq!(records[0], stale, "committed records must be untouched");
+        let fresh = experiment_record("roofsurface", roofsurface_results);
+        let lines = crate::drift::diff(
+            &crate::drift::strip_volatile(records[1].clone()),
+            &crate::drift::strip_volatile(fresh),
+        );
+        assert!(lines.is_empty(), "appended record drifted: {lines:?}");
     }
 
     #[test]
@@ -2248,6 +2629,113 @@ mod tests {
             Json::Str(s) => assert!(s.contains("prefill"), "{s}"),
             other => panic!("headline must be a string, got {other:?}"),
         }
+    }
+
+    /// The multi-tenant experiment's acceptance shape: DECA sustains a
+    /// positive interactive rate with the batch lane un-starved, the
+    /// thrashing adapter cache pays for its misses where the roomy one
+    /// hits, and the RAG corpus reuses prefix tokens unique-prompt chat
+    /// cannot.
+    #[test]
+    fn multitenant_results_show_per_class_service() {
+        let mt = multitenant_results();
+        let rate = |row: &Json, key: &str| match find(row, key) {
+            Json::Num(v) => *v,
+            other => panic!("{key} must be a number, got {other:?}"),
+        };
+
+        let capacity = find(&mt, "capacity");
+        let Json::Arr(engines) = find(capacity, "engines") else {
+            panic!("capacity engines must be an array");
+        };
+        assert_eq!(engines.len(), 2, "software and DECA");
+        let deca = &engines[1];
+        assert!(
+            rate(deca, "interactive_rps") > 0.0,
+            "DECA must sustain some interactive load"
+        );
+        assert!(
+            rate(deca, "batch_goodput_rps") > 0.0,
+            "the batch lane must not be starved at the winning rate"
+        );
+        match find(capacity, "headline") {
+            Json::Str(s) => assert!(s.contains("interactive"), "{s}"),
+            other => panic!("headline must be a string, got {other:?}"),
+        }
+
+        // Adapter cache: no adapters → no loads; thrash evicts and
+        // re-loads what the roomy cache keeps resident.
+        let cache = find(&mt, "adapter_cache");
+        let Json::Arr(rows) = find(cache, "rows") else {
+            panic!("adapter rows must be an array");
+        };
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rate(&rows[0], "adapter_loads"), 0.0, "disabled model");
+        assert!(
+            rate(&rows[1], "adapter_loads") > rate(&rows[2], "adapter_loads"),
+            "thrash must re-load what the roomy cache hits"
+        );
+        assert!(rate(&rows[1], "adapter_evictions") > 0.0);
+        assert!(
+            rate(&rows[2], "adapter_hit_rate") > rate(&rows[1], "adapter_hit_rate"),
+            "the roomy cache must hit more"
+        );
+        assert!(
+            rate(&rows[1], "makespan_s") > rate(&rows[2], "makespan_s"),
+            "cache misses are priced as weight traffic, so thrash runs longer"
+        );
+        let qos = find(cache, "qos");
+        assert!(rate(qos, "batch_admitted") > 0.0, "batch lane served");
+        assert!(
+            rate(qos, "peak_interactive_run") <= TENANT_QOS_AGING as f64,
+            "aging must bound the interactive run"
+        );
+
+        // Prefix reuse: chat shares nothing; RAG and agents share a lot.
+        let prefix = find(&mt, "prefix_reuse");
+        let Json::Arr(workloads) = find(prefix, "rows") else {
+            panic!("prefix rows must be an array");
+        };
+        assert_eq!(workloads.len(), 3);
+        assert_eq!(rate(&workloads[0], "prefix_hit_rate"), 0.0, "unique chat");
+        assert!(
+            rate(&workloads[1], "prefix_hit_rate") > 0.5,
+            "RAG sessions must reuse their shared documents"
+        );
+        assert!(
+            rate(&workloads[2], "prefix_hit_rate") > rate(&workloads[0], "prefix_hit_rate"),
+            "agent transcripts must reuse their own history"
+        );
+    }
+
+    /// Baseline artifacts written before the multi-tenant counters existed
+    /// carry no `qos`/`adapters` fields anywhere — they must still parse,
+    /// refresh, and drift-diff cleanly (the artifact schema is
+    /// append-only), and the serve-side counters they predate must default
+    /// to zero so reports round-trip unchanged.
+    #[test]
+    fn pre_tenant_artifacts_still_parse_and_refresh() {
+        let old = r#"{"schema_version":1,
+            "command":"cargo run -p deca-bench --release --bin bench_baseline",
+            "experiments":[{"name":"bench_paged","wall_ms":12.5,
+                "results":{"completed":12,"rejected":0,"mean_kv_occupancy":0.5}}]}"#;
+        let parsed = crate::drift::parse(old).expect("pre-tenant artifacts must parse");
+        let lines = crate::drift::diff(
+            &crate::drift::strip_volatile(parsed.clone()),
+            &crate::drift::strip_volatile(parsed.clone()),
+        );
+        assert!(lines.is_empty(), "self-diff must be clean: {lines:?}");
+        let refreshed =
+            refresh_experiment(parsed, "bench_multitenant").expect("append into an old artifact");
+        let names = crate::drift::experiment_names(&refreshed);
+        assert_eq!(names, ["bench_paged", "bench_multitenant"]);
+
+        // The counters those artifacts predate default to empty, so a
+        // report deserialized without them equals one built with them.
+        assert_eq!(deca_serve::QosStats::default().admitted(), 0);
+        let adapters = deca_serve::AdapterStats::default();
+        assert_eq!(adapters.cache_loads, 0);
+        assert!(adapters.hit_rate().abs() < f64::EPSILON);
     }
 
     #[test]

@@ -130,6 +130,18 @@ pub trait ServingCostModel {
     ) -> f64 {
         (draft_tokens as f64 + 1.0) * self.decode_step_seconds(batch, max_context_tokens)
     }
+
+    /// Seconds to load one LoRA adapter's weights (`weight_tokens` in the
+    /// same KV-token-equivalent unit the block pool is denominated in)
+    /// into the serving engine — the adapter-cache-miss penalty a batch
+    /// step pays for activating a non-resident adapter. Streaming adapter
+    /// weights is memory-bound, like prefilling a prompt of the same token
+    /// footprint, so the default prices it as exactly that; the result is
+    /// strictly positive for any `weight_tokens` because
+    /// [`ServingCostModel::prefill_seconds`] is.
+    fn adapter_load_seconds(&mut self, weight_tokens: usize) -> f64 {
+        self.prefill_seconds(weight_tokens)
+    }
 }
 
 /// Contexts are bucketed (rounded up) to this granularity before hitting
@@ -532,6 +544,13 @@ impl<C: ServingCostModel> ServingCostModel for DecodePoolCostModel<C> {
         self.inner
             .speculative_burst_seconds(draft_tokens, batch, max_context_tokens)
     }
+
+    fn adapter_load_seconds(&mut self, weight_tokens: usize) -> f64 {
+        // Adapter weights really stream into the decode pool — only the
+        // prompt KV arrives pre-computed — so the load is priced by the
+        // wrapped model, not zeroed like the shipped prefill.
+        self.inner.adapter_load_seconds(weight_tokens)
+    }
 }
 
 #[cfg(test)]
@@ -752,6 +771,36 @@ mod tests {
         let again = drafted.speculative_burst_seconds(4, 8, 1024);
         assert_eq!(burst.to_bits(), again.to_bits());
         assert!(drafted.memo_stats().hits > before.hits);
+    }
+
+    #[test]
+    fn adapter_loads_price_as_weight_streams() {
+        // The default hook prices an adapter load exactly as a prefill of
+        // the same token footprint — strictly positive, deterministic.
+        let mut linear = LinearCostModel::default_70b();
+        let load = linear.adapter_load_seconds(96);
+        assert_eq!(load.to_bits(), linear.prefill_seconds(96).to_bits());
+        assert!(load > 0.0);
+        assert!(linear.adapter_load_seconds(0) > 0.0, "strictly positive");
+        let mut estimator = EstimatorCostModel::new(
+            MachineConfig::spr_hbm(),
+            LlmModel::llama2_70b(),
+            CompressionScheme::bf8_sparse(0.05),
+            Engine::deca_default(),
+        );
+        assert_eq!(
+            estimator.adapter_load_seconds(128).to_bits(),
+            estimator.prefill_seconds(128).to_bits()
+        );
+        // The decode pool pays real adapter loads (only prompt KV ships).
+        let mut pool = DecodePoolCostModel::new(LinearCostModel::default_70b());
+        assert_eq!(
+            pool.adapter_load_seconds(96).to_bits(),
+            LinearCostModel::default_70b()
+                .adapter_load_seconds(96)
+                .to_bits()
+        );
+        assert!(pool.adapter_load_seconds(96) > SHIPPED_PREFILL_EPSILON_S);
     }
 
     #[test]

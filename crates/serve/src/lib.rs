@@ -53,6 +53,15 @@
 //!   disaggregated mode,
 //! * [`metrics`] — per-request TTFT / TPOT / end-to-end records,
 //!   percentile summaries, and SLO goodput,
+//! * [`lora`] + [`tenant`] — the multi-tenant layer: per-request
+//!   [`AdapterId`]s whose weights page through the block pool behind a
+//!   deterministic LRU [`AdapterCache`] (misses priced by
+//!   [`ServingCostModel::adapter_load_seconds`]), [`QosClass`] priority
+//!   admission with an anti-starvation aging bound ([`QosAdmission`],
+//!   counters in [`QosStats`]), and the tenant-shaped workloads —
+//!   [`RagSpec`] (shared document prefixes), [`AgentLoopSpec`] (tool-call
+//!   loops re-prefilling a growing transcript), and [`MultiTenantSpec`]
+//!   (mixed interactive/batch LoRA traffic),
 //! * [`sweep`] — multi-replica fleets, the p99-SLO capacity search that
 //!   reports requests/sec per socket for DECA versus software
 //!   decompression (generalized by [`capacity_search_with`] to any cost
@@ -95,10 +104,12 @@
 pub mod cost;
 pub mod event;
 pub mod kv;
+pub mod lora;
 pub mod metrics;
 pub mod prefix;
 pub mod scheduler;
 pub mod sweep;
+pub mod tenant;
 pub mod tier;
 pub mod workload;
 
@@ -108,6 +119,7 @@ pub use cost::{
 };
 pub use event::{Event, EventQueue, Scheduled};
 pub use kv::{AllocatorStats, BlockAllocator, BlockId};
+pub use lora::{AdapterCache, AdapterId, AdapterModel, AdapterStats};
 pub use metrics::{
     percentile, LatencySummary, RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean,
 };
@@ -119,14 +131,17 @@ pub use scheduler::{
 pub use sweep::{
     best_pool_split, capacity_search, capacity_search_warm, capacity_search_with,
     chunk_budget_capacity_sweep_with, disagg_capacity_search_with, fleet_capacity_search_with,
-    hbm_kv_budget_tokens, min_sockets_for_slo, sharded_kv_budget_tokens, sharding_sweep,
-    simulate_disaggregated, simulate_disaggregated_with, simulate_fleet, simulate_fleet_with,
-    speculation_goodput_curve_with, CapacityResult, CapacitySpec, ChunkBudgetPoint, DisaggReport,
-    DisaggSpec, FleetReport, PoolSplitResult, ShardingPlanResult, ShardingSearchSpec,
-    SpeculationPoint,
+    hbm_kv_budget_tokens, min_sockets_for_slo, qos_capacity_search_with, sharded_kv_budget_tokens,
+    sharding_sweep, simulate_disaggregated, simulate_disaggregated_with, simulate_fleet,
+    simulate_fleet_with, speculation_goodput_curve_with, CapacityResult, CapacitySpec,
+    ChunkBudgetPoint, ClassOutcome, DisaggReport, DisaggSpec, FleetReport, PoolSplitResult,
+    QosCapacityResult, ShardingPlanResult, ShardingSearchSpec, SpeculationPoint,
+};
+pub use tenant::{
+    AgentLoopSpec, MultiTenantSpec, QosAdmission, QosClass, QosPick, QosStats, RagSpec,
 };
 pub use tier::{KvShipSpec, KvTierModel, KvTierSpec, TierKind, TierResidency};
 pub use workload::{
     ArrivalProcess, ColdSessionSpec, DocChatMixSpec, LengthDistribution, Request, RequestTrace,
-    SharedPrefixChatSpec, TokenStream, WorkloadSpec,
+    SharedPrefixChatSpec, TokenStream, WorkloadError, WorkloadSpec,
 };

@@ -1,6 +1,8 @@
 //! Per-request records and fleet-level serving metrics: TTFT / TPOT /
 //! end-to-end latency percentiles, throughput, and SLO goodput.
 
+use crate::tenant::QosClass;
+
 /// A time-weighted running mean: the integral of a piecewise-constant
 /// signal over the elapsed simulation time.
 ///
@@ -60,6 +62,11 @@ pub struct RequestRecord {
     pub prompt_tokens: usize,
     /// Output length in tokens.
     pub output_tokens: usize,
+    /// Service class the request was admitted under (Interactive — the
+    /// default every pre-tenant record implicitly was — or Batch), so
+    /// metrics can break down per class.
+    #[serde(default)]
+    pub qos: QosClass,
 }
 
 impl RequestRecord {
@@ -270,6 +277,7 @@ mod tests {
             completion_s: done,
             prompt_tokens: 10,
             output_tokens: output,
+            qos: QosClass::default(),
         }
     }
 

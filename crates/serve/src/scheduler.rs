@@ -42,8 +42,10 @@ use std::collections::{HashMap, VecDeque};
 use crate::cost::{ChunkWork, ServingCostModel, StepMix};
 use crate::event::{Event, EventQueue};
 use crate::kv::{BlockAllocator, BlockId};
+use crate::lora::{AdapterCache, AdapterId, AdapterModel, AdapterStats};
 use crate::metrics::{RequestRecord, ServingMetrics, SloTarget, TimeWeightedMean};
 use crate::prefix::PrefixCache;
+use crate::tenant::{QosAdmission, QosClass, QosStats};
 use crate::tier::{chain_hash, KvShipSpec, KvTierModel, TierKind, TierResidency, PATH_HASH_SEED};
 use crate::workload::{splitmix64, Request, RequestTrace};
 
@@ -195,6 +197,23 @@ pub struct ServingConfig {
     /// Speculative decoding policy. Disabled by default.
     #[serde(default = "SpeculationSpec::disabled")]
     pub speculation: SpeculationSpec,
+    /// LoRA adapter paging ([`crate::lora`]). Disabled by default; when
+    /// enabled, the paged scheduler carves the adapter cache's blocks out
+    /// of the KV pool, and every batch step activating a non-resident
+    /// adapter pays a weight load.
+    #[serde(default = "AdapterModel::disabled")]
+    pub adapters: AdapterModel,
+    /// Consecutive Interactive-over-Batch admission bypasses before a
+    /// waiting Batch request is force-admitted ([`crate::tenant`]'s aging
+    /// rule — the anti-starvation bound). Irrelevant on single-class
+    /// traces, where admission degenerates to plain FIFO.
+    #[serde(default = "default_qos_aging")]
+    pub qos_aging: usize,
+}
+
+/// Default aging threshold of the QoS admission policy.
+fn default_qos_aging() -> usize {
+    8
 }
 
 impl ServingConfig {
@@ -211,6 +230,8 @@ impl ServingConfig {
             kv_ship: KvShipSpec::disabled(),
             chunk_budget_tokens: None,
             speculation: SpeculationSpec::disabled(),
+            adapters: AdapterModel::disabled(),
+            qos_aging: default_qos_aging(),
         }
     }
 
@@ -237,6 +258,8 @@ impl ServingConfig {
             kv_ship: KvShipSpec::disabled(),
             chunk_budget_tokens: None,
             speculation: SpeculationSpec::disabled(),
+            adapters: AdapterModel::disabled(),
+            qos_aging: default_qos_aging(),
         }
     }
 
@@ -284,6 +307,19 @@ impl ServingConfig {
             speculation,
             ..self
         }
+    }
+
+    /// The same replica with LoRA adapter paging modeled.
+    #[must_use]
+    pub fn with_adapters(self, adapters: AdapterModel) -> Self {
+        ServingConfig { adapters, ..self }
+    }
+
+    /// The same replica with a different QoS aging threshold (the maximum
+    /// consecutive Interactive bypasses a waiting Batch request endures).
+    #[must_use]
+    pub fn with_qos_aging(self, qos_aging: usize) -> Self {
+        ServingConfig { qos_aging, ..self }
     }
 }
 
@@ -443,6 +479,15 @@ pub struct ServingReport {
     /// the chunk-boundary conservation law the property suite pins.
     #[serde(default)]
     pub chunked_prefill_tokens: u64,
+    /// Per-class admission and fairness counters ([`crate::tenant`]). On
+    /// the paged policy these count *batch entries*, so re-admissions
+    /// after preemption count again (unlike [`ServingReport::admitted`]).
+    #[serde(default)]
+    pub qos: QosStats,
+    /// Adapter-cache counters ([`crate::lora`]); all zero on adapter-free
+    /// runs.
+    #[serde(default)]
+    pub adapters: AdapterStats,
     /// Paged-KV counters (`None` for the reserve-up-front policies).
     pub paged: Option<PagedStats>,
 }
@@ -465,6 +510,33 @@ impl ServingReport {
     pub fn completed(&self) -> usize {
         self.records.len()
     }
+
+    /// Completed-request records of one QoS class.
+    #[must_use]
+    pub fn class_records(&self, class: QosClass) -> Vec<RequestRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.qos == class)
+            .copied()
+            .collect()
+    }
+
+    /// Aggregated metrics of one QoS class (its rejections from
+    /// [`ServingReport::qos`], its span the whole run's makespan).
+    #[must_use]
+    pub fn class_metrics(&self, class: QosClass) -> ServingMetrics {
+        let rejected = match class {
+            QosClass::Interactive => self.qos.interactive_rejected,
+            QosClass::Batch => self.qos.batch_rejected,
+        };
+        ServingMetrics::from_records(&self.class_records(class), rejected, self.makespan_s)
+    }
+
+    /// Requests per second of one QoS class that met `slo`.
+    #[must_use]
+    pub fn class_goodput_rps(&self, class: QosClass, slo: &SloTarget) -> f64 {
+        ServingMetrics::goodput_rps(&self.class_records(class), slo, self.makespan_s)
+    }
 }
 
 /// A single serving replica: a cost model plus a scheduler configuration.
@@ -483,7 +555,8 @@ impl<C: ServingCostModel> ServingSimulator<C> {
     /// Panics if `max_batch` or the KV budget is zero, if a configured
     /// chunk budget is zero, if the speculative acceptance rate leaves
     /// `[0, 1]`, or — for the paged policy — if the budget does not hold
-    /// at least one whole block.
+    /// at least one whole block, or if an enabled adapter cache's
+    /// reservation would not leave at least one block for sequences.
     #[must_use]
     pub fn new(cost: C, config: ServingConfig) -> Self {
         assert!(config.max_batch > 0, "max_batch must be positive");
@@ -501,6 +574,13 @@ impl<C: ServingCostModel> ServingSimulator<C> {
                 config.kv_budget_tokens >= config.block_size,
                 "the KV budget must hold at least one whole block"
             );
+            if config.adapters.enabled() {
+                assert!(
+                    config.adapters.reserved_blocks(config.block_size)
+                        < config.kv_budget_tokens / config.block_size,
+                    "the adapter cache reservation must leave KV blocks for sequences"
+                );
+            }
         }
         ServingSimulator { cost, config }
     }
@@ -588,6 +668,12 @@ struct RunCore<I> {
     pending_prefill: usize,
     admitted: usize,
     rejected: usize,
+    /// The QoS priority-admission policy and its per-class counters.
+    qos: QosAdmission,
+    /// LRU of resident LoRA adapters; misses price a weight load into the
+    /// step that activates them. Held outside the KV budget here — the
+    /// reserve-up-front policies have no block pool to carve.
+    adapter_cache: AdapterCache,
     peak_reserved: usize,
     peak_occupied: usize,
     peak_batch: usize,
@@ -619,6 +705,8 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
             pending_prefill: 0,
             admitted: 0,
             rejected: 0,
+            qos: QosAdmission::new(),
+            adapter_cache: AdapterCache::new(config.adapters.cache_slots),
             peak_reserved: 0,
             peak_occupied: 0,
             peak_batch: 0,
@@ -733,9 +821,11 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
         }
     }
 
-    /// Admission at this batch boundary: FIFO, gated by the batch limit and
-    /// the KV reservation budget. Requests whose whole footprint exceeds
-    /// the budget outright are rejected (they could never run).
+    /// Admission at this batch boundary: QoS-prioritized FIFO
+    /// ([`QosAdmission::pick`] — plain FIFO on single-class queues), gated
+    /// by the batch limit and the KV reservation budget. Requests whose
+    /// whole footprint exceeds the budget outright are rejected (they
+    /// could never run).
     fn admit(&mut self) {
         let admission_open = match self.config.scheduler {
             // The paged policy has its own run core; this state machine
@@ -747,21 +837,30 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
             return;
         }
         while self.running.len() < self.config.max_batch {
-            let Some(&head) = self.queue.front() else {
+            let Some(pick) = self.qos.pick(
+                self.queue.iter().map(|&s| self.slots[s].qos),
+                self.config.qos_aging,
+            ) else {
                 break;
             };
+            let head = self.queue[pick.position];
+            let class = self.slots[head].qos;
             let need = self.slots[head].kv_tokens_at_completion();
             if need > self.config.kv_budget_tokens {
                 // Could never run on this replica, even alone.
-                self.queue.pop_front();
+                self.queue.remove(pick.position);
                 self.rejected += 1;
+                self.qos.record_reject(class);
                 self.free_slots.push(head);
                 continue;
             }
             if self.reserved + need > self.config.kv_budget_tokens {
-                break; // FIFO: wait for residents to finish.
+                // Head-of-line wait for residents to finish. The pick is
+                // not committed, so the aging clock does not advance.
+                break;
             }
-            self.queue.pop_front();
+            self.queue.remove(pick.position);
+            self.qos.record_admit(class, pick);
             self.reserved += need;
             self.admitted += 1;
             self.pending_prefill += 1;
@@ -798,8 +897,37 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
         } else {
             (Event::DecodeDone, self.decode_step(cost))
         };
+        let dt = dt + self.adapter_switch_seconds(cost);
         self.peak_occupied = self.peak_occupied.max(self.sum_context);
         self.events.push(self.now + dt, completion);
+    }
+
+    /// Adapter-load seconds this step pays: each distinct non-base adapter
+    /// of the batch (in batch order) touches the LRU, and every miss
+    /// streams its weights in via
+    /// [`ServingCostModel::adapter_load_seconds`]. Zero — and no cache
+    /// traffic at all — when adapter paging is disabled or the batch is
+    /// all base-model, which keeps those runs bit-identical.
+    fn adapter_switch_seconds<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        if !self.config.adapters.enabled() {
+            return 0.0;
+        }
+        let weight_tokens = self.config.adapters.weight_tokens;
+        let mut wait = 0.0;
+        let mut seen: Vec<AdapterId> = Vec::new();
+        let slots = &self.slots;
+        let cache = &mut self.adapter_cache;
+        for active in &self.running {
+            let adapter = slots[active.idx].adapter;
+            if adapter.is_base() || seen.contains(&adapter) {
+                continue;
+            }
+            seen.push(adapter);
+            if !cache.touch(adapter) {
+                wait += cost.adapter_load_seconds(weight_tokens);
+            }
+        }
+        wait
     }
 
     /// The classic prefill wave: the new prompts run back to back; each
@@ -978,6 +1106,7 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
                     completion_s: done_s,
                     prompt_tokens: request.prompt_tokens,
                     output_tokens: request.output_tokens,
+                    qos: request.qos,
                 });
                 *reserved -= active.reserved_tokens;
                 *sum_context -= active.context_tokens;
@@ -1013,6 +1142,8 @@ impl<I: Iterator<Item = Request>> RunCore<I> {
             prefill_steps: self.prefill_steps,
             chunk_steps: self.chunk_steps,
             chunked_prefill_tokens: self.chunked_prefill_tokens,
+            qos: self.qos.stats(),
+            adapters: self.adapter_cache.stats(),
             paged: None,
         }
     }
@@ -1142,6 +1273,14 @@ struct PagedRunCore<I> {
     step_in_flight: bool,
     admitted: usize,
     rejected: usize,
+    /// The QoS priority-admission policy and its per-class counters.
+    qos: QosAdmission,
+    /// LRU of resident LoRA adapters, backed by `adapter_blocks`.
+    adapter_cache: AdapterCache,
+    /// Blocks carved out of the pool up front for the adapter cache
+    /// (empty when adapter paging is disabled). Held for the whole run:
+    /// adapter residency churns *within* this reservation.
+    adapter_blocks: Vec<BlockId>,
     /// Victims preempted inside the step being launched; their re-queue
     /// events are scheduled at the step's completion time (the reference
     /// loop pushes them mid-step, but the queue is only read at
@@ -1189,12 +1328,28 @@ struct PagedRunCore<I> {
 
 impl<I: Iterator<Item = Request>> PagedRunCore<I> {
     fn new(config: ServingConfig, source: I) -> Self {
-        let allocator =
+        let mut allocator =
             BlockAllocator::from_token_budget(config.block_size, config.kv_budget_tokens);
         let total_blocks = allocator.total_blocks();
         let cache = config
             .prefix_sharing
             .then(|| PrefixCache::new(config.block_size));
+        let mut adapter_cache = AdapterCache::new(config.adapters.cache_slots);
+        let mut adapter_blocks = Vec::new();
+        if config.adapters.enabled() {
+            // The adapter cache's weights live *inside* the KV pool
+            // (the S-LoRA unified-paging scheme): carve its blocks out up
+            // front so sequence admission competes against the remainder.
+            let reserve = config.adapters.reserved_blocks(config.block_size);
+            assert!(
+                reserve < total_blocks,
+                "the adapter cache reservation must leave KV blocks for sequences"
+            );
+            for _ in 0..reserve {
+                adapter_blocks.push(allocator.alloc().expect("reservation fits the pool"));
+            }
+            adapter_cache.set_reserved_blocks(reserve);
+        }
         PagedRunCore {
             config,
             source,
@@ -1214,6 +1369,9 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             step_in_flight: false,
             admitted: 0,
             rejected: 0,
+            qos: QosAdmission::new(),
+            adapter_cache,
+            adapter_blocks,
             pending_preemptions: Vec::new(),
             pending_swap_outs: Vec::new(),
             run_refs: vec![0; total_blocks],
@@ -1488,22 +1646,29 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
         (promoted_tokens, promote_wait_s)
     }
 
-    /// Paged admission: FIFO, gated by the batch limit and by *current*
-    /// need — enough free blocks for the prompt and the first output token,
-    /// after prefix-cache hits and cold-block eviction — instead of the
-    /// whole lifetime footprint. Requests whose completed footprint exceeds
-    /// the entire pool are rejected outright (they could never run, even
+    /// Paged admission: QoS-prioritized FIFO ([`QosAdmission::pick`] —
+    /// plain FIFO on single-class queues), gated by the batch limit and by
+    /// *current* need — enough free blocks for the prompt and the first
+    /// output token, after prefix-cache hits and cold-block eviction —
+    /// instead of the whole lifetime footprint. Requests whose completed
+    /// footprint exceeds the sequence-usable pool (the adapter cache's
+    /// carve excluded) are rejected outright (they could never run, even
     /// alone with the cache flushed).
     fn admit(&mut self) {
         while self.running.len() < self.config.max_batch {
-            let Some(&head) = self.queue.front() else {
+            let Some(pick) = self.qos.pick(
+                self.queue.iter().map(|&s| self.slots[s].request.qos),
+                self.config.qos_aging,
+            ) else {
                 break;
             };
+            let head = self.queue[pick.position];
+            let class = self.slots[head].request.qos;
             if self.swapped.contains_key(&head) {
                 // A swapped-out victim resumes instead of re-prefilling:
-                // admission waits here (head-of-line) until its blocks
-                // fit, then its swap-in transfer starts.
-                if !self.admit_swap_in(head) {
+                // admission waits here (head-of-line within its class)
+                // until its blocks fit, then its swap-in transfer starts.
+                if !self.admit_swap_in(head, pick) {
                     break;
                 }
                 continue;
@@ -1512,9 +1677,10 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             let full_need = self
                 .allocator
                 .blocks_for_tokens(request.kv_tokens_at_completion());
-            if full_need > self.allocator.total_blocks() {
-                self.queue.pop_front();
+            if full_need > self.allocator.total_blocks() - self.adapter_blocks.len() {
+                self.queue.remove(pick.position);
                 self.rejected += 1;
+                self.qos.record_reject(class);
                 self.free_slots.push(head);
                 continue;
             }
@@ -1573,7 +1739,8 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             }
             let (promoted_tokens, promote_wait_s) =
                 self.promote_demoted_suffix(&ids, cached_tokens);
-            self.queue.pop_front();
+            self.queue.remove(pick.position);
+            self.qos.record_admit(class, pick);
             let mut blocks = matched;
             for _ in 0..need_now {
                 blocks.push(self.allocator.alloc().expect("free blocks checked"));
@@ -1611,7 +1778,7 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
     /// set — it holds its slot and blocks but gains no tokens until the
     /// transfer lands. Returns `false` when the blocks don't fit yet
     /// (admission waits head-of-line on the in-flight swap-in).
-    fn admit_swap_in(&mut self, head: usize) -> bool {
+    fn admit_swap_in(&mut self, head: usize, pick: crate::tenant::QosPick) -> bool {
         let swapped = self.swapped[&head];
         let need = swapped.blocks_needed;
         if self.allocator.free_blocks() < need {
@@ -1628,7 +1795,10 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 return false; // defense in depth, as in `admit`
             }
         }
-        self.queue.pop_front();
+        self.queue.remove(pick.position);
+        // A resumed victim re-enters the batch: that is a per-class batch
+        // entry, and it moves the aging clock like a fresh admission.
+        self.qos.record_admit(self.slots[head].request.qos, pick);
         let mut blocks = Vec::with_capacity(need);
         for _ in 0..need {
             blocks.push(self.allocator.alloc().expect("free blocks checked"));
@@ -1713,6 +1883,7 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
         } else {
             (Event::DecodeDone, self.decode_step(cost))
         };
+        let dt = dt + self.adapter_switch_seconds(cost);
         self.peak_occupied = self.peak_occupied.max(self.occupied_tokens());
         let end = self.now + dt;
         for victim in std::mem::take(&mut self.pending_preemptions) {
@@ -1726,6 +1897,33 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 .push(self.now + dur, Event::SwapOutDone { request: victim });
         }
         self.events.push(end, completion);
+    }
+
+    /// Adapter-load seconds this step pays — the [`RunCore`] rule verbatim
+    /// (distinct non-base adapters in batch order, misses priced by
+    /// [`ServingCostModel::adapter_load_seconds`]), except that swap-in
+    /// waiters contribute nothing: they gain no token this step, so their
+    /// adapter is not activated.
+    fn adapter_switch_seconds<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        if !self.config.adapters.enabled() {
+            return 0.0;
+        }
+        let weight_tokens = self.config.adapters.weight_tokens;
+        let mut wait = 0.0;
+        let mut seen: Vec<AdapterId> = Vec::new();
+        let slots = &self.slots;
+        let cache = &mut self.adapter_cache;
+        for active in self.running.iter().filter(|a| !a.swapping) {
+            let adapter = slots[active.idx].request.adapter;
+            if adapter.is_base() || seen.contains(&adapter) {
+                continue;
+            }
+            seen.push(adapter);
+            if !cache.touch(adapter) {
+                wait += cost.adapter_load_seconds(weight_tokens);
+            }
+        }
+        wait
     }
 
     /// Prefills every newly admitted (or resumed) sequence back to back,
@@ -2116,6 +2314,7 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
                 completion_s: done_s,
                 prompt_tokens: request.prompt_tokens,
                 output_tokens: request.output_tokens,
+                qos: request.qos,
             });
             self.free_slots.push(active.idx);
         }
@@ -2152,6 +2351,8 @@ impl<I: Iterator<Item = Request>> PagedRunCore<I> {
             prefill_steps: self.prefill_steps,
             chunk_steps: self.chunk_steps,
             chunked_prefill_tokens: self.chunked_prefill_tokens,
+            qos: self.qos.stats(),
+            adapters: self.adapter_cache.stats(),
             paged: Some(PagedStats {
                 block_size: self.config.block_size,
                 total_blocks: allocator_stats.total_blocks,
@@ -2201,6 +2402,8 @@ mod tests {
             prompt_tokens,
             output_tokens,
             stream: TokenStream::unique(id),
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         }
     }
 
@@ -2231,6 +2434,8 @@ mod tests {
             prompt_tokens: usize::MAX - 4,
             output_tokens: 64,
             stream: TokenStream::unique(0),
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         let trace = RequestTrace::new(vec![huge, req(1, 0.1, 32, 4)]);
         for config in [
@@ -2260,6 +2465,8 @@ mod tests {
             prompt_tokens: 8,
             output_tokens,
             stream: TokenStream::session(key, 4),
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         let trace = RequestTrace::new(vec![session(0, 1, 2), session(1, 2, 6), req(2, 0.0, 19, 1)]);
         // 8 blocks of 4 tokens: the two sessions take 3 blocks each in the
@@ -2284,6 +2491,8 @@ mod tests {
             prompt_tokens: 17,
             output_tokens: 8,
             stream: TokenStream::session(id as u64, 16),
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         let trace = RequestTrace::new(vec![
             session(0, 0.0),
@@ -2484,6 +2693,8 @@ mod tests {
             prompt_tokens: 64,
             output_tokens: 32,
             stream,
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         let turn2 = Request {
             id: 1,
@@ -2491,6 +2702,8 @@ mod tests {
             prompt_tokens: 64 + 32 + 16,
             output_tokens: 8,
             stream,
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         let trace = RequestTrace::new(vec![turn1, turn2]);
         let config = ServingConfig::paged(8, 4_096, 16).with_prefix_sharing(true);
@@ -2820,6 +3033,8 @@ mod tests {
             prompt_tokens: 2_048,
             output_tokens: 4,
             stream,
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         // The second document arrives while the first is mid-prefill
         // (chunk budget 128 stretches the 2048-token prefill over 16
@@ -2929,6 +3144,8 @@ mod tests {
             prompt_tokens: 64,
             output_tokens: 32,
             stream,
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         // An unrelated request big enough to force eviction of turn 1's
         // cached blocks while the session thinks.
@@ -2939,6 +3156,8 @@ mod tests {
             prompt_tokens: 64 + 32 + 16,
             output_tokens: 8,
             stream,
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         };
         let trace = RequestTrace::new(vec![turn1, intruder, turn2]);
         // 10 blocks of 16 tokens: turn 1 leaves 6 cached blocks, the
@@ -2964,5 +3183,152 @@ mod tests {
             cold.records[2].ttft_s()
         );
         assert_eq!(warm, sim(tiered).run(&trace), "deterministic");
+    }
+
+    /// Priority admission with the aging bound, on every policy: a Batch
+    /// request queued behind a burst of Interactive arrivals is bypassed
+    /// exactly `qos_aging` times, then force-admitted — never starved —
+    /// and the per-class counters plus the class-filtered report helpers
+    /// agree on what happened.
+    #[test]
+    fn interactive_bypasses_batch_until_the_aging_bound_promotes_it() {
+        let qreq = |id: usize, arrival_s: f64, qos: QosClass| Request {
+            qos,
+            ..req(id, arrival_s, 64, 16)
+        };
+        // Request 0 occupies the single batch slot while everything else
+        // queues: one Batch job, then four Interactive chats behind it.
+        let trace = RequestTrace::new(vec![
+            qreq(0, 0.0, QosClass::Interactive),
+            qreq(1, 0.01, QosClass::Batch),
+            qreq(2, 0.02, QosClass::Interactive),
+            qreq(3, 0.03, QosClass::Interactive),
+            qreq(4, 0.04, QosClass::Interactive),
+            qreq(5, 0.05, QosClass::Interactive),
+        ]);
+        for config in [
+            ServingConfig::continuous(1, 1_000),
+            ServingConfig::static_batching(1, 1_000),
+            ServingConfig::paged(1, 1_000, 16),
+        ] {
+            let report = sim(config.with_qos_aging(2)).run(&trace);
+            assert_eq!(report.completed(), 6, "{}", config.scheduler);
+            let qos = report.qos;
+            assert_eq!(qos.interactive_admitted, 5);
+            assert_eq!(qos.batch_admitted, 1);
+            assert_eq!(qos.interactive_bypasses, 2, "requests 2 and 3 jump");
+            assert_eq!(qos.aging_promotions, 1, "then the Batch job ages in");
+            assert_eq!(qos.peak_interactive_run, 2);
+            assert!(qos.peak_interactive_run <= config.with_qos_aging(2).qos_aging);
+            // Service order: the two bypassing chats finish first, the
+            // aged Batch job beats the remaining chats.
+            let batch = report.records[1];
+            assert!(batch.first_token_s > report.records[3].first_token_s);
+            assert!(batch.first_token_s < report.records[4].first_token_s);
+            // The class-filtered helpers agree with the counters.
+            assert_eq!(report.class_records(QosClass::Batch).len(), 1);
+            assert_eq!(report.class_metrics(QosClass::Interactive).completed, 5);
+            assert_eq!(report.class_metrics(QosClass::Batch).rejected, 0);
+            let slo = SloTarget {
+                ttft_s: 1e9,
+                tpot_s: 1e9,
+            };
+            assert!(report.class_goodput_rps(QosClass::Interactive, &slo) > 0.0);
+            // Determinism on the new axis.
+            assert_eq!(report, sim(config.with_qos_aging(2)).run(&trace));
+        }
+    }
+
+    /// Adapter paging prices the cache misses: a two-tenant batch over a
+    /// one-slot cache thrashes (two loads per step), the two-slot cache
+    /// loads each adapter once, and the adapter-free run is fastest. The
+    /// paged policy additionally carves the cache out of its block pool,
+    /// shrinking what sequences can claim.
+    #[test]
+    fn adapter_cache_misses_price_weight_loads() {
+        let tenant = |id: usize, adapter: u32| Request {
+            adapter: AdapterId(adapter),
+            ..req(id, 0.0, 32, 16)
+        };
+        let trace = RequestTrace::new(vec![tenant(0, 1), tenant(1, 2)]);
+        let base = ServingConfig::continuous(4, 2_000);
+        let off = sim(base).run(&trace);
+        let thrash = sim(base.with_adapters(AdapterModel::new(64, 1))).run(&trace);
+        let roomy = sim(base.with_adapters(AdapterModel::new(64, 2))).run(&trace);
+        // 1 prefill wave + 15 decode steps, two tenants each: the one-slot
+        // cache reloads both every step, the two-slot cache never evicts.
+        assert_eq!(thrash.adapters.cache_loads, 32);
+        assert_eq!(thrash.adapters.cache_hits, 0);
+        assert!(thrash.adapters.evictions > 0);
+        assert_eq!(roomy.adapters.cache_loads, 2);
+        assert_eq!(roomy.adapters.evictions, 0);
+        assert!(roomy.adapters.hit_rate() > 0.9);
+        assert_eq!(off.adapters.cache_loads, 0);
+        assert!(off.makespan_s < roomy.makespan_s);
+        assert!(roomy.makespan_s < thrash.makespan_s);
+        // Identical request progression: only the step times moved. The
+        // switch wait lands after the prefill wave's TTFT stamps (it
+        // delays the step's completion, not the tokens inside it), so
+        // first tokens match and every completion slips.
+        for (a, b) in off.records.iter().zip(&thrash.records) {
+            assert_eq!(a.output_tokens, b.output_tokens);
+            assert_eq!(a.first_token_s, b.first_token_s);
+            assert!(b.completion_s > a.completion_s);
+        }
+        // The paged policy carves the cache (2 × 4 blocks of the 20-block
+        // pool) out of the sequence-usable space: a request that fits the
+        // raw pool but not the remainder is rejected, and the carve is
+        // visible in the stats.
+        let paged = ServingConfig::paged(4, 320, 16).with_adapters(AdapterModel::new(64, 2));
+        let big = RequestTrace::new(vec![req(0, 0.0, 200, 8)]);
+        let without = sim(ServingConfig::paged(4, 320, 16)).run(&big);
+        assert_eq!(without.completed(), 1, "13 of 20 blocks fit");
+        let carved = sim(paged).run(&big);
+        assert_eq!(carved.rejected, 1, "13 blocks exceed the 12 left");
+        assert_eq!(carved.adapters.reserved_blocks, 8);
+        assert_eq!(carved.qos.interactive_rejected, 1);
+    }
+
+    /// The tenant axes are invisible until used: explicitly-disabled
+    /// adapters and a different aging threshold reproduce the default run
+    /// bit for bit on a single-class base-model trace, and an *enabled*
+    /// adapter cache that no request touches changes nothing either (on
+    /// the reserve-up-front policies, whose cache lives outside the pool).
+    #[test]
+    fn unused_tenant_axes_are_bit_invisible() {
+        let trace = WorkloadSpec::chat(6.0, 80, 9).generate();
+        for config in [
+            ServingConfig::continuous(8, 20_000),
+            ServingConfig::static_batching(8, 20_000),
+            ServingConfig::paged(8, 20_000, 16).with_prefix_sharing(true),
+        ] {
+            let plain = sim(config).run(&trace);
+            let explicit = sim(config
+                .with_adapters(AdapterModel::disabled())
+                .with_qos_aging(3))
+            .run(&trace);
+            assert_eq!(plain, explicit, "{}", config.scheduler);
+            assert_eq!(plain.adapters, AdapterStats::default());
+            assert_eq!(plain.qos.batch_admitted, 0);
+            assert_eq!(plain.qos.interactive_bypasses, 0);
+        }
+        // Enabled-but-untouched adapters: all-BASE traffic never touches
+        // the cache, so the reserve-up-front reports match exactly.
+        for config in [
+            ServingConfig::continuous(8, 20_000),
+            ServingConfig::static_batching(8, 20_000),
+        ] {
+            let plain = sim(config).run(&trace);
+            let armed = sim(config.with_adapters(AdapterModel::new(64, 2))).run(&trace);
+            assert_eq!(plain, armed, "{}", config.scheduler);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "adapter cache reservation")]
+    fn adapter_carve_swallowing_the_pool_panics() {
+        // 20 blocks of 16 tokens; 2 adapters × 10 blocks leave nothing.
+        let config = ServingConfig::paged(4, 320, 16).with_adapters(AdapterModel::new(160, 2));
+        let _ = sim(config);
     }
 }

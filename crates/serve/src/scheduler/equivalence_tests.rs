@@ -21,6 +21,8 @@ use proptest::prelude::*;
 use super::reference;
 use super::{SchedulerKind, ServingConfig, ServingReport, ServingSimulator, SpeculationSpec};
 use crate::cost::LinearCostModel;
+use crate::lora::{AdapterId, AdapterModel};
+use crate::tenant::{AgentLoopSpec, MultiTenantSpec, QosClass, RagSpec};
 use crate::workload::{
     ArrivalProcess, LengthDistribution, RequestTrace, SharedPrefixChatSpec, WorkloadSpec,
 };
@@ -244,6 +246,133 @@ proptest! {
             prop_assert_eq!(plain.run(&trace), degenerate.run(&trace));
         }
     }
+
+    /// Multi-tenant equivalence: QoS priority admission (with aging) and
+    /// adapter-cache pricing — including the paged policy's block carve —
+    /// come out identical on both cores across mixed interactive/batch
+    /// LoRA traces.
+    #[test]
+    fn multi_tenant_runs_are_trace_equivalent(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..200,
+        interactive in 2usize..30,
+        max_batch in 1usize..16,
+        budget_blocks in 96usize..1_500,
+        cache_slots in 1usize..4,
+        qos_aging in 0usize..12,
+        prefix_sharing in proptest::prop::bool::ANY,
+    ) {
+        let trace =
+            MultiTenantSpec::fleet(f64::from(rate_x10) / 10.0, interactive, seed).generate();
+        let adapters = AdapterModel::new(64, cache_slots);
+        for config in [
+            ServingConfig::continuous(max_batch, budget_blocks * 16),
+            ServingConfig::static_batching(max_batch, budget_blocks * 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16)
+                .with_prefix_sharing(prefix_sharing),
+        ] {
+            assert_equivalent(
+                config.with_adapters(adapters).with_qos_aging(qos_aging),
+                &trace,
+            );
+        }
+    }
+
+    /// The tenant workload families — shared-document RAG and tool-call
+    /// agent loops — are trace-equivalent on both cores, with the prefix
+    /// cache absorbing the shared documents / growing transcripts.
+    #[test]
+    fn tenant_workloads_are_trace_equivalent(
+        seed in 0u64..10_000,
+        rate_x100 in 5u32..300,
+        units in 1usize..8,
+        max_batch in 1usize..12,
+        budget_blocks in 128usize..2_000,
+        agentic in proptest::prop::bool::ANY,
+    ) {
+        let rate = f64::from(rate_x100) / 100.0;
+        let trace = if agentic {
+            AgentLoopSpec::fleet(rate, units, seed).generate()
+        } else {
+            RagSpec::fleet(rate, units, seed).generate()
+        };
+        for config in [
+            ServingConfig::continuous(max_batch, budget_blocks * 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16).with_prefix_sharing(true),
+        ] {
+            assert_equivalent(config, &trace);
+        }
+    }
+
+    /// The anti-starvation invariant: under any fuzzed mixed trace, the
+    /// Batch lane is never bypassed more than `qos_aging` consecutive
+    /// times while it has work queued, and every request still terminates
+    /// (completed or rejected — nothing is starved forever).
+    #[test]
+    fn batch_lane_is_never_starved(
+        seed in 0u64..10_000,
+        rate_x10 in 5u32..300,
+        interactive in 4usize..40,
+        max_batch in 1usize..8,
+        budget_blocks in 96usize..1_000,
+        qos_aging in 1usize..10,
+        paged in proptest::prop::bool::ANY,
+    ) {
+        let trace =
+            MultiTenantSpec::fleet(f64::from(rate_x10) / 10.0, interactive, seed).generate();
+        let config = if paged {
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16)
+        } else {
+            ServingConfig::continuous(max_batch, budget_blocks * 16)
+        };
+        let mut sim = ServingSimulator::new(
+            LinearCostModel::default_70b(),
+            config.with_qos_aging(qos_aging),
+        );
+        let report = sim.run(&trace);
+        prop_assert!(
+            report.qos.peak_interactive_run <= qos_aging,
+            "{} interactive admissions in a row with Batch work queued (aging bound {})",
+            report.qos.peak_interactive_run,
+            qos_aging
+        );
+        prop_assert_eq!(
+            report.completed() + report.rejected,
+            trace.requests().len()
+        );
+    }
+
+    /// The tenant axes are invisible until used: explicitly-disabled
+    /// adapters plus any aging threshold reproduce the plain run bit for
+    /// bit — full report equality, time-weighted means included — on a
+    /// single-class base-model trace, on every policy.
+    #[test]
+    fn degenerate_tenant_axes_are_bit_invisible(
+        seed in 0u64..10_000,
+        rate_x10 in 2u32..300,
+        requests in 2usize..40,
+        max_batch in 1usize..16,
+        budget_blocks in 48usize..1_500,
+        qos_aging in 0usize..16,
+        bursty in proptest::prop::bool::ANY,
+    ) {
+        let trace = workload(seed, rate_x10, requests, bursty);
+        for config in [
+            ServingConfig::continuous(max_batch, budget_blocks * 16),
+            ServingConfig::static_batching(max_batch, budget_blocks * 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16),
+            ServingConfig::paged(max_batch, budget_blocks * 16, 16).with_prefix_sharing(true),
+        ] {
+            let mut plain = ServingSimulator::new(LinearCostModel::default_70b(), config);
+            let mut tenant = ServingSimulator::new(
+                LinearCostModel::default_70b(),
+                config
+                    .with_adapters(AdapterModel::disabled())
+                    .with_qos_aging(qos_aging),
+            );
+            prop_assert_eq!(plain.run(&trace), tenant.run(&trace));
+        }
+    }
 }
 
 /// Pinned regression: a pool small enough to preempt on every decode wave
@@ -258,6 +387,8 @@ fn preemption_heavy_trace_is_equivalent() {
             prompt_tokens: 64,
             output_tokens: 200,
             stream: TokenStream::unique(id),
+            qos: QosClass::default(),
+            adapter: AdapterId::BASE,
         })
         .collect();
     let trace = RequestTrace::new(requests);

@@ -17,8 +17,10 @@ use std::collections::VecDeque;
 use super::{Active, PagedActive, PagedStats, SchedulerKind, ServingConfig, ServingReport};
 use crate::cost::{ChunkWork, ServingCostModel, StepMix};
 use crate::kv::BlockAllocator;
+use crate::lora::{AdapterCache, AdapterId};
 use crate::metrics::RequestRecord;
 use crate::prefix::PrefixCache;
+use crate::tenant::QosAdmission;
 use crate::workload::RequestTrace;
 
 /// Runs a reserve-up-front trace through the old step loop.
@@ -97,10 +99,13 @@ struct RunState<'a> {
     queue_depth_integral: f64,
     occupancy_integral: f64,
     elapsed: f64,
+    qos: QosAdmission,
+    adapter_cache: AdapterCache,
 }
 
 impl<'a> RunState<'a> {
     fn new(config: ServingConfig, requests: &'a [crate::workload::Request]) -> Self {
+        let adapter_cache = AdapterCache::new(config.adapters.cache_slots);
         RunState {
             config,
             requests,
@@ -123,6 +128,8 @@ impl<'a> RunState<'a> {
             queue_depth_integral: 0.0,
             occupancy_integral: 0.0,
             elapsed: 0.0,
+            qos: QosAdmission::new(),
+            adapter_cache,
         }
     }
 
@@ -148,20 +155,28 @@ impl<'a> RunState<'a> {
             return;
         }
         while self.running.len() < self.config.max_batch {
-            let Some(&head) = self.queue.front() else {
+            let Some(pick) = self.qos.pick(
+                self.queue.iter().map(|&i| self.requests[i].qos),
+                self.config.qos_aging,
+            ) else {
                 break;
             };
+            let head = self.queue[pick.position];
+            let class = self.requests[head].qos;
             let need = self.requests[head].kv_tokens_at_completion();
             if need > self.config.kv_budget_tokens {
                 // Could never run on this replica, even alone.
-                self.queue.pop_front();
+                self.queue.remove(pick.position);
                 self.rejected += 1;
+                self.qos.record_reject(class);
                 continue;
             }
             if self.reserved + need > self.config.kv_budget_tokens {
-                break; // FIFO: wait for residents to finish.
+                // The pick is not committed: the aging clock holds still.
+                break;
             }
-            self.queue.pop_front();
+            self.queue.remove(pick.position);
+            self.qos.record_admit(class, pick);
             self.reserved += need;
             self.admitted += 1;
             self.running.push(Active {
@@ -186,21 +201,22 @@ impl<'a> RunState<'a> {
     fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
         self.peak_batch = self.peak_batch.max(self.running.len());
         let pending_prefill = self.running.iter().any(|a| !a.prefilled);
-        if pending_prefill {
+        let dt = if pending_prefill {
             if self.config.chunk_budget_tokens.is_some() {
-                return self.chunked_step(cost);
+                self.chunked_step(cost)
+            } else {
+                self.prefill_steps += 1;
+                let mut cursor = self.now;
+                for active in self.running.iter_mut().filter(|a| !a.prefilled) {
+                    let request = &self.requests[active.idx];
+                    cursor += cost.prefill_seconds(request.prompt_tokens);
+                    active.prefilled = true;
+                    active.first_token_s = cursor;
+                    active.context_tokens = request.prompt_tokens + 1;
+                    active.remaining_decode = request.output_tokens.saturating_sub(1);
+                }
+                cursor - self.now
             }
-            self.prefill_steps += 1;
-            let mut cursor = self.now;
-            for active in self.running.iter_mut().filter(|a| !a.prefilled) {
-                let request = &self.requests[active.idx];
-                cursor += cost.prefill_seconds(request.prompt_tokens);
-                active.prefilled = true;
-                active.first_token_s = cursor;
-                active.context_tokens = request.prompt_tokens + 1;
-                active.remaining_decode = request.output_tokens.saturating_sub(1);
-            }
-            cursor - self.now
         } else if self.config.speculation.enabled() {
             self.speculative_step(cost)
         } else {
@@ -219,7 +235,35 @@ impl<'a> RunState<'a> {
                 }
             }
             dt
+        };
+        // The adapter-switch wait delays the step's completion but not the
+        // first-token stamps above — exactly as the event core prices it.
+        dt + self.adapter_switch_seconds(cost)
+    }
+
+    /// Adapter-load seconds this step pays — the event core's rule
+    /// verbatim: each distinct non-base adapter of the batch (in batch
+    /// order) touches the LRU, and every miss streams its weights in.
+    fn adapter_switch_seconds<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        if !self.config.adapters.enabled() {
+            return 0.0;
         }
+        let weight_tokens = self.config.adapters.weight_tokens;
+        let mut wait = 0.0;
+        let mut seen: Vec<AdapterId> = Vec::new();
+        let requests = self.requests;
+        let cache = &mut self.adapter_cache;
+        for active in &self.running {
+            let adapter = requests[active.idx].adapter;
+            if adapter.is_base() || seen.contains(&adapter) {
+                continue;
+            }
+            seen.push(adapter);
+            if !cache.touch(adapter) {
+                wait += cost.adapter_load_seconds(weight_tokens);
+            }
+        }
+        wait
     }
 
     /// One chunked batch step, mirroring the event core's arithmetic: the
@@ -352,6 +396,7 @@ impl<'a> RunState<'a> {
                     completion_s: done_s,
                     prompt_tokens: request.prompt_tokens,
                     output_tokens: request.output_tokens,
+                    qos: request.qos,
                 });
                 *reserved -= active.reserved_tokens;
                 return false;
@@ -393,6 +438,8 @@ impl<'a> RunState<'a> {
             prefill_steps: self.prefill_steps,
             chunk_steps: self.chunk_steps,
             chunked_prefill_tokens: self.chunked_prefill_tokens,
+            qos: self.qos.stats(),
+            adapters: self.adapter_cache.stats(),
             paged: None,
         }
     }
@@ -435,6 +482,10 @@ struct PagedRunState<'a> {
     touched: Vec<u64>,
     /// The current `account` step's stamp in `touched`.
     stamp: u64,
+    qos: QosAdmission,
+    adapter_cache: AdapterCache,
+    /// Blocks carved out of the pool to back the adapter cache.
+    adapter_blocks: Vec<crate::kv::BlockId>,
 }
 
 impl<'a> PagedRunState<'a> {
@@ -443,12 +494,25 @@ impl<'a> PagedRunState<'a> {
             !config.tiers.enabled() && !config.kv_ship.enabled(),
             "the reference scheduler models neither KV tiers nor KV shipping"
         );
-        let allocator =
+        let mut allocator =
             BlockAllocator::from_token_budget(config.block_size, config.kv_budget_tokens);
         let total_blocks = allocator.total_blocks();
         let cache = config
             .prefix_sharing
             .then(|| PrefixCache::new(config.block_size));
+        let mut adapter_cache = AdapterCache::new(config.adapters.cache_slots);
+        let mut adapter_blocks = Vec::new();
+        if config.adapters.enabled() {
+            let reserve = config.adapters.reserved_blocks(config.block_size);
+            assert!(
+                reserve < total_blocks,
+                "the adapter cache reservation must leave KV blocks for sequences"
+            );
+            for _ in 0..reserve {
+                adapter_blocks.push(allocator.alloc().expect("reservation fits the pool"));
+            }
+            adapter_cache.set_reserved_blocks(reserve);
+        }
         PagedRunState {
             config,
             requests,
@@ -481,6 +545,9 @@ impl<'a> PagedRunState<'a> {
             elapsed: 0.0,
             touched: vec![0; total_blocks],
             stamp: 0,
+            qos: QosAdmission::new(),
+            adapter_cache,
+            adapter_blocks,
         }
     }
 
@@ -504,16 +571,22 @@ impl<'a> PagedRunState<'a> {
     /// need after prefix-cache hits and cold-block eviction.
     fn admit(&mut self) {
         while self.running.len() < self.config.max_batch {
-            let Some(&head) = self.queue.front() else {
+            let Some(pick) = self.qos.pick(
+                self.queue.iter().map(|&i| self.requests[i].qos),
+                self.config.qos_aging,
+            ) else {
                 break;
             };
+            let head = self.queue[pick.position];
+            let class = self.requests[head].qos;
             let request = &self.requests[head];
             let full_need = self
                 .allocator
                 .blocks_for_tokens(request.kv_tokens_at_completion());
-            if full_need > self.allocator.total_blocks() {
-                self.queue.pop_front();
+            if full_need > self.allocator.total_blocks() - self.adapter_blocks.len() {
+                self.queue.remove(pick.position);
                 self.rejected += 1;
+                self.qos.record_reject(class);
                 continue;
             }
             let prompt = self.effective_prompt(head);
@@ -552,7 +625,8 @@ impl<'a> PagedRunState<'a> {
                 }
                 break;
             }
-            self.queue.pop_front();
+            self.queue.remove(pick.position);
+            self.qos.record_admit(class, pick);
             let mut blocks = matched;
             for _ in 0..need_now {
                 blocks.push(self.allocator.alloc().expect("free blocks checked"));
@@ -601,7 +675,7 @@ impl<'a> PagedRunState<'a> {
     fn engine_step<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
         self.peak_batch = self.peak_batch.max(self.running.len());
         let pending_prefill = self.running.iter().any(|a| !a.prefilled);
-        if pending_prefill {
+        let dt = if pending_prefill {
             if self.config.chunk_budget_tokens.is_some() {
                 self.chunked_step(cost)
             } else {
@@ -611,7 +685,36 @@ impl<'a> PagedRunState<'a> {
             self.speculative_step(cost)
         } else {
             self.decode_step(cost)
+        };
+        // The adapter-switch wait delays the step's completion but not the
+        // first-token stamps inside the branches — exactly as the event
+        // core prices it.
+        dt + self.adapter_switch_seconds(cost)
+    }
+
+    /// Adapter-load seconds this step pays — the paged event core's rule
+    /// verbatim (swap-in waiters contribute nothing; the reference loop
+    /// never swaps, so the filter is vacuous but kept for symmetry).
+    fn adapter_switch_seconds<C: ServingCostModel>(&mut self, cost: &mut C) -> f64 {
+        if !self.config.adapters.enabled() {
+            return 0.0;
         }
+        let weight_tokens = self.config.adapters.weight_tokens;
+        let mut wait = 0.0;
+        let mut seen: Vec<AdapterId> = Vec::new();
+        let requests = self.requests;
+        let cache = &mut self.adapter_cache;
+        for active in self.running.iter().filter(|a| !a.swapping) {
+            let adapter = requests[active.idx].adapter;
+            if adapter.is_base() || seen.contains(&adapter) {
+                continue;
+            }
+            seen.push(adapter);
+            if !cache.touch(adapter) {
+                wait += cost.adapter_load_seconds(weight_tokens);
+            }
+        }
+        wait
     }
 
     /// Prefills every newly admitted (or resumed) sequence back to back.
@@ -930,6 +1033,7 @@ impl<'a> PagedRunState<'a> {
                 completion_s: done_s,
                 prompt_tokens: request.prompt_tokens,
                 output_tokens: request.output_tokens,
+                qos: request.qos,
             });
             false
         });
@@ -973,6 +1077,8 @@ impl<'a> PagedRunState<'a> {
             prefill_steps: self.prefill_steps,
             chunk_steps: self.chunk_steps,
             chunked_prefill_tokens: self.chunked_prefill_tokens,
+            qos: self.qos.stats(),
+            adapters: self.adapter_cache.stats(),
             paged: Some(PagedStats {
                 block_size: self.config.block_size,
                 total_blocks: allocator_stats.total_blocks,

@@ -12,6 +12,7 @@ use deca_roofsurface::MachineConfig;
 use crate::cost::{DecodePoolCostModel, EstimatorCostModel, ServingCostModel};
 use crate::metrics::{percentile, RequestRecord, ServingMetrics, SloTarget};
 use crate::scheduler::{ServingConfig, ServingReport, ServingSimulator, SpeculationSpec};
+use crate::tenant::QosClass;
 use crate::tier::KvShipSpec;
 use crate::workload::{Request, RequestTrace, WorkloadSpec};
 
@@ -461,6 +462,7 @@ where
             completion_s: done.completion_s,
             prompt_tokens: request.prompt_tokens,
             output_tokens: request.output_tokens,
+            qos: request.qos,
         });
     }
     records.sort_by_key(|r| r.id);
@@ -838,6 +840,98 @@ where
         .collect()
 }
 
+/// One service class's tail latencies and goodput at a probed rate, from
+/// [`qos_capacity_search_with`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClassOutcome {
+    /// p99 TTFT over the class's completed requests, seconds (0 when the
+    /// class completed nothing).
+    pub p99_ttft_s: f64,
+    /// p99 TPOT over the class's completed requests, seconds.
+    pub p99_tpot_s: f64,
+    /// The class's goodput under its own SLO, requests/sec.
+    pub goodput_rps: f64,
+}
+
+/// The outcome of a per-class QoS capacity search.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct QosCapacityResult {
+    /// Highest probed arrival rate at which *both* classes met their SLOs
+    /// with no rejections (0 when even `min_rate` misses).
+    pub max_rate_rps: f64,
+    /// The Interactive class at that rate.
+    pub interactive: ClassOutcome,
+    /// The Batch class at that rate.
+    pub batch: ClassOutcome,
+}
+
+/// One class's slice of a report, judged against that class's SLO.
+fn class_outcome(report: &ServingReport, class: QosClass, slo: &SloTarget) -> ClassOutcome {
+    let records = report.class_records(class);
+    let ttft: Vec<f64> = records.iter().map(RequestRecord::ttft_s).collect();
+    let tpot: Vec<f64> = records.iter().map(RequestRecord::tpot_s).collect();
+    ClassOutcome {
+        p99_ttft_s: percentile(&ttft, 99.0),
+        p99_tpot_s: percentile(&tpot, 99.0),
+        goodput_rps: report.class_goodput_rps(class, slo),
+    }
+}
+
+/// The per-class QoS capacity search: the highest arrival rate one replica
+/// sustains while *each* service class meets its own p99 SLO — the
+/// Interactive class judged against `spec.slo`, the Batch class against
+/// the (typically much looser) `batch_slo` — with no rejections in either
+/// lane. On a single-class trace the batch side is vacuous and the search
+/// degenerates to [`capacity_search_with`]'s rule exactly. Same
+/// bracketing/bisection as every other capacity search.
+pub fn qos_capacity_search_with<C, F>(
+    cost: &mut C,
+    config: &ServingConfig,
+    spec: &CapacitySpec,
+    batch_slo: &SloTarget,
+    mut trace_for_rate: F,
+) -> QosCapacityResult
+where
+    C: ServingCostModel + Clone,
+    F: FnMut(f64) -> RequestTrace,
+{
+    // Per-class outcomes of every probe, so the winning rate's class
+    // breakdown can be recovered after the search.
+    let mut outcomes: Vec<(f64, ClassOutcome, ClassOutcome)> = Vec::new();
+    let capacity = bracket_and_bisect(spec, &mut |rate| {
+        let trace = trace_for_rate(rate);
+        let mut simulator = ServingSimulator::new(cost.clone(), *config);
+        let report = simulator.run(&trace);
+        *cost = simulator.into_cost_model();
+        let interactive = class_outcome(&report, QosClass::Interactive, &spec.slo);
+        let batch = class_outcome(&report, QosClass::Batch, batch_slo);
+        let feasible = report.rejected == 0
+            && interactive.p99_ttft_s <= spec.slo.ttft_s
+            && interactive.p99_tpot_s <= spec.slo.tpot_s
+            && batch.p99_ttft_s <= batch_slo.ttft_s
+            && batch.p99_tpot_s <= batch_slo.tpot_s;
+        outcomes.push((rate, interactive, batch));
+        let result = CapacityResult {
+            max_rate_rps: rate,
+            p99_ttft_s: interactive.p99_ttft_s,
+            p99_tpot_s: interactive.p99_tpot_s,
+            goodput_rps: report.goodput_rps(&spec.slo),
+        };
+        (feasible, result)
+    });
+    let (_, interactive, batch) = *outcomes
+        .iter()
+        .rev()
+        .find(|(rate, _, _)| *rate == capacity.max_rate_rps)
+        // Infeasible even at `min_rate`: report that probe's breakdown.
+        .unwrap_or(&outcomes[0]);
+    QosCapacityResult {
+        max_rate_rps: capacity.max_rate_rps,
+        interactive,
+        batch,
+    }
+}
+
 /// One acceptance rate's outcome on a fixed trace, from
 /// [`speculation_goodput_curve_with`].
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -976,6 +1070,67 @@ mod tests {
         for point in &points {
             assert!(point.capacity.max_rate_rps >= 0.0);
         }
+    }
+
+    /// The QoS capacity search honours both classes' SLOs: the mixed
+    /// trace sustains a positive rate under sane per-class targets, an
+    /// impossible Batch SLO drives capacity to zero even though the
+    /// Interactive lane is fine, and on a single-class trace the search
+    /// degenerates to the class-blind rule exactly.
+    #[test]
+    fn qos_capacity_search_honours_both_classes() {
+        use crate::tenant::MultiTenantSpec;
+        let spec = CapacitySpec {
+            slo: SloTarget {
+                ttft_s: 8.0,
+                tpot_s: 0.3,
+            },
+            requests: 32,
+            seed: 31,
+            min_rate: 0.25,
+            max_rate: 8.0,
+            iterations: 3,
+        };
+        let batch_slo = SloTarget {
+            ttft_s: 60.0,
+            tpot_s: 0.5,
+        };
+        let mix = MultiTenantSpec::fleet(1.0, 24, 31);
+        let config = ServingConfig::paged(16, 200_000, 16).with_qos_aging(4);
+        let mut cost = LinearCostModel::default_70b();
+        let result = qos_capacity_search_with(&mut cost, &config, &spec, &batch_slo, |rate| {
+            mix.with_rate(rate).generate()
+        });
+        assert!(result.max_rate_rps > 0.0);
+        assert!(result.interactive.p99_ttft_s <= spec.slo.ttft_s);
+        assert!(result.batch.p99_ttft_s <= batch_slo.ttft_s);
+        let impossible = SloTarget {
+            ttft_s: 1e-9,
+            tpot_s: 1e-9,
+        };
+        let strangled = qos_capacity_search_with(&mut cost, &config, &spec, &impossible, |rate| {
+            mix.with_rate(rate).generate()
+        });
+        assert_eq!(
+            strangled.max_rate_rps, 0.0,
+            "an unmeetable Batch SLO caps capacity at zero"
+        );
+        assert!(
+            strangled.batch.p99_ttft_s > 0.0,
+            "the infeasible probe's breakdown is still reported"
+        );
+        // Single-class degenerate: same knee as the class-blind search.
+        let mut warm = LinearCostModel::default_70b();
+        let qos = qos_capacity_search_with(&mut warm, &config, &spec, &spec.slo, |rate| {
+            WorkloadSpec::chat(rate, spec.requests, spec.seed).generate()
+        });
+        let blind = LinearCostModel::default_70b();
+        let plain = bracket_and_bisect(&spec, &mut |rate| {
+            let trace = WorkloadSpec::chat(rate, spec.requests, spec.seed).generate();
+            let report = ServingSimulator::new(blind, config).run(&trace);
+            judge_probe(&report, &spec, rate)
+        });
+        assert_eq!(qos.max_rate_rps, plain.max_rate_rps);
     }
 
     /// Higher acceptance rates can only help: on a decode-heavy trace the

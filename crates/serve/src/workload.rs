@@ -8,6 +8,9 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
+use crate::lora::AdapterId;
+use crate::tenant::QosClass;
+
 /// `splitmix64`: the token-id mixer behind [`TokenStream`] (and the
 /// scheduler's seeded speculative-acceptance draws). Cheap, and a
 /// bijection on `u64`, so distinct (stream, position) pairs essentially
@@ -31,17 +34,30 @@ const UNIQUE_SALT: u64 = 0x554e_4951_5545_5f53; // "UNIQUE_S"
 /// prefixes — the real keys the radix prefix cache ([`crate::prefix`])
 /// matches on — without the trace storing any token arrays.
 ///
-/// Positions below `system_tokens` are drawn from a global system-prompt
-/// stream shared by *all* sessions; positions at or above it come from the
-/// per-session stream (the deterministic "conversation transcript", which
-/// also covers generated tokens, so a follow-up turn's prompt extends its
-/// predecessor's prompt + output exactly).
+/// Positions below `system_tokens` are drawn from a shared stream —
+/// normally the global system-prompt stream, but a document stream
+/// ([`TokenStream::document`]) scopes the sharing to one document's
+/// sessions instead of all sessions; positions at or above it come from
+/// the per-session stream (the deterministic "conversation transcript",
+/// which also covers generated tokens, so a follow-up turn's prompt
+/// extends its predecessor's prompt + output exactly).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct TokenStream {
     /// Key of the per-session token stream.
     pub session: u64,
-    /// Leading positions drawn from the shared system-prompt stream.
+    /// Leading positions drawn from the shared stream.
     pub system_tokens: usize,
+    /// Key of the shared stream the leading positions draw from. Defaults
+    /// to the global system-prompt stream (what every pre-RAG trace used);
+    /// RAG traces put a per-document key here so exactly that document's
+    /// sessions share the prefix.
+    #[serde(default = "default_shared_stream")]
+    pub shared: u64,
+}
+
+/// The pre-RAG shared stream: every session's system prompt.
+fn default_shared_stream() -> u64 {
+    SYSTEM_STREAM
 }
 
 impl TokenStream {
@@ -53,6 +69,7 @@ impl TokenStream {
         TokenStream {
             session: splitmix64(UNIQUE_SALT ^ request_id as u64),
             system_tokens: 0,
+            shared: default_shared_stream(),
         }
     }
 
@@ -63,6 +80,20 @@ impl TokenStream {
         TokenStream {
             session,
             system_tokens,
+            shared: default_shared_stream(),
+        }
+    }
+
+    /// The stream of one RAG session: `document_tokens` drawn from the
+    /// per-`document` stream (shared by every session querying that
+    /// document, and only those), then the session's own question and
+    /// generated answer.
+    #[must_use]
+    pub fn document(document: u64, session: u64, document_tokens: usize) -> Self {
+        TokenStream {
+            session,
+            system_tokens: document_tokens,
+            shared: document,
         }
     }
 
@@ -70,7 +101,7 @@ impl TokenStream {
     #[must_use]
     pub fn token_id(&self, position: usize) -> u64 {
         let stream = if position < self.system_tokens {
-            SYSTEM_STREAM
+            self.shared
         } else {
             self.session
         };
@@ -99,6 +130,15 @@ pub struct Request {
     /// Token-id source of the prompt (and generated continuation) — what
     /// the paged scheduler's prefix cache keys on.
     pub stream: TokenStream,
+    /// Service class: which SLO this request is sold under and how
+    /// admission prioritizes it. Defaults to Interactive, the class every
+    /// pre-tenant trace implicitly was.
+    #[serde(default)]
+    pub qos: QosClass,
+    /// The LoRA adapter this request runs, [`AdapterId::BASE`] (the
+    /// default) for the unadapted base model.
+    #[serde(default)]
+    pub adapter: AdapterId,
 }
 
 impl Request {
@@ -174,6 +214,30 @@ impl LengthDistribution {
     }
 }
 
+/// Why a workload spec cannot generate a trace. Surfaced by the specs'
+/// `try_generate` methods so a mis-parameterized sweep or a deserialized
+/// config errors out clearly instead of hanging in (or silently
+/// degenerating) trace generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// An arrival rate (or burst/period shape) that can never produce a
+    /// valid arrival sequence: zero, negative, or non-finite.
+    InvalidRate(&'static str),
+    /// A spec describing zero requests (no sessions, no documents, …).
+    EmptySpec(&'static str),
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::InvalidRate(what) => write!(f, "invalid arrival rate: {what}"),
+            WorkloadError::EmptySpec(what) => write!(f, "empty workload spec: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
 /// A stochastic arrival process over continuous time.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ArrivalProcess {
@@ -246,9 +310,29 @@ impl ArrivalProcess {
     }
 
     fn validate(&self) {
+        if let Err(error) = self.validated() {
+            panic!("{error}");
+        }
+    }
+
+    /// Checks the process parameters, returning a clear error for a
+    /// process that could never produce a valid arrival sequence —
+    /// non-positive or non-finite rates, or a bursty period not exceeding
+    /// its burst. (A zero Poisson rate, for example, would otherwise spin
+    /// [`ArrivalProcess::next_arrival`] forever chasing an infinite
+    /// boundary.)
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidRate`] describing the offending parameter.
+    pub fn validated(&self) -> Result<(), WorkloadError> {
         match *self {
             ArrivalProcess::Poisson { rate_per_sec } => {
-                assert!(rate_per_sec > 0.0, "Poisson rate must be positive");
+                if !(rate_per_sec > 0.0 && rate_per_sec.is_finite()) {
+                    return Err(WorkloadError::InvalidRate(
+                        "Poisson rate must be positive and finite",
+                    ));
+                }
             }
             ArrivalProcess::Bursty {
                 base_rate,
@@ -256,14 +340,22 @@ impl ArrivalProcess {
                 burst_secs,
                 period_secs,
             } => {
-                assert!(base_rate >= 0.0, "base rate must be non-negative");
-                assert!(burst_rate > 0.0, "burst rate must be positive");
-                assert!(
-                    burst_secs > 0.0 && period_secs > burst_secs,
-                    "period must exceed the burst"
-                );
+                if !(base_rate >= 0.0 && base_rate.is_finite()) {
+                    return Err(WorkloadError::InvalidRate(
+                        "base rate must be non-negative and finite",
+                    ));
+                }
+                if !(burst_rate > 0.0 && burst_rate.is_finite()) {
+                    return Err(WorkloadError::InvalidRate(
+                        "burst rate must be positive and finite",
+                    ));
+                }
+                if !(burst_secs > 0.0 && period_secs > burst_secs && period_secs.is_finite()) {
+                    return Err(WorkloadError::InvalidRate("period must exceed the burst"));
+                }
             }
         }
+        Ok(())
     }
 
     /// Long-run average arrival rate in requests per second.
@@ -296,7 +388,7 @@ impl ArrivalProcess {
 // Not `f64::clamp`: the whole point of max-then-min here is its NaN
 // behavior, which `clamp` does not share.
 #[allow(clippy::manual_clamp)]
-fn exponential_gap(unit: f64, rate: f64) -> f64 {
+pub(crate) fn exponential_gap(unit: f64, rate: f64) -> f64 {
     let unit = unit.max(0.0).min(1.0 - f64::EPSILON);
     -(1.0 - unit).ln() / rate
 }
@@ -350,9 +442,21 @@ impl WorkloadSpec {
         }
     }
 
-    /// Generates the replayable trace this spec describes.
-    #[must_use]
-    pub fn generate(&self) -> RequestTrace {
+    /// Generates the replayable trace, or a clear error for a spec that
+    /// could never generate one (an invalid arrival process would
+    /// otherwise hang or degenerate inside generation).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidRate`] for zero/negative/non-finite rates;
+    /// [`WorkloadError::EmptySpec`] when `requests` is zero.
+    pub fn try_generate(&self) -> Result<RequestTrace, WorkloadError> {
+        self.arrivals.validated()?;
+        if self.requests == 0 {
+            return Err(WorkloadError::EmptySpec(
+                "a workload spec needs at least one request",
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut t = 0.0;
         let mut requests = Vec::with_capacity(self.requests);
@@ -364,9 +468,24 @@ impl WorkloadSpec {
                 prompt_tokens: self.prompt_lengths.sample(&mut rng),
                 output_tokens: self.output_lengths.sample(&mut rng),
                 stream: TokenStream::unique(id),
+                qos: QosClass::Interactive,
+                adapter: AdapterId::BASE,
             });
         }
-        RequestTrace { requests }
+        Ok(RequestTrace { requests })
+    }
+
+    /// Generates the replayable trace this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`WorkloadSpec::try_generate`] errors.
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        match self.try_generate() {
+            Ok(trace) => trace,
+            Err(error) => panic!("{error}"),
+        }
     }
 }
 
@@ -455,14 +574,23 @@ impl SharedPrefixChatSpec {
         self.sessions * self.turns_per_session.max(1)
     }
 
-    /// Generates the replayable trace this spec describes.
+    /// Generates the replayable trace, or a clear error for a spec that
+    /// could never generate one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the session rate is not positive.
-    #[must_use]
-    pub fn generate(&self) -> RequestTrace {
-        assert!(self.rate_per_sec > 0.0, "session rate must be positive");
+    /// [`WorkloadError::InvalidRate`] for a zero/negative/non-finite
+    /// session rate; [`WorkloadError::EmptySpec`] when `sessions` is zero.
+    pub fn try_generate(&self) -> Result<RequestTrace, WorkloadError> {
+        ArrivalProcess::Poisson {
+            rate_per_sec: self.rate_per_sec,
+        }
+        .validated()?;
+        if self.sessions == 0 {
+            return Err(WorkloadError::EmptySpec(
+                "a shared-prefix chat spec needs at least one session",
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut requests = Vec::with_capacity(self.requests());
         let mut session_start = 0.0f64;
@@ -485,6 +613,8 @@ impl SharedPrefixChatSpec {
                     prompt_tokens: transcript,
                     output_tokens: output,
                     stream,
+                    qos: QosClass::Interactive,
+                    adapter: AdapterId::BASE,
                 });
                 transcript += output;
                 // Next turn: think time plus a generous decode allowance
@@ -496,7 +626,20 @@ impl SharedPrefixChatSpec {
         for (index, request) in trace.requests.iter_mut().enumerate() {
             request.id = index;
         }
-        trace
+        Ok(trace)
+    }
+
+    /// Generates the replayable trace this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`SharedPrefixChatSpec::try_generate`] errors.
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        match self.try_generate() {
+            Ok(trace) => trace,
+            Err(error) => panic!("{error}"),
+        }
     }
 
     /// Streams the same requests as [`SharedPrefixChatSpec::generate`] —
@@ -610,6 +753,8 @@ impl SharedPrefixChatStream {
                     prompt_tokens: transcript,
                     output_tokens: output.max(1),
                     stream,
+                    qos: QosClass::Interactive,
+                    adapter: AdapterId::BASE,
                 },
             }));
             self.gen_seq += 1;
@@ -725,14 +870,23 @@ impl ColdSessionSpec {
         self.sessions * (self.first_turns.max(1) + self.return_turns)
     }
 
-    /// Generates the replayable trace this spec describes.
+    /// Generates the replayable trace, or a clear error for a spec that
+    /// could never generate one.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the session rate is not positive.
-    #[must_use]
-    pub fn generate(&self) -> RequestTrace {
-        assert!(self.rate_per_sec > 0.0, "session rate must be positive");
+    /// [`WorkloadError::InvalidRate`] for a zero/negative/non-finite
+    /// session rate; [`WorkloadError::EmptySpec`] when `sessions` is zero.
+    pub fn try_generate(&self) -> Result<RequestTrace, WorkloadError> {
+        ArrivalProcess::Poisson {
+            rate_per_sec: self.rate_per_sec,
+        }
+        .validated()?;
+        if self.sessions == 0 {
+            return Err(WorkloadError::EmptySpec(
+                "a cold-session spec needs at least one session",
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut requests = Vec::with_capacity(self.requests());
         let mut session_start = 0.0f64;
@@ -761,6 +915,8 @@ impl ColdSessionSpec {
                     prompt_tokens: transcript,
                     output_tokens: output,
                     stream,
+                    qos: QosClass::Interactive,
+                    adapter: AdapterId::BASE,
                 });
                 transcript += output;
                 arrival += exponential_gap(rng.gen(), think_rate) + output as f64 * 0.06;
@@ -770,7 +926,20 @@ impl ColdSessionSpec {
         for (index, request) in trace.requests.iter_mut().enumerate() {
             request.id = index;
         }
-        trace
+        Ok(trace)
+    }
+
+    /// Generates the replayable trace this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`ColdSessionSpec::try_generate`] errors.
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        match self.try_generate() {
+            Ok(trace) => trace,
+            Err(error) => panic!("{error}"),
+        }
     }
 }
 
@@ -858,15 +1027,20 @@ impl DocChatMixSpec {
     }
 
     /// Generates the replayable trace: both Poisson streams drawn from
-    /// seeded RNGs, merged in arrival order with ids reassigned.
+    /// seeded RNGs, merged in arrival order with ids reassigned — or a
+    /// clear error for a spec that could never generate one.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkloadError::InvalidRate`] when a lane with requests has a
+    /// zero/negative/non-finite rate; [`WorkloadError::EmptySpec`] when
+    /// both lanes are empty.
     ///
     /// # Panics
     ///
-    /// Panics if either rate is not positive while its request count is,
-    /// or if the longest chat prompt reaches the shortest possible
+    /// Panics if the longest chat prompt reaches the shortest possible
     /// document prompt (which would break classification).
-    #[must_use]
-    pub fn generate(&self) -> RequestTrace {
+    pub fn try_generate(&self) -> Result<RequestTrace, WorkloadError> {
         let doc_floor = match self.doc_prompt_tokens {
             LengthDistribution::Fixed(len) => len,
             LengthDistribution::Uniform { min, .. } => min,
@@ -876,16 +1050,22 @@ impl DocChatMixSpec {
             self.chat_prompt_tokens.max_len() < doc_floor,
             "chat prompts must stay strictly shorter than document prompts"
         );
+        if self.requests() == 0 {
+            return Err(WorkloadError::EmptySpec(
+                "a doc/chat mix needs at least one request in some lane",
+            ));
+        }
         let mut requests = Vec::with_capacity(self.requests());
         let mut lane = |count: usize,
                         rate: f64,
                         prompts: LengthDistribution,
                         outputs: LengthDistribution,
-                        salt: u64| {
+                        salt: u64|
+         -> Result<(), WorkloadError> {
             if count == 0 {
-                return;
+                return Ok(());
             }
-            assert!(rate > 0.0, "arrival rate must be positive");
+            ArrivalProcess::Poisson { rate_per_sec: rate }.validated()?;
             let mut rng = StdRng::seed_from_u64(splitmix64(self.seed ^ salt));
             let mut t = 0.0f64;
             for _ in 0..count {
@@ -896,8 +1076,11 @@ impl DocChatMixSpec {
                     prompt_tokens: prompts.sample(&mut rng),
                     output_tokens: outputs.sample(&mut rng),
                     stream: TokenStream::unique(0),
+                    qos: QosClass::Interactive,
+                    adapter: AdapterId::BASE,
                 });
             }
+            Ok(())
         };
         lane(
             self.chat_requests,
@@ -905,20 +1088,34 @@ impl DocChatMixSpec {
             self.chat_prompt_tokens,
             self.chat_output_tokens,
             0x5EED_C4A7,
-        );
+        )?;
         lane(
             self.doc_requests,
             self.doc_rate_per_sec,
             self.doc_prompt_tokens,
             self.doc_output_tokens,
             0xD0C_F00D,
-        );
+        )?;
         let mut trace = RequestTrace::new(requests);
         for (index, request) in trace.requests.iter_mut().enumerate() {
             request.id = index;
             request.stream = TokenStream::unique(index);
         }
-        trace
+        Ok(trace)
+    }
+
+    /// Generates the replayable trace this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics where [`DocChatMixSpec::try_generate`] errors, and on a
+    /// chat/document prompt-length overlap.
+    #[must_use]
+    pub fn generate(&self) -> RequestTrace {
+        match self.try_generate() {
+            Ok(trace) => trace,
+            Err(error) => panic!("{error}"),
+        }
     }
 }
 
@@ -953,6 +1150,13 @@ impl RequestTrace {
     #[must_use]
     pub fn requests(&self) -> &[Request] {
         &self.requests
+    }
+
+    /// Mutable access for in-crate generators that re-id requests after
+    /// the arrival sort. Crate-private: external mutation could break the
+    /// sorted-by-arrival invariant.
+    pub(crate) fn requests_mut(&mut self) -> &mut [Request] {
+        &mut self.requests
     }
 
     /// Number of requests.
@@ -1055,6 +1259,68 @@ mod tests {
         assert!(nan_gap.is_finite() && nan_gap >= 0.0, "gap {nan_gap}");
     }
 
+    /// Regression (spec validation): a zero/negative/non-finite rate used
+    /// to panic deep inside generation — or, for a zero Poisson rate, spin
+    /// `next_arrival` forever chasing an infinite boundary. Every spec now
+    /// rejects such parameters (and zero-session shapes) up front with a
+    /// clear `Err`, at any seed.
+    #[test]
+    fn invalid_specs_error_instead_of_hanging() {
+        for seed in [0, 1, u64::MAX, u64::MAX - 1, 0x8000_0000_0000_0000] {
+            for rate in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+                assert!(matches!(
+                    WorkloadSpec::chat(rate, 10, seed).try_generate(),
+                    Err(WorkloadError::InvalidRate(_))
+                ));
+                assert!(matches!(
+                    SharedPrefixChatSpec::fleet(rate, 4, seed).try_generate(),
+                    Err(WorkloadError::InvalidRate(_))
+                ));
+                assert!(matches!(
+                    ColdSessionSpec::fleet(rate, 4, seed).try_generate(),
+                    Err(WorkloadError::InvalidRate(_))
+                ));
+                assert!(matches!(
+                    DocChatMixSpec::fleet(rate, 16, seed).try_generate(),
+                    Err(WorkloadError::InvalidRate(_))
+                ));
+            }
+            assert!(matches!(
+                WorkloadSpec::chat(4.0, 0, seed).try_generate(),
+                Err(WorkloadError::EmptySpec(_))
+            ));
+            assert!(matches!(
+                SharedPrefixChatSpec::fleet(4.0, 0, seed).try_generate(),
+                Err(WorkloadError::EmptySpec(_))
+            ));
+            assert!(matches!(
+                ColdSessionSpec::fleet(4.0, 0, seed).try_generate(),
+                Err(WorkloadError::EmptySpec(_))
+            ));
+        }
+        // Bursty shapes that could never tick over are rejected too.
+        let bad_burst = WorkloadSpec {
+            arrivals: ArrivalProcess::Bursty {
+                base_rate: 0.0,
+                burst_rate: 5.0,
+                burst_secs: 20.0,
+                period_secs: 20.0,
+            },
+            ..WorkloadSpec::chat(4.0, 10, 1)
+        };
+        assert!(matches!(
+            bad_burst.try_generate(),
+            Err(WorkloadError::InvalidRate(_))
+        ));
+        let error = WorkloadSpec::chat(0.0, 10, 1).try_generate().unwrap_err();
+        assert!(error.to_string().contains("Poisson rate"), "{error}");
+        // Valid specs still generate through the fallible path.
+        assert_eq!(
+            WorkloadSpec::chat(4.0, 10, 1).try_generate().unwrap(),
+            WorkloadSpec::chat(4.0, 10, 1).generate()
+        );
+    }
+
     #[test]
     fn poisson_rate_is_roughly_honored() {
         let trace = WorkloadSpec::chat(8.0, 2000, 7).generate();
@@ -1131,6 +1397,8 @@ mod tests {
             prompt_tokens: 100,
             output_tokens: 28,
             stream: TokenStream::unique(0),
+            qos: QosClass::default(),
+            adapter: AdapterId::default(),
         };
         assert_eq!(r.kv_tokens_at_completion(), 128);
     }
@@ -1147,6 +1415,8 @@ mod tests {
             prompt_tokens: usize::MAX - 10,
             output_tokens: 1_000,
             stream: TokenStream::unique(0),
+            qos: QosClass::default(),
+            adapter: AdapterId::default(),
         };
         assert_eq!(r.kv_tokens_at_completion(), usize::MAX);
     }

@@ -8,8 +8,8 @@
 //! collide at the same instant.
 
 use deca_serve::{
-    Event, EventQueue, LinearCostModel, Request, RequestTrace, ServingConfig, ServingSimulator,
-    SharedPrefixChatSpec, TokenStream,
+    AdapterId, Event, EventQueue, LinearCostModel, QosClass, Request, RequestTrace, ServingConfig,
+    ServingSimulator, SharedPrefixChatSpec, TokenStream,
 };
 
 /// Heap tie-breaking is stable: co-timed events pop by rank (arrivals,
@@ -82,6 +82,12 @@ fn co_timed_arrival_traces_are_deterministic_on_every_policy() {
             prompt_tokens: 48 + (id % 7) * 16,
             output_tokens: 8 + (id % 5) * 24,
             stream: TokenStream::unique(id),
+            qos: if id % 3 == 0 {
+                QosClass::Batch
+            } else {
+                QosClass::Interactive
+            },
+            adapter: AdapterId::BASE,
         })
         .collect();
     let trace = RequestTrace::new(requests);
